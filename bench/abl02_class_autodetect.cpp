@@ -1,0 +1,61 @@
+// Ablation A2: class auto-detection from multiple profile runs.
+//
+// The paper allows the reduction-object-size class and the global-
+// reduction-time class to be "determined by analyzing multiple profile
+// runs" instead of declared by the user. This bench collects two profiles
+// per application (varying compute nodes and dataset size), runs the
+// detector, and compares the detected classes against the declared ones.
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fgp;
+  const auto cluster = sim::cluster_pentium_myrinet();
+  const auto wan = sim::wan_mbps(800.0);
+
+  std::cout << "Ablation A2: class auto-detection vs declared classes\n\n";
+
+  struct Case {
+    bench::BenchApp small;  ///< smaller dataset (same seed)
+    bench::BenchApp large;
+  };
+  std::vector<Case> cases;
+  cases.push_back({bench::make_kmeans_app(350.0, 1.0, 42),
+                   bench::make_kmeans_app(1400.0, 4.0, 42)});
+  cases.push_back({bench::make_em_app(350.0, 1.0, 42),
+                   bench::make_em_app(1400.0, 4.0, 42)});
+  cases.push_back({bench::make_knn_app(350.0, 1.0, 42),
+                   bench::make_knn_app(1400.0, 4.0, 42)});
+  cases.push_back({bench::make_vortex_app(350.0, 192, 7),
+                   bench::make_vortex_app(710.0, 256, 7)});
+  cases.push_back({bench::make_defect_app(130.0, 24, 24, 96, 11),
+                   bench::make_defect_app(520.0, 32, 32, 96, 11)});
+
+  util::Table table({"app", "declared r / T_g", "detected r / T_g", "match"});
+  int matches = 0;
+  for (const auto& c : cases) {
+    // Three profiles: vary compute nodes at fixed size, then vary size.
+    std::vector<core::Profile> profiles;
+    profiles.push_back(bench::profile_of(c.large, cluster, cluster, wan, {1, 2}));
+    profiles.push_back(bench::profile_of(c.large, cluster, cluster, wan, {1, 8}));
+    profiles.push_back(bench::profile_of(c.small, cluster, cluster, wan, {1, 2}));
+    const auto detected = core::detect_classes(profiles);
+
+    const bool match = detected.ro == c.large.classes.ro &&
+                       detected.global == c.large.classes.global;
+    matches += match;
+    table.add_row(
+        {c.large.name,
+         std::string(core::to_string(c.large.classes.ro)) + " / " +
+             core::to_string(c.large.classes.global),
+         std::string(core::to_string(detected.ro)) + " / " +
+             core::to_string(detected.global),
+         match ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\n  " << matches << "/" << cases.size()
+            << " applications detected correctly from profile runs alone\n\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A4: sensitivity to mis-declared application classes.
+//
+// What happens when the user (or a buggy detector) assigns the wrong
+// reduction-object-size or global-reduction-time class? This bench
+// predicts EM clustering (truly linear / constant-linear) under all four
+// class combinations with the global-reduction model.
+#include <iostream>
+
+#include "common.h"
+#include "core/ipc_probe.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_em_app(1400.0, 4.0, 42);
+  const auto cluster = sim::cluster_pentium_myrinet();
+  const auto wan = sim::wan_mbps(800.0);
+
+  std::cout << "Ablation A4: prediction error under mis-declared classes "
+               "(EM clustering, global-reduction model, base profile 1-2)\n\n";
+
+  // Profile at 1-2 so the object size and gather path are observable.
+  const core::Profile base = bench::profile_of(app, cluster, cluster, wan, {1, 2});
+
+  const std::vector<std::pair<std::string, core::AppClasses>> variants{
+      {"correct: linear / constant-linear",
+       {core::RoSizeClass::LinearWithData,
+        core::GlobalReductionClass::ConstantLinear}},
+      {"wrong r: constant / constant-linear",
+       {core::RoSizeClass::Constant,
+        core::GlobalReductionClass::ConstantLinear}},
+      {"wrong T_g: linear / linear-constant",
+       {core::RoSizeClass::LinearWithData,
+        core::GlobalReductionClass::LinearConstant}},
+      {"both wrong: constant / linear-constant",
+       {core::RoSizeClass::Constant,
+        core::GlobalReductionClass::LinearConstant}},
+  };
+
+  util::Table table({"data-compute", "correct", "wrong r", "wrong T_g",
+                     "both wrong"});
+  std::vector<util::Accumulator> acc(variants.size());
+  for (const auto cfg : bench::paper_grid()) {
+    const double exact = bench::simulate(app, cluster, cluster, wan, cfg)
+                             .timing.total.total();
+    std::vector<std::string> row{std::to_string(cfg.n) + "-" +
+                                 std::to_string(cfg.c)};
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      core::PredictorOptions opts;
+      opts.model = core::PredictionModel::GlobalReduction;
+      opts.classes = variants[v].second;
+      opts.ipc = core::measure_ipc(cluster);
+      core::ProfileConfig target = base.config;
+      target.data_nodes = cfg.n;
+      target.compute_nodes = cfg.c;
+      const double err = util::relative_error(
+          exact, core::Predictor(base, opts).predict(target).total());
+      acc[v].add(err);
+      row.push_back(util::Table::pct(err));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n  max errors:";
+  for (std::size_t v = 0; v < variants.size(); ++v)
+    std::cout << "  [" << variants[v].first << "] "
+              << util::Table::pct(acc[v].max());
+  std::cout << "\n\n";
+  return 0;
+}

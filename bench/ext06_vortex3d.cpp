@@ -1,0 +1,13 @@
+// Extension E6: volumetric (3-D) vortex detection under the prediction
+// framework — the fully "volumetric regions" version of the paper's §4.4
+// feature miner, run through the same Figure-3-style experiment.
+#include "common.h"
+
+int main() {
+  const auto app = fgp::bench::make_vortex3d_app(710.0, 23);
+  fgp::bench::three_model_figure(
+      "Extension E6: Prediction Errors for Volumetric (3-D) Vortex "
+      "Detection (base profile 1-1, 710 MB)",
+      app, fgp::sim::cluster_pentium_myrinet(), fgp::sim::wan_mbps(800.0));
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 2: prediction errors for k-means clustering across parallel
+// configurations (1-1 … 8-16), three prediction models, base profile 1-1,
+// 1.4 GB dataset.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_kmeans_app(1400.0, 4.0, 42);
+  bench::three_model_figure(
+      "Figure 2: Prediction Errors for k-means Clustering (base profile "
+      "1-1, 1.4 GB)",
+      app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));
+  return 0;
+}

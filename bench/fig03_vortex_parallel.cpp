@@ -1,0 +1,13 @@
+// Figure 3: prediction errors for vortex detection, base profile 1-1,
+// 710 MB dataset.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_vortex_app(710.0, 256, 7);
+  bench::three_model_figure(
+      "Figure 3: Prediction Errors for Vortex Detection (base profile 1-1, "
+      "710 MB)",
+      app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));
+  return 0;
+}

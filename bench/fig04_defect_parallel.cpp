@@ -1,0 +1,13 @@
+// Figure 4: prediction errors for molecular defect detection, base profile
+// 1-1, 130 MB dataset.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_defect_app(130.0, 24, 24, 96, 11);
+  bench::three_model_figure(
+      "Figure 4: Prediction Errors for Molecular Defect Detection (base "
+      "profile 1-1, 130 MB)",
+      app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));
+  return 0;
+}

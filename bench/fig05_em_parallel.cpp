@@ -1,0 +1,13 @@
+// Figure 5: prediction errors for EM clustering, base profile 1-1, 1.4 GB
+// dataset.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_em_app(1400.0, 4.0, 42);
+  bench::three_model_figure(
+      "Figure 5: Prediction Errors for EM Clustering (base profile 1-1, "
+      "1.4 GB)",
+      app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 6: prediction errors for k-NN search, base profile 1-1, 1.4 GB
+// dataset.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_knn_app(1400.0, 4.0, 42);
+  bench::three_model_figure(
+      "Figure 6: Prediction Errors for KNN Search (base profile 1-1, "
+      "1.4 GB)",
+      app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));
+  return 0;
+}

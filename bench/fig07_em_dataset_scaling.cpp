@@ -1,0 +1,16 @@
+// Figure 7: dataset-size scaling for EM clustering — profile collected at
+// 1-1 on a 350 MB dataset, predictions for a 1.4 GB dataset (global-
+// reduction model only, as in the paper's §5.2).
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto profile_app = bench::make_em_app(350.0, 1.0, 42);
+  const auto target_app = bench::make_em_app(1400.0, 4.0, 42);
+  bench::global_model_figure(
+      "Figure 7: Prediction Errors for EM Clustering, 1.4 GB dataset (base "
+      "profile: 1-1 with 350 MB)",
+      profile_app, target_app, sim::cluster_pentium_myrinet(),
+      sim::wan_mbps(800.0), sim::wan_mbps(800.0));
+  return 0;
+}

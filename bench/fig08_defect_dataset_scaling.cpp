@@ -1,0 +1,15 @@
+// Figure 8: dataset-size scaling for molecular defect detection — profile
+// at 1-1 on 130 MB, predictions for a 1.8 GB dataset.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto profile_app = bench::make_defect_app(130.0, 24, 24, 96, 11);
+  const auto target_app = bench::make_defect_app(1800.0, 32, 32, 144, 11);
+  bench::global_model_figure(
+      "Figure 8: Prediction Errors for Molecular Defect Detection, 1.8 GB "
+      "dataset (base profile: 1-1 with 130 MB)",
+      profile_app, target_app, sim::cluster_pentium_myrinet(),
+      sim::wan_mbps(800.0), sim::wan_mbps(800.0));
+  return 0;
+}

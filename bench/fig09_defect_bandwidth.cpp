@@ -1,0 +1,15 @@
+// Figure 9: impact of network bandwidth for molecular defect detection —
+// profile at 1-1 with a 500 Kbps link, predictions for a 250 Kbps link
+// (same dataset).
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_defect_app(130.0, 24, 24, 96, 11);
+  bench::global_model_figure(
+      "Figure 9: Prediction Errors for Molecular Defect Detection with "
+      "250 Kbps (base profile: 1-1 with 500 Kbps)",
+      app, app, sim::cluster_pentium_myrinet(), sim::wan_kbps(500.0),
+      sim::wan_kbps(250.0));
+  return 0;
+}

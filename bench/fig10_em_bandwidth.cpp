@@ -1,0 +1,14 @@
+// Figure 10: impact of network bandwidth for EM clustering — profile at
+// 1-1 with a 500 Kbps link, predictions for a 250 Kbps link.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto app = bench::make_em_app(1400.0, 4.0, 42);
+  bench::global_model_figure(
+      "Figure 10: Prediction Errors for EM Clustering with 250 Kbps (base "
+      "profile: 1-1 with 500 Kbps)",
+      app, app, sim::cluster_pentium_myrinet(), sim::wan_kbps(500.0),
+      sim::wan_kbps(250.0));
+  return 0;
+}

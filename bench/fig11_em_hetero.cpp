@@ -1,0 +1,22 @@
+// Figure 11: EM clustering predicted on a *different* cluster — base
+// profile 8-8 with 350 MB on the Pentium/Myrinet cluster, predictions for
+// a 700 MB dataset on the Opteron/InfiniBand cluster, component scaling
+// factors from k-means, k-NN and vortex detection.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto profile_app = bench::make_em_app(350.0, 1.0, 42);
+  const auto target_app = bench::make_em_app(700.0, 2.0, 42);
+  const std::vector<bench::BenchApp> reps{
+      bench::make_kmeans_app(350.0, 1.0, 43),
+      bench::make_knn_app(350.0, 1.0, 44),
+      bench::make_vortex_app(350.0, 256, 45),
+  };
+  bench::hetero_figure(
+      "Figure 11: Prediction Errors for EM Clustering On a Different "
+      "Cluster, 700 MB dataset (base profile: 8-8 with 350 MB)",
+      profile_app, target_app, reps, {8, 8}, sim::cluster_pentium_myrinet(),
+      sim::cluster_opteron_infiniband(), sim::wan_mbps(800.0));
+  return 0;
+}

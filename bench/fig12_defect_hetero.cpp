@@ -1,0 +1,21 @@
+// Figure 12: molecular defect detection on a different cluster — base
+// profile 4-4 with 130 MB on Pentium/Myrinet, predictions for 1.8 GB on
+// Opteron/InfiniBand, scaling factors from k-means, k-NN and EM.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto profile_app = bench::make_defect_app(130.0, 24, 24, 96, 11);
+  const auto target_app = bench::make_defect_app(1800.0, 32, 32, 144, 11);
+  const std::vector<bench::BenchApp> reps{
+      bench::make_kmeans_app(350.0, 1.0, 43),
+      bench::make_knn_app(350.0, 1.0, 44),
+      bench::make_em_app(350.0, 1.0, 45),
+  };
+  bench::hetero_figure(
+      "Figure 12: Prediction Errors for Molecular Defect Detection On a "
+      "Different Cluster, 1.8 GB dataset (base profile: 4-4 with 130 MB)",
+      profile_app, target_app, reps, {4, 4}, sim::cluster_pentium_myrinet(),
+      sim::cluster_opteron_infiniband(), sim::wan_mbps(800.0));
+  return 0;
+}

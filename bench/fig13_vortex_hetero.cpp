@@ -1,0 +1,21 @@
+// Figure 13: vortex detection on a different cluster — base profile 1-1
+// with 710 MB on Pentium/Myrinet, predictions for 1.85 GB on
+// Opteron/InfiniBand, scaling factors from k-means, k-NN and EM.
+#include "common.h"
+
+int main() {
+  using namespace fgp;
+  const auto profile_app = bench::make_vortex_app(710.0, 256, 7);
+  const auto target_app = bench::make_vortex_app(1850.0, 384, 7);
+  const std::vector<bench::BenchApp> reps{
+      bench::make_kmeans_app(350.0, 1.0, 43),
+      bench::make_knn_app(350.0, 1.0, 44),
+      bench::make_em_app(350.0, 1.0, 45),
+  };
+  bench::hetero_figure(
+      "Figure 13: Prediction Errors for Vortex Detection on a Different "
+      "Cluster, 1.85 GB dataset (base profile: 1-1 with 710 MB)",
+      profile_app, target_app, reps, {1, 1}, sim::cluster_pentium_myrinet(),
+      sim::cluster_opteron_infiniband(), sim::wan_mbps(800.0));
+  return 0;
+}

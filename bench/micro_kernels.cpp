@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark): per-chunk throughput of the five
+// application kernels, reduction-object serialization, and merge cost.
+// These are the real-CPU costs behind the work counts the virtual cluster
+// charges; they are useful when calibrating MachineSpec parameters against
+// new hardware.
+#include <benchmark/benchmark.h>
+
+#include "apps/defect.h"
+#include "apps/em.h"
+#include "apps/kmeans.h"
+#include "apps/knn.h"
+#include "apps/vortex.h"
+#include "common.h"
+
+namespace {
+
+using namespace fgp;
+
+const bench::BenchApp& points_app() {
+  static const auto app = bench::make_kmeans_app(100.0, 2.0, 42, 1);
+  return app;
+}
+
+void BM_KMeansProcessChunk(benchmark::State& state) {
+  const auto& app = points_app();
+  auto kernel = app.factory();
+  auto obj = kernel->create_object();
+  const auto& chunk = app.dataset->chunk(0);
+  double bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel->process_chunk(chunk, *obj));
+    bytes += static_cast<double>(chunk.real_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_KMeansProcessChunk);
+
+void BM_EMProcessChunk(benchmark::State& state) {
+  static const auto app = bench::make_em_app(100.0, 2.0, 42, 1);
+  auto kernel = app.factory();
+  const auto& chunk = app.dataset->chunk(0);
+  double bytes = 0;
+  for (auto _ : state) {
+    auto obj = kernel->create_object();  // labels forbid double-processing
+    benchmark::DoNotOptimize(kernel->process_chunk(chunk, *obj));
+    bytes += static_cast<double>(chunk.real_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EMProcessChunk);
+
+void BM_KnnProcessChunk(benchmark::State& state) {
+  static const auto app = bench::make_knn_app(100.0, 2.0, 42);
+  auto kernel = app.factory();
+  auto obj = kernel->create_object();
+  const auto& chunk = app.dataset->chunk(0);
+  double bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel->process_chunk(chunk, *obj));
+    bytes += static_cast<double>(chunk.real_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_KnnProcessChunk);
+
+void BM_VortexProcessChunk(benchmark::State& state) {
+  static const auto app = bench::make_vortex_app(100.0, 256, 7);
+  auto kernel = app.factory();
+  const auto& chunk = app.dataset->chunk(0);
+  double bytes = 0;
+  for (auto _ : state) {
+    auto obj = kernel->create_object();
+    benchmark::DoNotOptimize(kernel->process_chunk(chunk, *obj));
+    bytes += static_cast<double>(chunk.real_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_VortexProcessChunk);
+
+void BM_DefectProcessChunk(benchmark::State& state) {
+  static const auto app = bench::make_defect_app(100.0, 24, 24, 96, 11);
+  auto kernel = app.factory();
+  const auto& chunk = app.dataset->chunk(0);
+  double bytes = 0;
+  for (auto _ : state) {
+    auto obj = kernel->create_object();
+    benchmark::DoNotOptimize(kernel->process_chunk(chunk, *obj));
+    bytes += static_cast<double>(chunk.real_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DefectProcessChunk);
+
+void BM_ReductionObjectSerialize(benchmark::State& state) {
+  const auto& app = points_app();
+  auto kernel = app.factory();
+  auto obj = kernel->create_object();
+  kernel->process_chunk(app.dataset->chunk(0), *obj);
+  double bytes = 0;
+  for (auto _ : state) {
+    util::ByteWriter w;
+    obj->serialize(w);
+    benchmark::DoNotOptimize(w.size());
+    bytes += static_cast<double>(w.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ReductionObjectSerialize);
+
+void BM_ReductionObjectMerge(benchmark::State& state) {
+  const auto& app = points_app();
+  auto kernel = app.factory();
+  auto a = kernel->create_object();
+  auto b = kernel->create_object();
+  kernel->process_chunk(app.dataset->chunk(0), *a);
+  kernel->process_chunk(app.dataset->chunk(1), *b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel->merge(*a, *b));
+  }
+}
+BENCHMARK(BM_ReductionObjectMerge);
+
+void BM_ChunkChecksumVerify(benchmark::State& state) {
+  const auto& chunk = points_app().dataset->chunk(0);
+  double bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunk.verify());
+    bytes += static_cast<double>(chunk.real_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ChunkChecksumVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// cross_cluster_planning — predicting for hardware you never profiled on.
+//
+// The EM application is profiled on the Pentium/Myrinet cluster only.
+// Three representative applications (k-means, k-NN, vortex) run on both
+// clusters to calibrate component scaling factors, after which the
+// framework predicts EM execution times on the Opteron/InfiniBand cluster
+// across node counts — the paper's §3.4 workflow.
+#include <iostream>
+
+#include "apps/em.h"
+#include "apps/kmeans.h"
+#include "apps/knn.h"
+#include "apps/vortex.h"
+#include "core/hetero.h"
+#include "core/ipc_probe.h"
+#include "datagen/flowfield.h"
+#include "datagen/points.h"
+#include "freeride/runtime.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fgp;
+
+core::Profile profile_on(const repository::ChunkedDataset& ds,
+                         freeride::ReductionKernel& kernel,
+                         const sim::ClusterSpec& cluster, int n, int c) {
+  freeride::JobSetup setup;
+  setup.dataset = &ds;
+  setup.data_cluster = cluster;
+  setup.compute_cluster = cluster;
+  setup.wan = sim::wan_mbps(80.0);
+  setup.config.data_nodes = n;
+  setup.config.compute_nodes = c;
+  return core::ProfileCollector::collect(setup, kernel);
+}
+
+}  // namespace
+
+int main() {
+  const auto pentium = sim::cluster_pentium_myrinet();
+  const auto opteron = sim::cluster_opteron_infiniband();
+
+  // Shared point data for the clustering apps.
+  auto spec = datagen::scaled_points_spec(350.0, 1.0, 8, 42);
+  spec.num_components = 4;
+  const auto points = datagen::generate_points(spec);
+
+  datagen::FlowSpec flow_spec;
+  flow_spec.width = 192;
+  flow_spec.height = 192;
+  flow_spec.rows_per_chunk = 4;
+  flow_spec.virtual_scale = 350e6 / (192.0 * 192.0 * sizeof(datagen::Vec2f));
+  const auto flow = datagen::generate_flowfield(flow_spec);
+
+  // Representative apps on identical 2-4 configurations on both clusters.
+  std::vector<core::Profile> on_a, on_b;
+  auto add_pair = [&](auto make_kernel, const repository::ChunkedDataset& ds,
+                      const std::string& name) {
+    auto ka = make_kernel();
+    auto kb = make_kernel();
+    on_a.push_back(profile_on(ds, *ka, pentium, 2, 4));
+    on_a.back().app = name;
+    on_b.push_back(profile_on(ds, *kb, opteron, 2, 4));
+    on_b.back().app = name;
+  };
+
+  apps::KMeansParams km;
+  km.k = 8;
+  km.dim = 8;
+  km.initial_centers =
+      apps::initial_centers_from_dataset(points.dataset, 8, 8);
+  km.fixed_passes = 5;
+  add_pair([&] { return std::make_unique<apps::KMeansKernel>(km); },
+           points.dataset, "kmeans");
+
+  apps::KnnParams kn;
+  kn.k = 16;
+  kn.dim = 8;
+  kn.queries = apps::initial_centers_from_dataset(points.dataset, 8, 8);
+  add_pair([&] { return std::make_unique<apps::KnnKernel>(kn); },
+           points.dataset, "knn");
+
+  apps::VortexParams vx;
+  add_pair([&] { return std::make_unique<apps::VortexKernel>(vx); },
+           flow.dataset, "vortex");
+
+  const auto factors = core::compute_scaling_factors(on_a, on_b);
+  std::cout << "scaling factors pentium -> opteron: s_d="
+            << util::Table::fmt(factors.disk, 3)
+            << "  s_n=" << util::Table::fmt(factors.network, 3)
+            << "  s_c=" << util::Table::fmt(factors.compute, 3) << "\n\n";
+
+  // The target app (EM) is profiled on the Pentium cluster only.
+  apps::EMParams em;
+  em.g = 4;
+  em.dim = 8;
+  em.initial_means = apps::initial_centers_from_dataset(points.dataset, 4, 8);
+  em.fixed_passes = 8;
+  apps::EMKernel em_kernel(em);
+  const core::Profile profile =
+      profile_on(points.dataset, em_kernel, pentium, 2, 4);
+
+  core::PredictorOptions opts;
+  opts.model = core::PredictionModel::GlobalReduction;
+  opts.classes = {core::RoSizeClass::LinearWithData,
+                  core::GlobalReductionClass::ConstantLinear};
+  opts.ipc = core::measure_ipc(pentium);
+  const core::HeteroPredictor predictor(core::Predictor(profile, opts),
+                                        factors);
+
+  util::Table table({"config", "T_pred on opteron (s)", "T_actual (s)",
+                     "error"});
+  for (const auto& [n, c] :
+       std::vector<std::pair<int, int>>{{2, 4}, {4, 8}, {8, 16}}) {
+    core::ProfileConfig target = profile.config;
+    target.data_nodes = n;
+    target.compute_nodes = c;
+    const auto predicted = predictor.predict(target);
+
+    apps::EMKernel verify(em);
+    freeride::JobSetup setup;
+    setup.dataset = &points.dataset;
+    setup.data_cluster = opteron;
+    setup.compute_cluster = opteron;
+    setup.wan = sim::wan_mbps(80.0);
+    setup.config.data_nodes = n;
+    setup.config.compute_nodes = c;
+    const auto actual = freeride::Runtime().run(setup, verify);
+    table.add_row(
+        {std::to_string(n) + "-" + std::to_string(c),
+         util::Table::fmt(predicted.total(), 2),
+         util::Table::fmt(actual.timing.total.total(), 2),
+         util::Table::pct(util::relative_error(actual.timing.total.total(),
+                                               predicted.total()))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// quickstart — the end-to-end tour in ~100 lines:
+//   1. generate a chunked dataset and persist it in a repository store,
+//   2. run k-means through the FREERIDE-G runtime on a virtual cluster,
+//   3. collect a profile and predict the execution time of a bigger
+//      configuration,
+//   4. check the prediction against the simulated "ground truth".
+#include <filesystem>
+#include <iostream>
+
+#include "apps/kmeans.h"
+#include "core/ipc_probe.h"
+#include "core/predictor.h"
+#include "core/profile.h"
+#include "datagen/points.h"
+#include "freeride/runtime.h"
+#include "repository/store.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fgp;
+
+  // 1. A 350 MB (virtual) Gaussian-mixture dataset; the real payload is a
+  //    couple of megabytes, chunked for a data repository.
+  auto spec = datagen::scaled_points_spec(/*virtual_mb=*/350.0,
+                                          /*real_mb=*/2.0, /*dim=*/8,
+                                          /*seed=*/42);
+  spec.num_components = 8;
+  spec.name = "quickstart-points";
+  const auto points = datagen::generate_points(spec);
+  std::cout << "dataset: " << points.dataset.chunk_count() << " chunks, "
+            << points.dataset.total_virtual_bytes() / 1e6 << " MB virtual\n";
+
+  // Persist and reload through the repository store (what a data-server
+  // node would read from disk).
+  repository::DatasetStore store(std::filesystem::temp_directory_path() /
+                                 "fgp_quickstart");
+  store.save(points.dataset);
+  const auto dataset = store.load(spec.name);
+
+  // 2. Run k-means on 2 data nodes + 4 compute nodes of the Pentium-era
+  //    reference cluster.
+  apps::KMeansParams params;
+  params.k = 8;
+  params.dim = 8;
+  params.initial_centers = apps::initial_centers_from_dataset(dataset, 8, 8);
+  params.fixed_passes = 10;
+  apps::KMeansKernel kernel(params);
+
+  freeride::JobSetup setup;
+  setup.dataset = &dataset;
+  setup.data_cluster = sim::cluster_pentium_myrinet();
+  setup.compute_cluster = sim::cluster_pentium_myrinet();
+  setup.wan = sim::wan_mbps(80.0);
+  setup.config.data_nodes = 2;
+  setup.config.compute_nodes = 4;
+
+  const auto result = freeride::Runtime().run(setup, kernel);
+  const auto& t = result.timing.total;
+  std::cout << "\nk-means on 2-4: " << result.passes << " passes, "
+            << "T_disk=" << util::Table::fmt(t.disk, 2)
+            << "s  T_net=" << util::Table::fmt(t.network, 2)
+            << "s  T_compute=" << util::Table::fmt(t.compute(), 2)
+            << "s  (T_ro=" << util::Table::fmt(t.ro_comm, 3)
+            << "s, T_g=" << util::Table::fmt(t.global_red, 3) << "s)\n";
+  std::cout << "final objective (SSE): "
+            << util::Table::fmt(kernel.objective_history().back(), 1) << "\n";
+
+  // 3. That run doubles as the profile. Predict 8 data + 16 compute nodes.
+  const core::Profile profile =
+      core::ProfileCollector::from_result(setup, kernel.name(), result);
+  core::PredictorOptions opts;
+  opts.model = core::PredictionModel::GlobalReduction;
+  opts.classes = {core::RoSizeClass::Constant,
+                  core::GlobalReductionClass::LinearConstant};
+  opts.ipc = core::measure_ipc(setup.compute_cluster);
+  const core::Predictor predictor(profile, opts);
+
+  core::ProfileConfig target = profile.config;
+  target.data_nodes = 8;
+  target.compute_nodes = 16;
+  const auto predicted = predictor.predict(target);
+
+  // 4. Ground truth from the virtual cluster.
+  setup.config.data_nodes = 8;
+  setup.config.compute_nodes = 16;
+  apps::KMeansKernel verify_kernel(params);
+  const auto actual = freeride::Runtime().run(setup, verify_kernel);
+
+  std::cout << "\npredicting 8-16 from the 2-4 profile:\n"
+            << "  predicted " << util::Table::fmt(predicted.total(), 2)
+            << "s, actual "
+            << util::Table::fmt(actual.timing.total.total(), 2)
+            << "s, relative error "
+            << util::Table::pct(util::relative_error(
+                   actual.timing.total.total(), predicted.total()))
+            << "\n";
+
+  store.remove(spec.name);
+  return 0;
+}

@@ -1,0 +1,258 @@
+#include "apps/ann.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fgp::apps {
+
+namespace {
+
+void init_weights(const AnnParams& p, std::vector<double>& w1,
+                  std::vector<double>& b1, std::vector<double>& w2,
+                  std::vector<double>& b2) {
+  util::Rng rng(p.seed);
+  const auto d = static_cast<std::size_t>(p.dim);
+  const auto h = static_cast<std::size_t>(p.hidden);
+  const auto c = static_cast<std::size_t>(p.classes);
+  w1.resize(d * h);
+  b1.assign(h, 0.0);
+  w2.resize(h * c);
+  b2.assign(c, 0.0);
+  const double s1 = 1.0 / std::sqrt(static_cast<double>(d));
+  const double s2 = 1.0 / std::sqrt(static_cast<double>(h));
+  for (auto& w : w1) w = rng.uniform(-s1, s1);
+  for (auto& w : w2) w = rng.uniform(-s2, s2);
+}
+
+/// Forward + backward for one example; accumulates gradients into `o` and
+/// returns the example's cross-entropy loss.
+double backprop_example(const double* x, std::int32_t label,
+                        const std::vector<double>& w1,
+                        const std::vector<double>& b1,
+                        const std::vector<double>& w2,
+                        const std::vector<double>& b2, int dim, int hidden,
+                        int classes, AnnObject& o) {
+  const auto d = static_cast<std::size_t>(dim);
+  const auto h = static_cast<std::size_t>(hidden);
+  const auto cc = static_cast<std::size_t>(classes);
+
+  // Forward.
+  std::vector<double> a1(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    double z = b1[k];
+    for (std::size_t j = 0; j < d; ++j) z += w1[j * h + k] * x[j];
+    a1[k] = std::tanh(z);
+  }
+  std::vector<double> p(cc);
+  double zmax = -1e300;
+  for (std::size_t c = 0; c < cc; ++c) {
+    double z = b2[c];
+    for (std::size_t k = 0; k < h; ++k) z += w2[k * cc + c] * a1[k];
+    p[c] = z;
+    zmax = std::max(zmax, z);
+  }
+  double sum = 0.0;
+  for (std::size_t c = 0; c < cc; ++c) {
+    p[c] = std::exp(p[c] - zmax);
+    sum += p[c];
+  }
+  for (std::size_t c = 0; c < cc; ++c) p[c] /= sum;
+  FGP_CHECK_MSG(label >= 0 && label < classes,
+                "label " << label << " outside [0, " << classes << ")");
+  const double loss = -std::log(std::max(p[static_cast<std::size_t>(label)],
+                                         1e-300));
+
+  // Backward.
+  std::vector<double> dz2(cc);
+  for (std::size_t c = 0; c < cc; ++c)
+    dz2[c] = p[c] - (static_cast<std::int32_t>(c) == label ? 1.0 : 0.0);
+  for (std::size_t k = 0; k < h; ++k) {
+    for (std::size_t c = 0; c < cc; ++c)
+      o.grad_w2[k * cc + c] += a1[k] * dz2[c];
+  }
+  for (std::size_t c = 0; c < cc; ++c) o.grad_b2[c] += dz2[c];
+
+  std::vector<double> dz1(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    double da = 0.0;
+    for (std::size_t c = 0; c < cc; ++c) da += w2[k * cc + c] * dz2[c];
+    dz1[k] = da * (1.0 - a1[k] * a1[k]);
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = 0; k < h; ++k)
+      o.grad_w1[j * h + k] += x[j] * dz1[k];
+  }
+  for (std::size_t k = 0; k < h; ++k) o.grad_b1[k] += dz1[k];
+  return loss;
+}
+
+}  // namespace
+
+AnnObject::AnnObject(int dim, int hidden, int classes)
+    : grad_w1(static_cast<std::size_t>(dim) * hidden),
+      grad_b1(static_cast<std::size_t>(hidden)),
+      grad_w2(static_cast<std::size_t>(hidden) * classes),
+      grad_b2(static_cast<std::size_t>(classes)) {}
+
+void AnnObject::serialize(util::ByteWriter& w) const {
+  w.put_vector(grad_w1);
+  w.put_vector(grad_b1);
+  w.put_vector(grad_w2);
+  w.put_vector(grad_b2);
+  w.put_f64(loss);
+  w.put_u64(examples);
+}
+
+void AnnObject::deserialize(util::ByteReader& r) {
+  grad_w1 = r.get_vector<double>();
+  grad_b1 = r.get_vector<double>();
+  grad_w2 = r.get_vector<double>();
+  grad_b2 = r.get_vector<double>();
+  loss = r.get_f64();
+  examples = r.get_u64();
+}
+
+AnnKernel::AnnKernel(AnnParams params) : params_(params) {
+  FGP_CHECK(params_.dim > 0 && params_.hidden > 0 && params_.classes > 1);
+  FGP_CHECK(params_.learning_rate > 0.0);
+  FGP_CHECK(params_.fixed_passes >= 1);
+  init_weights(params_, w1_, b1_, w2_, b2_);
+}
+
+std::unique_ptr<freeride::ReductionObject> AnnKernel::create_object() const {
+  return std::make_unique<AnnObject>(params_.dim, params_.hidden,
+                                     params_.classes);
+}
+
+sim::Work AnnKernel::process_chunk(const repository::Chunk& chunk,
+                                   freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<AnnObject&>(obj);
+  const auto rows = chunk.as_span<double>();
+  const std::size_t row = static_cast<std::size_t>(params_.dim) + 1;
+  FGP_CHECK_MSG(rows.size() % row == 0,
+                "chunk " << chunk.id() << " not labeled rows of dim+1");
+  const std::size_t count = rows.size() / row;
+
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* r = rows.data() + p * row;
+    o.loss += backprop_example(r + 1, static_cast<std::int32_t>(r[0]), w1_,
+                               b1_, w2_, b2_, params_.dim, params_.hidden,
+                               params_.classes, o);
+  }
+  o.examples += count;
+
+  // Forward + backward touch every weight ~4 times per example.
+  sim::Work w;
+  const double weights = static_cast<double>(w1_.size() + w2_.size());
+  w.flops = static_cast<double>(count) * weights * 4.0;
+  w.bytes = static_cast<double>(count) * row * sizeof(double) +
+            static_cast<double>(count) * weights * sizeof(double) * 0.5;
+  return w;
+}
+
+sim::Work AnnKernel::merge(freeride::ReductionObject& into,
+                           const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<AnnObject&>(into);
+  const auto& b = dynamic_cast<const AnnObject&>(other);
+  for (std::size_t i = 0; i < a.grad_w1.size(); ++i)
+    a.grad_w1[i] += b.grad_w1[i];
+  for (std::size_t i = 0; i < a.grad_b1.size(); ++i)
+    a.grad_b1[i] += b.grad_b1[i];
+  for (std::size_t i = 0; i < a.grad_w2.size(); ++i)
+    a.grad_w2[i] += b.grad_w2[i];
+  for (std::size_t i = 0; i < a.grad_b2.size(); ++i)
+    a.grad_b2[i] += b.grad_b2[i];
+  a.loss += b.loss;
+  a.examples += b.examples;
+  sim::Work w;
+  w.flops = static_cast<double>(a.grad_w1.size() + a.grad_w2.size());
+  w.bytes = w.flops * sizeof(double) * 2.0;
+  return w;
+}
+
+sim::Work AnnKernel::global_reduce(freeride::ReductionObject& merged,
+                                   bool& more_passes) {
+  auto& o = dynamic_cast<AnnObject&>(merged);
+  FGP_CHECK_MSG(o.examples > 0, "ANN pass saw no examples");
+  const double scale =
+      params_.learning_rate / static_cast<double>(o.examples);
+  for (std::size_t i = 0; i < w1_.size(); ++i) w1_[i] -= scale * o.grad_w1[i];
+  for (std::size_t i = 0; i < b1_.size(); ++i) b1_[i] -= scale * o.grad_b1[i];
+  for (std::size_t i = 0; i < w2_.size(); ++i) w2_[i] -= scale * o.grad_w2[i];
+  for (std::size_t i = 0; i < b2_.size(); ++i) b2_[i] -= scale * o.grad_b2[i];
+  loss_history_.push_back(o.loss / static_cast<double>(o.examples));
+  ++passes_run_;
+  more_passes = passes_run_ < params_.fixed_passes;
+
+  sim::Work w;
+  w.flops = static_cast<double>(w1_.size() + w2_.size()) * 2.0;
+  w.bytes = w.flops * sizeof(double);
+  return w;
+}
+
+double AnnKernel::broadcast_bytes() const {
+  return static_cast<double>(
+      (w1_.size() + b1_.size() + w2_.size() + b2_.size()) * sizeof(double));
+}
+
+std::int32_t AnnKernel::forward(const double* x, std::vector<double>& a1,
+                                std::vector<double>& p) const {
+  const auto d = static_cast<std::size_t>(params_.dim);
+  const auto h = static_cast<std::size_t>(params_.hidden);
+  const auto cc = static_cast<std::size_t>(params_.classes);
+  a1.resize(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    double z = b1_[k];
+    for (std::size_t j = 0; j < d; ++j) z += w1_[j * h + k] * x[j];
+    a1[k] = std::tanh(z);
+  }
+  p.resize(cc);
+  std::int32_t best = 0;
+  for (std::size_t c = 0; c < cc; ++c) {
+    double z = b2_[c];
+    for (std::size_t k = 0; k < h; ++k) z += w2_[k * cc + c] * a1[k];
+    p[c] = z;
+    if (z > p[static_cast<std::size_t>(best)])
+      best = static_cast<std::int32_t>(c);
+  }
+  return best;
+}
+
+std::int32_t AnnKernel::predict(const double* x) const {
+  std::vector<double> a1, p;
+  return forward(x, a1, p);
+}
+
+std::vector<double> ann_reference(const std::vector<double>& rows,
+                                  const AnnParams& params) {
+  std::vector<double> w1, b1, w2, b2;
+  init_weights(params, w1, b1, w2, b2);
+  const std::size_t row = static_cast<std::size_t>(params.dim) + 1;
+  FGP_CHECK(rows.size() % row == 0);
+  const std::size_t count = rows.size() / row;
+  FGP_CHECK(count > 0);
+
+  std::vector<double> history;
+  for (int pass = 0; pass < params.fixed_passes; ++pass) {
+    AnnObject grads(params.dim, params.hidden, params.classes);
+    for (std::size_t p = 0; p < count; ++p) {
+      const double* r = rows.data() + p * row;
+      grads.loss += backprop_example(r + 1, static_cast<std::int32_t>(r[0]),
+                                     w1, b1, w2, b2, params.dim,
+                                     params.hidden, params.classes, grads);
+    }
+    const double scale =
+        params.learning_rate / static_cast<double>(count);
+    for (std::size_t i = 0; i < w1.size(); ++i) w1[i] -= scale * grads.grad_w1[i];
+    for (std::size_t i = 0; i < b1.size(); ++i) b1[i] -= scale * grads.grad_b1[i];
+    for (std::size_t i = 0; i < w2.size(); ++i) w2[i] -= scale * grads.grad_w2[i];
+    for (std::size_t i = 0; i < b2.size(); ++i) b2[i] -= scale * grads.grad_b2[i];
+    history.push_back(grads.loss / static_cast<double>(count));
+  }
+  return history;
+}
+
+}  // namespace fgp::apps

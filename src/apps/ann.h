@@ -1,0 +1,83 @@
+// ann.h — artificial neural network training on the FREERIDE-G reduction
+// API (paper §2.2 lists "artificial neural networks" among the canonical
+// generalized-reduction algorithms).
+//
+// A one-hidden-layer classifier (tanh hidden units, softmax output)
+// trained by full-batch gradient descent: each pass, every node
+// accumulates the gradient of the cross-entropy loss over its local
+// labeled points into the reduction object (constant size — the weight
+// shapes); the global reduction sums node gradients, applies the update,
+// and broadcasts the new weights for the next pass.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "freeride/reduction.h"
+#include "repository/dataset.h"
+
+namespace fgp::apps {
+
+/// Gradient accumulator mirroring the network's parameter shapes.
+class AnnObject final : public freeride::ReductionObject {
+ public:
+  AnnObject() = default;
+  AnnObject(int dim, int hidden, int classes);
+
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  std::vector<double> grad_w1, grad_b1, grad_w2, grad_b2;
+  double loss = 0.0;
+  std::uint64_t examples = 0;
+};
+
+struct AnnParams {
+  int dim = 8;
+  int hidden = 16;
+  int classes = 4;
+  double learning_rate = 0.5;  ///< applied to the mean gradient
+  int fixed_passes = 20;
+  std::uint64_t seed = 5;  ///< weight initialization
+};
+
+class AnnKernel final : public freeride::ReductionKernel {
+ public:
+  explicit AnnKernel(AnnParams params);
+
+  std::string name() const override { return "ann"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  double broadcast_bytes() const override;
+  bool reduction_object_scales_with_data() const override { return false; }
+
+  /// Mean cross-entropy loss after each pass.
+  const std::vector<double>& loss_history() const { return loss_history_; }
+  int passes_run() const { return passes_run_; }
+
+  /// Classifies one feature vector with the current weights.
+  std::int32_t predict(const double* x) const;
+
+ private:
+  /// Forward pass; fills `hidden_out` (tanh activations) and
+  /// `class_probs` (softmax). Returns the argmax class.
+  std::int32_t forward(const double* x, std::vector<double>& hidden_out,
+                       std::vector<double>& class_probs) const;
+
+  AnnParams params_;
+  std::vector<double> w1_, b1_, w2_, b2_;
+  std::vector<double> loss_history_;
+  int passes_run_ = 0;
+};
+
+/// Serial reference: identical full-batch gradient descent over all rows
+/// ([label, features...] layout). Returns the loss history.
+std::vector<double> ann_reference(const std::vector<double>& rows,
+                                  const AnnParams& params);
+
+}  // namespace fgp::apps

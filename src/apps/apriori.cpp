@@ -1,0 +1,206 @@
+#include "apps/apriori.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "util/check.h"
+
+namespace fgp::apps {
+
+using datagen::Item;
+using datagen::Itemset;
+
+namespace {
+
+/// Two-pointer subset test over ascending item lists. Returns the number
+/// of comparisons performed (the real work the virtual CPU is charged).
+bool is_subset(std::span<const Item> needle, std::span<const Item> haystack,
+               std::size_t* comparisons) {
+  std::size_t i = 0, j = 0;
+  while (i < needle.size() && j < haystack.size()) {
+    ++*comparisons;
+    if (needle[i] == haystack[j]) {
+      ++i;
+      ++j;
+    } else if (needle[i] > haystack[j]) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return i == needle.size();
+}
+
+}  // namespace
+
+void AprioriObject::serialize(util::ByteWriter& w) const {
+  w.put_vector(counts);
+  w.put_u64(transactions);
+}
+
+void AprioriObject::deserialize(util::ByteReader& r) {
+  counts = r.get_vector<std::uint64_t>();
+  transactions = r.get_u64();
+}
+
+AprioriKernel::AprioriKernel(AprioriParams params) : params_(params) {
+  FGP_CHECK_MSG(params_.num_items > 0, "apriori needs the catalogue size");
+  FGP_CHECK(params_.min_support > 0.0 && params_.min_support <= 1.0);
+  FGP_CHECK(params_.max_level >= 1);
+  // Level-1 candidates: every single item.
+  candidates_.reserve(params_.num_items);
+  for (Item item = 0; item < params_.num_items; ++item)
+    candidates_.push_back({item});
+}
+
+std::unique_ptr<freeride::ReductionObject> AprioriKernel::create_object()
+    const {
+  return std::make_unique<AprioriObject>(candidates_.size());
+}
+
+sim::Work AprioriKernel::process_chunk(const repository::Chunk& chunk,
+                                       freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<AprioriObject&>(obj);
+  FGP_CHECK(o.counts.size() == candidates_.size());
+  const auto txns = datagen::parse_transactions(chunk);
+
+  std::size_t comparisons = 0;
+  for (const auto& txn : txns) {
+    for (std::size_t ci = 0; ci < candidates_.size(); ++ci) {
+      if (candidates_[ci].size() > txn.items.size()) continue;
+      if (is_subset(candidates_[ci], txn.items, &comparisons))
+        o.counts[ci] += 1;
+    }
+  }
+  o.transactions += txns.size();
+
+  sim::Work w;
+  w.flops = static_cast<double>(comparisons) * 2.0;
+  w.bytes = static_cast<double>(chunk.real_bytes()) +
+            static_cast<double>(comparisons) * sizeof(Item);
+  return w;
+}
+
+sim::Work AprioriKernel::merge(freeride::ReductionObject& into,
+                               const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<AprioriObject&>(into);
+  const auto& b = dynamic_cast<const AprioriObject&>(other);
+  FGP_CHECK(a.counts.size() == b.counts.size());
+  for (std::size_t i = 0; i < a.counts.size(); ++i) a.counts[i] += b.counts[i];
+  a.transactions += b.transactions;
+  sim::Work w;
+  w.flops = static_cast<double>(a.counts.size());
+  w.bytes = static_cast<double>(a.counts.size()) * sizeof(std::uint64_t) * 2;
+  return w;
+}
+
+sim::Work AprioriKernel::global_reduce(freeride::ReductionObject& merged,
+                                       bool& more_passes) {
+  auto& o = dynamic_cast<AprioriObject&>(merged);
+  FGP_CHECK_MSG(o.transactions > 0, "apriori needs transactions");
+  const auto threshold = static_cast<std::uint64_t>(
+      params_.min_support * static_cast<double>(o.transactions));
+
+  std::vector<Itemset> survivors;
+  for (std::size_t ci = 0; ci < candidates_.size(); ++ci) {
+    if (o.counts[ci] >= threshold && o.counts[ci] > 0) {
+      survivors.push_back(candidates_[ci]);
+      frequent_.push_back({candidates_[ci], o.counts[ci]});
+    }
+  }
+
+  double gen_work = static_cast<double>(candidates_.size());
+  if (level_ < params_.max_level) {
+    candidates_ = apriori_generate_candidates(survivors);
+    gen_work += static_cast<double>(survivors.size()) *
+                static_cast<double>(survivors.size());
+  } else {
+    candidates_.clear();
+  }
+  ++level_;
+  more_passes = !candidates_.empty();
+
+  sim::Work w;
+  w.flops = gen_work * 4.0;
+  w.bytes = gen_work * sizeof(Item) * 4.0;
+  return w;
+}
+
+double AprioriKernel::broadcast_bytes() const {
+  double bytes = 0.0;
+  for (const auto& c : candidates_)
+    bytes += static_cast<double>(c.size() * sizeof(Item) + sizeof(std::uint16_t));
+  return bytes;
+}
+
+std::vector<Itemset> apriori_generate_candidates(
+    const std::vector<Itemset>& frequent_level) {
+  // Inputs are lexicographically sorted (construction preserves order).
+  std::vector<Itemset> candidates;
+  for (std::size_t i = 0; i < frequent_level.size(); ++i) {
+    for (std::size_t j = i + 1; j < frequent_level.size(); ++j) {
+      const Itemset& a = frequent_level[i];
+      const Itemset& b = frequent_level[j];
+      // Join condition: equal (k-1)-prefix, b's last item greater.
+      if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) break;
+      Itemset joined = a;
+      joined.push_back(b.back());
+
+      // Downward closure: every k-subset must be frequent.
+      bool all_frequent = true;
+      for (std::size_t drop = 0; drop + 1 < joined.size() && all_frequent;
+           ++drop) {
+        Itemset subset;
+        for (std::size_t x = 0; x < joined.size(); ++x)
+          if (x != drop) subset.push_back(joined[x]);
+        all_frequent = std::binary_search(frequent_level.begin(),
+                                          frequent_level.end(), subset);
+      }
+      if (all_frequent) candidates.push_back(std::move(joined));
+    }
+  }
+  return candidates;
+}
+
+std::vector<FrequentItemset> apriori_reference(
+    const datagen::TransactionsDataset& data, double min_support,
+    int max_level) {
+  // Exhaustive subset enumeration — exponential, test-scale only.
+  std::map<Itemset, std::uint64_t> counts;
+  std::uint64_t transactions = 0;
+  for (const auto& chunk : data.dataset.chunks()) {
+    for (const auto& txn : datagen::parse_transactions(chunk)) {
+      ++transactions;
+      const auto& items = txn.items;
+      // Enumerate subsets of size 1..max_level via index recursion.
+      std::vector<std::size_t> stack;
+      std::vector<Item> current;
+      std::function<void(std::size_t)> recurse = [&](std::size_t start) {
+        if (!current.empty()) counts[Itemset(current)] += 1;
+        if (static_cast<int>(current.size()) == max_level) return;
+        for (std::size_t k = start; k < items.size(); ++k) {
+          current.push_back(items[k]);
+          recurse(k + 1);
+          current.pop_back();
+        }
+      };
+      recurse(0);
+    }
+  }
+  const auto threshold = static_cast<std::uint64_t>(
+      min_support * static_cast<double>(transactions));
+  std::vector<FrequentItemset> out;
+  for (const auto& [items, count] : counts)
+    if (count >= threshold && count > 0) out.push_back({items, count});
+  // Level-major, lexicographic within a level (matches the kernel's order).
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size())
+                return a.items.size() < b.items.size();
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace fgp::apps

@@ -1,0 +1,91 @@
+// apriori.h — apriori association mining on the FREERIDE-G reduction API.
+//
+// Paper §2.2 names apriori as one of the "popular algorithms" whose
+// processing structure is a generalized reduction. The classic level-wise
+// algorithm maps onto the middleware as one pass per itemset length: the
+// master broadcasts the candidate set C_k, every node counts supports of
+// its local transactions into the reduction object (a counts vector
+// aligned with C_k), the global reduction filters by minimum support and
+// generates C_{k+1} by join + downward-closure pruning, and the loop ends
+// when no candidates survive. A genuinely multi-pass application whose
+// reduction-object size varies per pass but is independent of dataset
+// size and node count (constant class / linear-constant global class).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "datagen/transactions.h"
+#include "freeride/reduction.h"
+
+namespace fgp::apps {
+
+/// Reduction object: one support counter per current candidate.
+class AprioriObject final : public freeride::ReductionObject {
+ public:
+  AprioriObject() = default;
+  explicit AprioriObject(std::size_t candidates) : counts(candidates) {}
+
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  std::vector<std::uint64_t> counts;
+  std::uint64_t transactions = 0;
+};
+
+/// A frequent itemset with its absolute support.
+struct FrequentItemset {
+  datagen::Itemset items;
+  std::uint64_t support = 0;
+};
+
+struct AprioriParams {
+  datagen::Item num_items = 0;  ///< catalogue size (level-1 candidates)
+  double min_support = 0.08;    ///< fraction of transactions
+  int max_level = 4;            ///< longest itemset mined
+};
+
+class AprioriKernel final : public freeride::ReductionKernel {
+ public:
+  explicit AprioriKernel(AprioriParams params);
+
+  std::string name() const override { return "apriori"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  double broadcast_bytes() const override;
+  bool reduction_object_scales_with_data() const override { return false; }
+
+  /// All frequent itemsets found so far, level by level, lexicographic
+  /// within a level.
+  const std::vector<FrequentItemset>& frequent_itemsets() const {
+    return frequent_;
+  }
+  int level() const { return level_; }
+  const std::vector<datagen::Itemset>& candidates() const {
+    return candidates_;
+  }
+
+ private:
+  AprioriParams params_;
+  int level_ = 1;
+  std::vector<datagen::Itemset> candidates_;
+  std::vector<FrequentItemset> frequent_;
+};
+
+/// Candidate generation: joins frequent k-itemsets sharing a (k-1)-prefix
+/// and prunes candidates with an infrequent k-subset (downward closure).
+/// Exposed for testing.
+std::vector<datagen::Itemset> apriori_generate_candidates(
+    const std::vector<datagen::Itemset>& frequent_level);
+
+/// Serial reference: exhaustive subset counting up to `max_level`.
+std::vector<FrequentItemset> apriori_reference(
+    const datagen::TransactionsDataset& data, double min_support,
+    int max_level);
+
+}  // namespace fgp::apps

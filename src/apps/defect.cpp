@@ -1,0 +1,351 @@
+#include "apps/defect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace fgp::apps {
+
+namespace {
+
+constexpr std::uint8_t kNoDefect = 255;
+
+/// Packs a lattice cell into one 64-bit key (coordinates < 2^20).
+std::uint64_t cell_key(std::int64_t x, std::int64_t y, std::int64_t z) {
+  return (static_cast<std::uint64_t>(x & 0xFFFFF) << 40) |
+         (static_cast<std::uint64_t>(y & 0xFFFFF) << 20) |
+         static_cast<std::uint64_t>(z & 0xFFFFF);
+}
+
+/// Sorts a structure's flattened cells as (x, y, z) triples.
+void sort_cells(std::vector<std::int32_t>& cells) {
+  FGP_CHECK(cells.size() % 3 == 0);
+  const std::size_t n = cells.size() / 3;
+  std::vector<std::array<std::int32_t, 3>> triples(n);
+  for (std::size_t i = 0; i < n; ++i)
+    triples[i] = {cells[3 * i], cells[3 * i + 1], cells[3 * i + 2]};
+  std::sort(triples.begin(), triples.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    cells[3 * i] = triples[i][0];
+    cells[3 * i + 1] = triples[i][1];
+    cells[3 * i + 2] = triples[i][2];
+  }
+}
+
+/// Detection + local aggregation over one slab's cells. `kind_of` maps a
+/// slab-local cell index to its defect kind (or kNoDefect).
+std::vector<DefectStruct> aggregate_slab(
+    const datagen::LatticeChunkHeader& h,
+    const std::vector<std::uint8_t>& kind_of) {
+  const std::size_t nx = h.nx, ny = h.ny, nz = h.zslabs;
+  auto idx_of = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  util::UnionFind uf(nx * ny * nz);
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t i = idx_of(x, y, z);
+        if (kind_of[i] == kNoDefect) continue;
+        if (x + 1 < nx && kind_of[idx_of(x + 1, y, z)] == kind_of[i])
+          uf.unite(i, idx_of(x + 1, y, z));
+        if (y + 1 < ny && kind_of[idx_of(x, y + 1, z)] == kind_of[i])
+          uf.unite(i, idx_of(x, y + 1, z));
+        if (z + 1 < nz && kind_of[idx_of(x, y, z + 1)] == kind_of[i])
+          uf.unite(i, idx_of(x, y, z + 1));
+      }
+
+  std::unordered_map<std::size_t, std::size_t> root_to_struct;
+  std::vector<DefectStruct> out;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t i = idx_of(x, y, z);
+        if (kind_of[i] == kNoDefect) continue;
+        const std::size_t root = uf.find(i);
+        auto [it, inserted] = root_to_struct.try_emplace(root, out.size());
+        if (inserted) {
+          DefectStruct s;
+          s.kind = kind_of[i];
+          out.push_back(std::move(s));
+        }
+        auto& cells = out[it->second].cells;
+        cells.push_back(static_cast<std::int32_t>(x));
+        cells.push_back(static_cast<std::int32_t>(y));
+        cells.push_back(static_cast<std::int32_t>(h.z0 + z));
+      }
+  return out;
+}
+
+/// Marks every cell of one slab: occupancy count plus off-site flag.
+std::vector<std::uint8_t> detect_slab(const datagen::LatticeChunkView& view) {
+  const auto& h = view.header;
+  const std::size_t cells =
+      static_cast<std::size_t>(h.nx) * h.ny * h.zslabs;
+  std::vector<std::uint16_t> occupancy(cells, 0);
+  std::vector<std::uint8_t> displaced(cells, 0);
+  const double tol2 = static_cast<double>(h.displacement_tol) *
+                      static_cast<double>(h.displacement_tol);
+
+  for (const auto& a : view.atoms) {
+    const auto ix = static_cast<std::int64_t>(std::lround(a.x));
+    const auto iy = static_cast<std::int64_t>(std::lround(a.y));
+    const auto iz = static_cast<std::int64_t>(std::lround(a.z));
+    FGP_CHECK_MSG(ix >= 0 && ix < h.nx && iy >= 0 && iy < h.ny &&
+                      iz >= h.z0 && iz < h.z0 + h.zslabs,
+                  "atom outside its slab: (" << a.x << ", " << a.y << ", "
+                                             << a.z << ")");
+    const std::size_t i =
+        ((static_cast<std::size_t>(iz - h.z0) * h.ny + iy) * h.nx) + ix;
+    occupancy[i] += 1;
+    const double dx = a.x - static_cast<double>(ix);
+    const double dy = a.y - static_cast<double>(iy);
+    const double dz = a.z - static_cast<double>(iz);
+    if (dx * dx + dy * dy + dz * dz > tol2) displaced[i] = 1;
+  }
+
+  std::vector<std::uint8_t> kind_of(cells, kNoDefect);
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (occupancy[i] == 0)
+      kind_of[i] = static_cast<std::uint8_t>(datagen::DefectKind::Vacancy);
+    else if (occupancy[i] >= 2)
+      kind_of[i] =
+          static_cast<std::uint8_t>(datagen::DefectKind::Interstitial);
+    else if (displaced[i])
+      kind_of[i] = static_cast<std::uint8_t>(datagen::DefectKind::Displaced);
+  }
+  return kind_of;
+}
+
+/// Joins structures whose same-kind cells are face-adjacent, then sorts
+/// each joined structure's cells and the whole list by minimum cell.
+std::vector<DefectStruct> join_structures(std::vector<DefectStruct> input) {
+  std::unordered_map<std::uint64_t, std::size_t> owner;
+  for (std::size_t i = 0; i < input.size(); ++i)
+    for (std::size_t c = 0; c + 2 < input[i].cells.size() + 1; c += 3)
+      owner.emplace(cell_key(input[i].cells[c], input[i].cells[c + 1],
+                             input[i].cells[c + 2]),
+                    i);
+
+  util::UnionFind uf(input.size());
+  static constexpr int kDirs[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    for (std::size_t c = 0; c + 2 < input[i].cells.size() + 1; c += 3) {
+      for (const auto& d : kDirs) {
+        const auto it = owner.find(cell_key(input[i].cells[c] + d[0],
+                                            input[i].cells[c + 1] + d[1],
+                                            input[i].cells[c + 2] + d[2]));
+        if (it != owner.end() && it->second != i &&
+            input[it->second].kind == input[i].kind)
+          uf.unite(i, it->second);
+      }
+    }
+  }
+
+  std::unordered_map<std::size_t, std::size_t> root_to_out;
+  std::vector<DefectStruct> out;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto [it, inserted] = root_to_out.try_emplace(root, out.size());
+    if (inserted) {
+      DefectStruct s;
+      s.kind = input[i].kind;
+      out.push_back(std::move(s));
+    }
+    auto& cells = out[it->second].cells;
+    cells.insert(cells.end(), input[i].cells.begin(), input[i].cells.end());
+  }
+  for (auto& s : out) sort_cells(s.cells);
+  std::sort(out.begin(), out.end(), [](const DefectStruct& a,
+                                       const DefectStruct& b) {
+    return a.cells < b.cells;
+  });
+  return out;
+}
+
+std::vector<CategorizedDefect> categorize(
+    const std::vector<DefectStruct>& structures,
+    std::map<DefectSignature, std::uint32_t>& catalog,
+    std::uint32_t& next_class, int& new_classes) {
+  std::vector<CategorizedDefect> out;
+  for (const auto& s : structures) {
+    const DefectSignature sig = defect_signature(s.kind, s.cells);
+    auto [it, inserted] = catalog.try_emplace(sig, next_class);
+    if (inserted) {
+      ++next_class;
+      ++new_classes;
+    }
+    CategorizedDefect cd;
+    cd.class_id = it->second;
+    cd.kind = s.kind;
+    cd.cell_count = s.cells.size() / 3;
+    cd.cells = s.cells;
+    for (std::size_t c = 0; c + 2 < s.cells.size() + 1; c += 3) {
+      cd.cx += s.cells[c];
+      cd.cy += s.cells[c + 1];
+      cd.cz += s.cells[c + 2];
+    }
+    cd.cx /= static_cast<double>(cd.cell_count);
+    cd.cy /= static_cast<double>(cd.cell_count);
+    cd.cz /= static_cast<double>(cd.cell_count);
+    out.push_back(std::move(cd));
+  }
+  return out;
+}
+
+}  // namespace
+
+DefectSignature defect_signature(std::uint8_t kind,
+                                 const std::vector<std::int32_t>& cells) {
+  FGP_CHECK(!cells.empty() && cells.size() % 3 == 0);
+  std::int32_t mn[3] = {cells[0], cells[1], cells[2]};
+  for (std::size_t c = 0; c < cells.size(); c += 3)
+    for (int j = 0; j < 3; ++j) mn[j] = std::min(mn[j], cells[c + j]);
+  DefectSignature sig;
+  sig.reserve(cells.size() + 1);
+  sig.push_back(static_cast<std::int32_t>(kind));
+  for (std::size_t c = 0; c < cells.size(); c += 3)
+    for (int j = 0; j < 3; ++j) sig.push_back(cells[c + j] - mn[j]);
+  // Cells are kept sorted, so equal shapes produce equal signatures.
+  return sig;
+}
+
+void DefectObject::serialize(util::ByteWriter& w) const {
+  w.put_u64(structures.size());
+  for (const auto& s : structures) {
+    w.put<std::uint8_t>(s.kind);
+    w.put_vector(s.cells);
+  }
+  w.put_u64(categorized.size());
+  for (const auto& cd : categorized) {
+    w.put_u32(cd.class_id);
+    w.put<std::uint8_t>(cd.kind);
+    w.put_u64(cd.cell_count);
+    w.put_f64(cd.cx);
+    w.put_f64(cd.cy);
+    w.put_f64(cd.cz);
+    w.put_vector(cd.cells);
+  }
+}
+
+void DefectObject::deserialize(util::ByteReader& r) {
+  structures.clear();
+  categorized.clear();
+  const std::uint64_t ns = r.get_u64();
+  structures.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    DefectStruct s;
+    s.kind = r.get<std::uint8_t>();
+    s.cells = r.get_vector<std::int32_t>();
+    structures.push_back(std::move(s));
+  }
+  const std::uint64_t nc = r.get_u64();
+  categorized.reserve(nc);
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    CategorizedDefect cd;
+    cd.class_id = r.get_u32();
+    cd.kind = r.get<std::uint8_t>();
+    cd.cell_count = r.get_u64();
+    cd.cx = r.get_f64();
+    cd.cy = r.get_f64();
+    cd.cz = r.get_f64();
+    cd.cells = r.get_vector<std::int32_t>();
+    categorized.push_back(std::move(cd));
+  }
+}
+
+DefectKernel::DefectKernel(DefectParams params)
+    : catalog_(std::move(params.initial_catalog)) {
+  for (const auto& [sig, id] : catalog_)
+    next_class_ = std::max(next_class_, id + 1);
+}
+
+std::unique_ptr<freeride::ReductionObject> DefectKernel::create_object() const {
+  return std::make_unique<DefectObject>();
+}
+
+sim::Work DefectKernel::process_chunk(const repository::Chunk& chunk,
+                                      freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<DefectObject&>(obj);
+  const auto view = datagen::parse_lattice_chunk(chunk);
+  const auto kind_of = detect_slab(view);
+  auto structures = aggregate_slab(view.header, kind_of);
+  for (auto& s : structures) o.structures.push_back(std::move(s));
+
+  // Occupancy binning, per-atom displacement checks and the neighbourhood
+  // sweep are the dominant costs of detection; categorization adds a
+  // per-cell aggregation pass.
+  const double cells = static_cast<double>(kind_of.size());
+  sim::Work w;
+  w.flops = static_cast<double>(view.atoms.size()) * 40.0 + cells * 12.0;
+  w.bytes = static_cast<double>(view.atoms.size()) * 2.0 *
+                sizeof(datagen::Atom) +
+            cells * 6.0;
+  return w;
+}
+
+sim::Work DefectKernel::merge(freeride::ReductionObject& into,
+                              const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<DefectObject&>(into);
+  const auto& b = dynamic_cast<const DefectObject&>(other);
+  double moved = 0.0;
+  for (const auto& s : b.structures) {
+    moved += static_cast<double>(s.cells.size() * sizeof(std::int32_t) + 8);
+    a.structures.push_back(s);
+  }
+  sim::Work w;
+  w.flops = static_cast<double>(b.structures.size()) * 2.0;
+  w.bytes = moved * 2.0;
+  return w;
+}
+
+sim::Work DefectKernel::global_reduce(freeride::ReductionObject& merged,
+                                      bool& more_passes) {
+  auto& o = dynamic_cast<DefectObject&>(merged);
+  more_passes = false;
+  new_classes_ = 0;
+
+  double total_cells = 0.0;
+  for (const auto& s : o.structures)
+    total_cells += static_cast<double>(s.cells.size() / 3);
+
+  auto joined = join_structures(o.structures);
+  o.categorized = categorize(joined, catalog_, next_class_, new_classes_);
+
+  sim::Work w;
+  w.flops = total_cells * 10.0 +
+            static_cast<double>(joined.size()) * 16.0;
+  w.bytes = total_cells * sizeof(std::int32_t) * 6.0;
+  return w;
+}
+
+double DefectKernel::broadcast_bytes() const {
+  double bytes = 0.0;
+  for (const auto& [sig, id] : catalog_)
+    bytes += static_cast<double>(sig.size() * sizeof(std::int32_t) +
+                                 sizeof(std::uint32_t));
+  return bytes;
+}
+
+std::vector<CategorizedDefect> defect_reference(
+    const datagen::LatticeDataset& lattice) {
+  // Detect per slab exactly as the kernel does, then join and categorize
+  // globally from an empty catalog.
+  std::vector<DefectStruct> all;
+  for (const auto& chunk : lattice.dataset.chunks()) {
+    const auto view = datagen::parse_lattice_chunk(chunk);
+    const auto kind_of = detect_slab(view);
+    auto structures = aggregate_slab(view.header, kind_of);
+    for (auto& s : structures) all.push_back(std::move(s));
+  }
+  auto joined = join_structures(std::move(all));
+  std::map<DefectSignature, std::uint32_t> catalog;
+  std::uint32_t next_class = 0;
+  int new_classes = 0;
+  return categorize(joined, catalog, next_class, new_classes);
+}
+
+}  // namespace fgp::apps

@@ -1,0 +1,98 @@
+// defect.h — molecular defect detection and categorization on the
+// FREERIDE-G reduction API (paper §4.5, after Mehta et al.).
+//
+// Detection marks lattice cells as defective (vacancy: unoccupied site;
+// interstitial: doubly-occupied cell; displaced: atom off its site beyond
+// the tolerance) and clusters them into defect structures locally per
+// z-slab. The global combination joins structures spanning slabs, then
+// the categorization phase matches each structure's translation-normalized
+// shape signature against the defect catalog — unmatched shapes get new
+// class ids (the paper's "defect catalog update"), and the updated catalog
+// is re-broadcast to the compute nodes.
+//
+// The reduction object carries every local defect structure, so its size
+// tracks local data — "linear object size" class, "constant-linear" global
+// reduction class.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "datagen/lattice.h"
+#include "freeride/reduction.h"
+
+namespace fgp::apps {
+
+/// One (possibly partial) defect structure: its kind and the absolute
+/// lattice cells it occupies, stored as flattened (x, y, z) triples.
+struct DefectStruct {
+  std::uint8_t kind = 0;  ///< datagen::DefectKind
+  std::vector<std::int32_t> cells;
+};
+
+/// A categorized defect after the global combine.
+struct CategorizedDefect {
+  std::uint32_t class_id = 0;
+  std::uint8_t kind = 0;
+  std::uint64_t cell_count = 0;
+  double cx = 0.0, cy = 0.0, cz = 0.0;
+  std::vector<std::int32_t> cells;  ///< flattened (x, y, z) triples
+};
+
+class DefectObject final : public freeride::ReductionObject {
+ public:
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  std::vector<DefectStruct> structures;
+  /// Filled by the global reduction.
+  std::vector<CategorizedDefect> categorized;
+};
+
+/// Translation-normalized shape signature: kind, then the sorted cell
+/// offsets relative to the structure's minimum corner.
+using DefectSignature = std::vector<std::int32_t>;
+DefectSignature defect_signature(std::uint8_t kind,
+                                 const std::vector<std::int32_t>& cells);
+
+struct DefectParams {
+  /// Pre-seeded catalog entries (signature -> class id); usually empty.
+  std::map<DefectSignature, std::uint32_t> initial_catalog;
+};
+
+class DefectKernel final : public freeride::ReductionKernel {
+ public:
+  explicit DefectKernel(DefectParams params = {});
+
+  std::string name() const override { return "defect"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  double broadcast_bytes() const override;
+  bool reduction_object_scales_with_data() const override { return true; }
+
+  const std::map<DefectSignature, std::uint32_t>& catalog() const {
+    return catalog_;
+  }
+  /// Classes added by the latest global reduction (catalog updates).
+  int new_classes() const { return new_classes_; }
+
+ private:
+  std::map<DefectSignature, std::uint32_t> catalog_;
+  std::uint32_t next_class_ = 0;
+  int new_classes_ = 0;
+};
+
+/// Serial reference: detection + join + categorization over the whole
+/// lattice with a single global pass. Returns categorized defects sorted
+/// by minimum cell, with classes assigned in that order from an empty
+/// catalog.
+std::vector<CategorizedDefect> defect_reference(
+    const datagen::LatticeDataset& lattice);
+
+}  // namespace fgp::apps

@@ -1,0 +1,286 @@
+#include "apps/em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace fgp::apps {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+constexpr double kVarFloor = 1e-6;
+
+/// E-step for one point: fills `logp[c]` with log(w_c * N(x | mu_c, var_c))
+/// and returns the log of their sum (the point's log-likelihood).
+double point_log_densities(const double* x, std::size_t d, std::size_t g,
+                           const std::vector<double>& means,
+                           const std::vector<double>& vars,
+                           const std::vector<double>& weights,
+                           std::vector<double>& logp) {
+  for (std::size_t c = 0; c < g; ++c) {
+    double quad = 0.0;
+    double logdet = 0.0;
+    const double* mu = means.data() + c * d;
+    const double* var = vars.data() + c * d;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = x[j] - mu[j];
+      quad += diff * diff / var[j];
+      logdet += std::log(var[j]);
+    }
+    logp[c] = std::log(weights[c]) -
+              0.5 * (quad + logdet + static_cast<double>(d) * kLog2Pi);
+  }
+  const double mx = *std::max_element(logp.begin(), logp.begin() + g);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < g; ++c) sum += std::exp(logp[c] - mx);
+  return mx + std::log(sum);
+}
+
+}  // namespace
+
+void EMObject::serialize(util::ByteWriter& w) const {
+  w.put_vector(resp);
+  w.put_vector(sum_x);
+  w.put_vector(sum_x2);
+  w.put_f64(loglik);
+  w.put_u64(points);
+  w.put_u64(labels.size());
+  for (const auto& [chunk_id, lbls] : labels) {
+    w.put_u64(chunk_id);
+    w.put_vector(lbls);
+  }
+}
+
+void EMObject::deserialize(util::ByteReader& r) {
+  resp = r.get_vector<double>();
+  sum_x = r.get_vector<double>();
+  sum_x2 = r.get_vector<double>();
+  loglik = r.get_f64();
+  points = r.get_u64();
+  labels.clear();
+  const std::uint64_t n = r.get_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t chunk_id = r.get_u64();
+    labels[chunk_id] = r.get_vector<std::uint8_t>();
+  }
+}
+
+EMKernel::EMKernel(EMParams params) : params_(std::move(params)) {
+  FGP_CHECK(params_.g > 0 && params_.dim > 0);
+  FGP_CHECK_MSG(params_.initial_means.size() ==
+                    static_cast<std::size_t>(params_.g) * params_.dim,
+                "initial_means must be g x dim");
+  FGP_CHECK(params_.initial_variance > 0.0);
+  means_ = params_.initial_means;
+  vars_.assign(static_cast<std::size_t>(params_.g) * params_.dim,
+               params_.initial_variance);
+  weights_.assign(static_cast<std::size_t>(params_.g),
+                  1.0 / static_cast<double>(params_.g));
+}
+
+std::unique_ptr<freeride::ReductionObject> EMKernel::create_object() const {
+  return std::make_unique<EMObject>(params_.g, params_.dim);
+}
+
+sim::Work EMKernel::process_chunk(const repository::Chunk& chunk,
+                                  freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<EMObject&>(obj);
+  const auto points = chunk.as_span<double>();
+  const std::size_t d = static_cast<std::size_t>(params_.dim);
+  const std::size_t g = static_cast<std::size_t>(params_.g);
+  FGP_CHECK(points.size() % d == 0);
+  const std::size_t count = points.size() / d;
+
+  std::vector<double> logp(g);
+  std::vector<std::uint8_t> lbls(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* x = points.data() + p * d;
+    const double lse =
+        point_log_densities(x, d, g, means_, vars_, weights_, logp);
+    o.loglik += lse;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < g; ++c) {
+      const double r = std::exp(logp[c] - lse);  // responsibility
+      o.resp[c] += r;
+      double* sx = o.sum_x.data() + c * d;
+      double* sx2 = o.sum_x2.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        sx[j] += r * x[j];
+        sx2[j] += r * x[j] * x[j];
+      }
+      if (logp[c] > logp[best]) best = c;
+    }
+    lbls[p] = static_cast<std::uint8_t>(best);
+  }
+  o.points += count;
+  FGP_CHECK_MSG(!o.labels.count(chunk.id()),
+                "chunk " << chunk.id() << " processed twice into one object");
+  o.labels[chunk.id()] = std::move(lbls);
+
+  // log/exp-heavy E-step: ~8 flops per component-coordinate, plus the
+  // per-component softmax.
+  sim::Work w;
+  w.flops = static_cast<double>(count) * static_cast<double>(g) *
+            (static_cast<double>(d) * 8.0 + 12.0);
+  w.bytes = static_cast<double>(count) * static_cast<double>(d) *
+            sizeof(double);
+  return w;
+}
+
+sim::Work EMKernel::merge(freeride::ReductionObject& into,
+                          const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<EMObject&>(into);
+  const auto& b = dynamic_cast<const EMObject&>(other);
+  FGP_CHECK(a.resp.size() == b.resp.size());
+  for (std::size_t i = 0; i < a.resp.size(); ++i) a.resp[i] += b.resp[i];
+  for (std::size_t i = 0; i < a.sum_x.size(); ++i) {
+    a.sum_x[i] += b.sum_x[i];
+    a.sum_x2[i] += b.sum_x2[i];
+  }
+  a.loglik += b.loglik;
+  a.points += b.points;
+  double label_bytes = 0.0;
+  for (const auto& [chunk_id, lbls] : b.labels) {
+    FGP_CHECK_MSG(!a.labels.count(chunk_id),
+                  "chunk " << chunk_id << " present in both reduction objects");
+    a.labels[chunk_id] = lbls;
+    label_bytes += static_cast<double>(lbls.size());
+  }
+
+  sim::Work w;
+  w.flops = static_cast<double>(a.sum_x.size() * 2 + a.resp.size());
+  w.bytes = static_cast<double>(a.sum_x.size()) * sizeof(double) * 4 +
+            label_bytes * 2.0;
+  return w;
+}
+
+sim::Work EMKernel::global_reduce(freeride::ReductionObject& merged,
+                                  bool& more_passes) {
+  auto& o = dynamic_cast<EMObject&>(merged);
+  const std::size_t d = static_cast<std::size_t>(params_.dim);
+  const std::size_t g = static_cast<std::size_t>(params_.g);
+  const double total = static_cast<double>(o.points);
+  FGP_CHECK_MSG(total > 0, "EM global reduction on zero points");
+
+  // M step.
+  std::size_t heaviest = 0;
+  for (std::size_t c = 0; c < g; ++c)
+    if (o.resp[c] > o.resp[heaviest]) heaviest = c;
+  for (std::size_t c = 0; c < g; ++c) {
+    if (o.resp[c] < params_.reseed_fraction * total) {
+      // Starved component: reseed near the heaviest component.
+      for (std::size_t j = 0; j < d; ++j) {
+        means_[c * d + j] =
+            o.sum_x[heaviest * d + j] / o.resp[heaviest] +
+            0.5 * static_cast<double>(c + 1) / static_cast<double>(g);
+        vars_[c * d + j] = params_.initial_variance;
+      }
+      weights_[c] = 1.0 / total;
+      ++reseeds_;
+      continue;
+    }
+    weights_[c] = o.resp[c] / total;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double mu = o.sum_x[c * d + j] / o.resp[c];
+      means_[c * d + j] = mu;
+      vars_[c * d + j] =
+          std::max(kVarFloor, o.sum_x2[c * d + j] / o.resp[c] - mu * mu);
+    }
+  }
+
+  // Assignment-stability diagnostic from the shipped labels.
+  std::uint64_t changed = 0, compared = 0;
+  for (const auto& [chunk_id, lbls] : o.labels) {
+    auto it = prev_labels_.find(chunk_id);
+    if (it == prev_labels_.end() || it->second.size() != lbls.size()) continue;
+    for (std::size_t i = 0; i < lbls.size(); ++i)
+      changed += lbls[i] != it->second[i];
+    compared += lbls.size();
+  }
+  label_change_fraction_ =
+      compared > 0 ? static_cast<double>(changed) / static_cast<double>(compared)
+                   : 1.0;
+  prev_labels_ = o.labels;
+
+  const double prev =
+      loglik_history_.empty() ? -std::numeric_limits<double>::max()
+                              : loglik_history_.back();
+  loglik_history_.push_back(o.loglik);
+  ++passes_run_;
+
+  if (params_.fixed_passes > 0) {
+    more_passes = passes_run_ < params_.fixed_passes;
+  } else {
+    const double improvement = o.loglik - prev;
+    more_passes = improvement > params_.tol * std::abs(o.loglik);
+  }
+
+  sim::Work w;
+  w.flops = static_cast<double>(g * d * 6);
+  // Label comparison sweeps the whole label volume.
+  w.bytes = static_cast<double>(o.points) * 2.0 +
+            static_cast<double>(g * d) * sizeof(double) * 4;
+  return w;
+}
+
+double EMKernel::broadcast_bytes() const {
+  return static_cast<double>((means_.size() + vars_.size()) * sizeof(double) +
+                             weights_.size() * sizeof(double));
+}
+
+std::vector<double> em_reference(const std::vector<double>& points, int dim,
+                                 int g, std::vector<double> means,
+                                 double initial_variance, double tol,
+                                 int max_passes) {
+  FGP_CHECK(dim > 0 && g > 0);
+  const std::size_t d = static_cast<std::size_t>(dim);
+  const std::size_t gc = static_cast<std::size_t>(g);
+  FGP_CHECK(points.size() % d == 0);
+  const std::size_t count = points.size() / d;
+  FGP_CHECK(count > 0);
+
+  std::vector<double> vars(gc * d, initial_variance);
+  std::vector<double> weights(gc, 1.0 / static_cast<double>(g));
+  std::vector<double> history;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    std::vector<double> resp(gc, 0.0), sum_x(gc * d, 0.0), sum_x2(gc * d, 0.0);
+    std::vector<double> logp(gc);
+    double loglik = 0.0;
+    for (std::size_t p = 0; p < count; ++p) {
+      const double* x = points.data() + p * d;
+      const double lse =
+          point_log_densities(x, d, gc, means, vars, weights, logp);
+      loglik += lse;
+      for (std::size_t c = 0; c < gc; ++c) {
+        const double r = std::exp(logp[c] - lse);
+        resp[c] += r;
+        for (std::size_t j = 0; j < d; ++j) {
+          sum_x[c * d + j] += r * x[j];
+          sum_x2[c * d + j] += r * x[j] * x[j];
+        }
+      }
+    }
+    const double prev =
+        history.empty() ? -std::numeric_limits<double>::max() : history.back();
+    history.push_back(loglik);
+
+    for (std::size_t c = 0; c < gc; ++c) {
+      if (resp[c] < 1e-12) continue;
+      weights[c] = resp[c] / static_cast<double>(count);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double mu = sum_x[c * d + j] / resp[c];
+        means[c * d + j] = mu;
+        vars[c * d + j] =
+            std::max(kVarFloor, sum_x2[c * d + j] / resp[c] - mu * mu);
+      }
+    }
+    if (loglik - prev <= tol * std::abs(loglik)) break;
+  }
+  return history;
+}
+
+}  // namespace fgp::apps

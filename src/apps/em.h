@@ -1,0 +1,95 @@
+// em.h — Expectation-Maximization clustering of Gaussian mixtures on the
+// FREERIDE-G reduction API (paper §4.2).
+//
+// Diagonal-covariance GMM. The local reduction accumulates per-component
+// responsibilities, weighted coordinate sums and squared sums, and the
+// data log-likelihood; it also records each point's hard assignment label.
+// The labels travel in the reduction object so the master can track
+// assignment stability across passes and reseed starved components — this
+// makes the object's size proportional to the node's data volume, the
+// paper's "linear object size" class (and its global reduction the
+// "constant-linear" class: work scales with dataset size, not node count).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "freeride/reduction.h"
+#include "repository/dataset.h"
+
+namespace fgp::apps {
+
+/// Reduction object: per-component sufficient statistics + per-point labels.
+class EMObject final : public freeride::ReductionObject {
+ public:
+  EMObject() = default;
+  EMObject(int g, int dim)
+      : resp(static_cast<std::size_t>(g)),
+        sum_x(static_cast<std::size_t>(g) * dim),
+        sum_x2(static_cast<std::size_t>(g) * dim) {}
+
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  std::vector<double> resp;    ///< sum of responsibilities per component
+  std::vector<double> sum_x;   ///< responsibility-weighted coordinate sums
+  std::vector<double> sum_x2;  ///< responsibility-weighted squared sums
+  double loglik = 0.0;
+  std::uint64_t points = 0;
+  /// Hard assignment labels per chunk (chunk id -> one byte per point).
+  std::map<std::uint64_t, std::vector<std::uint8_t>> labels;
+};
+
+struct EMParams {
+  int g = 4;  ///< mixture components
+  int dim = 8;
+  std::vector<double> initial_means;  ///< row-major [g x dim]
+  double initial_variance = 1.0;
+  double tol = 1e-5;     ///< relative log-likelihood improvement threshold
+  int fixed_passes = 0;  ///< >0: run exactly this many passes
+  double reseed_fraction = 1e-6;  ///< resp share below which a component reseeds
+};
+
+class EMKernel final : public freeride::ReductionKernel {
+ public:
+  explicit EMKernel(EMParams params);
+
+  std::string name() const override { return "em"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  double broadcast_bytes() const override;
+  bool reduction_object_scales_with_data() const override { return true; }
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& variances() const { return vars_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& loglik_history() const { return loglik_history_; }
+  /// Fraction of points whose hard assignment changed in the latest pass
+  /// (1.0 on the first pass).
+  double label_change_fraction() const { return label_change_fraction_; }
+  int passes_run() const { return passes_run_; }
+  int reseeds() const { return reseeds_; }
+
+ private:
+  EMParams params_;
+  std::vector<double> means_, vars_, weights_;
+  std::vector<double> loglik_history_;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> prev_labels_;
+  double label_change_fraction_ = 1.0;
+  int passes_run_ = 0;
+  int reseeds_ = 0;
+};
+
+/// Serial reference EM; returns the log-likelihood history.
+std::vector<double> em_reference(const std::vector<double>& points, int dim,
+                                 int g, std::vector<double> means,
+                                 double initial_variance, double tol,
+                                 int max_passes);
+
+}  // namespace fgp::apps

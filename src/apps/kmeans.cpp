@@ -1,0 +1,194 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace fgp::apps {
+
+void KMeansObject::serialize(util::ByteWriter& w) const {
+  w.put_vector(sums_);
+  w.put_vector(counts_);
+  w.put_f64(sse);
+}
+
+void KMeansObject::deserialize(util::ByteReader& r) {
+  sums_ = r.get_vector<double>();
+  counts_ = r.get_vector<std::uint64_t>();
+  sse = r.get_f64();
+}
+
+KMeansKernel::KMeansKernel(KMeansParams params) : params_(std::move(params)) {
+  FGP_CHECK(params_.k > 0 && params_.dim > 0);
+  FGP_CHECK_MSG(params_.initial_centers.size() ==
+                    static_cast<std::size_t>(params_.k) * params_.dim,
+                "initial_centers must be k x dim");
+  centers_ = params_.initial_centers;
+}
+
+std::unique_ptr<freeride::ReductionObject> KMeansKernel::create_object() const {
+  return std::make_unique<KMeansObject>(params_.k, params_.dim);
+}
+
+sim::Work KMeansKernel::process_chunk(const repository::Chunk& chunk,
+                                      freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<KMeansObject&>(obj);
+  const auto points = chunk.as_span<double>();
+  const std::size_t d = static_cast<std::size_t>(params_.dim);
+  FGP_CHECK_MSG(points.size() % d == 0,
+                "chunk " << chunk.id() << " not a whole number of points");
+  const std::size_t count = points.size() / d;
+  const std::size_t k = static_cast<std::size_t>(params_.k);
+
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* x = points.data() + p * d;
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* ctr = centers_.data() + c * d;
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = x[j] - ctr[j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    double* sum = o.sums_.data() + best_c * d;
+    for (std::size_t j = 0; j < d; ++j) sum[j] += x[j];
+    o.counts_[best_c] += 1;
+    o.sse += best;
+  }
+
+  // 3 flops per coordinate per distance evaluation, plus the accumulation.
+  sim::Work w;
+  w.flops = static_cast<double>(count) * static_cast<double>(k) *
+                static_cast<double>(d) * 3.0 +
+            static_cast<double>(count) * static_cast<double>(d);
+  w.bytes = static_cast<double>(count) * static_cast<double>(d) *
+            sizeof(double);
+  return w;
+}
+
+sim::Work KMeansKernel::merge(freeride::ReductionObject& into,
+                              const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<KMeansObject&>(into);
+  const auto& b = dynamic_cast<const KMeansObject&>(other);
+  FGP_CHECK(a.sums_.size() == b.sums_.size());
+  for (std::size_t i = 0; i < a.sums_.size(); ++i) a.sums_[i] += b.sums_[i];
+  for (std::size_t i = 0; i < a.counts_.size(); ++i)
+    a.counts_[i] += b.counts_[i];
+  a.sse += b.sse;
+
+  sim::Work w;
+  w.flops = static_cast<double>(a.sums_.size() + a.counts_.size() + 1);
+  w.bytes = static_cast<double>(a.sums_.size() * sizeof(double) * 2);
+  return w;
+}
+
+sim::Work KMeansKernel::global_reduce(freeride::ReductionObject& merged,
+                                      bool& more_passes) {
+  auto& o = dynamic_cast<KMeansObject&>(merged);
+  const std::size_t d = static_cast<std::size_t>(params_.dim);
+  const std::size_t k = static_cast<std::size_t>(params_.k);
+
+  double shift = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (o.counts_[c] == 0) continue;  // empty cluster keeps its centre
+    for (std::size_t j = 0; j < d; ++j) {
+      const double next =
+          o.sums_[c * d + j] / static_cast<double>(o.counts_[c]);
+      const double diff = next - centers_[c * d + j];
+      shift += diff * diff;
+      centers_[c * d + j] = next;
+    }
+  }
+  sse_history_.push_back(o.sse);
+  ++passes_run_;
+
+  if (params_.fixed_passes > 0) {
+    more_passes = passes_run_ < params_.fixed_passes;
+  } else {
+    more_passes = std::sqrt(shift) > params_.tol;
+  }
+
+  sim::Work w;
+  w.flops = static_cast<double>(k * d * 3);
+  w.bytes = static_cast<double>(k * d * sizeof(double) * 2);
+  return w;
+}
+
+double KMeansKernel::broadcast_bytes() const {
+  return static_cast<double>(centers_.size() * sizeof(double));
+}
+
+std::vector<double> initial_centers_from_dataset(
+    const repository::ChunkedDataset& ds, int k, int dim) {
+  FGP_CHECK(k > 0 && dim > 0);
+  std::vector<double> centers;
+  centers.reserve(static_cast<std::size_t>(k) * dim);
+  for (const auto& chunk : ds.chunks()) {
+    const auto pts = chunk.as_span<double>();
+    for (std::size_t i = 0; i + dim <= pts.size();
+         i += static_cast<std::size_t>(dim)) {
+      for (int j = 0; j < dim; ++j) centers.push_back(pts[i + j]);
+      if (centers.size() == static_cast<std::size_t>(k) * dim) return centers;
+    }
+  }
+  throw util::Error("dataset holds fewer than k points");
+}
+
+std::vector<double> kmeans_reference(const std::vector<double>& points,
+                                     int dim, int k,
+                                     std::vector<double> centers, double tol,
+                                     int max_passes,
+                                     std::vector<double>* sse_history) {
+  FGP_CHECK(dim > 0 && k > 0);
+  const std::size_t d = static_cast<std::size_t>(dim);
+  FGP_CHECK(points.size() % d == 0);
+  const std::size_t count = points.size() / d;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    std::vector<double> sums(static_cast<std::size_t>(k) * d, 0.0);
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(k), 0);
+    double sse = 0.0;
+    for (std::size_t p = 0; p < count; ++p) {
+      const double* x = points.data() + p * d;
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+        double dist = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = x[j] - centers[c * d + j];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      for (std::size_t j = 0; j < d; ++j) sums[best_c * d + j] += x[j];
+      counts[best_c] += 1;
+      sse += best;
+    }
+    if (sse_history) sse_history->push_back(sse);
+
+    double shift = 0.0;
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double next = sums[c * d + j] / static_cast<double>(counts[c]);
+        const double diff = next - centers[c * d + j];
+        shift += diff * diff;
+        centers[c * d + j] = next;
+      }
+    }
+    if (std::sqrt(shift) <= tol) break;
+  }
+  return centers;
+}
+
+}  // namespace fgp::apps

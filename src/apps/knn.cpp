@@ -1,0 +1,172 @@
+#include "apps/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace fgp::apps {
+
+KnnObject::KnnObject(int num_queries_, int k_, int dim_)
+    : num_queries(num_queries_),
+      k(k_),
+      dim(dim_),
+      dists(static_cast<std::size_t>(num_queries_) * k_,
+            std::numeric_limits<double>::infinity()),
+      coords(static_cast<std::size_t>(num_queries_) * k_ * dim_, 0.0) {}
+
+void KnnObject::serialize(util::ByteWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(num_queries));
+  w.put_u32(static_cast<std::uint32_t>(k));
+  w.put_u32(static_cast<std::uint32_t>(dim));
+  w.put_vector(dists);
+  w.put_vector(coords);
+}
+
+void KnnObject::deserialize(util::ByteReader& r) {
+  num_queries = static_cast<int>(r.get_u32());
+  k = static_cast<int>(r.get_u32());
+  dim = static_cast<int>(r.get_u32());
+  dists = r.get_vector<double>();
+  coords = r.get_vector<double>();
+  FGP_CHECK(dists.size() ==
+            static_cast<std::size_t>(num_queries) * static_cast<std::size_t>(k));
+  FGP_CHECK(coords.size() == dists.size() * static_cast<std::size_t>(dim));
+}
+
+double KnnObject::kth_distance(std::size_t q) const {
+  return dists[q * static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(k - 1)];
+}
+
+void KnnObject::insert(std::size_t q, double dist, const double* point) {
+  const std::size_t kk = static_cast<std::size_t>(k);
+  const std::size_t dd = static_cast<std::size_t>(dim);
+  double* qd = dists.data() + q * kk;
+  double* qc = coords.data() + q * kk * dd;
+  if (dist >= qd[kk - 1]) return;
+  // Shift worse entries right, then place the candidate.
+  std::size_t pos = kk - 1;
+  while (pos > 0 && qd[pos - 1] > dist) {
+    qd[pos] = qd[pos - 1];
+    std::copy(qc + (pos - 1) * dd, qc + pos * dd, qc + pos * dd);
+    --pos;
+  }
+  qd[pos] = dist;
+  std::copy(point, point + dd, qc + pos * dd);
+}
+
+KnnKernel::KnnKernel(KnnParams params) : params_(std::move(params)) {
+  FGP_CHECK(params_.k > 0 && params_.dim > 0);
+  FGP_CHECK_MSG(!params_.queries.empty() &&
+                    params_.queries.size() %
+                            static_cast<std::size_t>(params_.dim) ==
+                        0,
+                "queries must be m x dim");
+}
+
+int KnnKernel::num_queries() const {
+  return static_cast<int>(params_.queries.size() /
+                          static_cast<std::size_t>(params_.dim));
+}
+
+std::unique_ptr<freeride::ReductionObject> KnnKernel::create_object() const {
+  return std::make_unique<KnnObject>(num_queries(), params_.k, params_.dim);
+}
+
+sim::Work KnnKernel::process_chunk(const repository::Chunk& chunk,
+                                   freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<KnnObject&>(obj);
+  const auto points = chunk.as_span<double>();
+  const std::size_t d = static_cast<std::size_t>(params_.dim);
+  FGP_CHECK(points.size() % d == 0);
+  const std::size_t count = points.size() / d;
+  const std::size_t m = static_cast<std::size_t>(num_queries());
+
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* x = points.data() + p * d;
+    for (std::size_t q = 0; q < m; ++q) {
+      const double* qp = params_.queries.data() + q * d;
+      const double bound = o.kth_distance(q);
+      double dist = 0.0;
+      std::size_t j = 0;
+      for (; j < d; ++j) {
+        const double diff = x[j] - qp[j];
+        dist += diff * diff;
+        if (dist >= bound) break;  // early exit past the current kth best
+      }
+      if (j == d) o.insert(q, dist, x);
+    }
+  }
+
+  sim::Work w;
+  w.flops = static_cast<double>(count) * static_cast<double>(m) *
+            static_cast<double>(d) * 3.0;
+  w.bytes = static_cast<double>(count) * static_cast<double>(d) *
+            sizeof(double);
+  return w;
+}
+
+sim::Work KnnKernel::merge(freeride::ReductionObject& into,
+                           const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<KnnObject&>(into);
+  const auto& b = dynamic_cast<const KnnObject&>(other);
+  FGP_CHECK(a.num_queries == b.num_queries && a.k == b.k && a.dim == b.dim);
+  const std::size_t kk = static_cast<std::size_t>(a.k);
+  const std::size_t dd = static_cast<std::size_t>(a.dim);
+  for (std::size_t q = 0; q < static_cast<std::size_t>(a.num_queries); ++q) {
+    for (std::size_t i = 0; i < kk; ++i) {
+      const double dist = b.dists[q * kk + i];
+      if (!std::isfinite(dist)) break;  // rest is padding
+      a.insert(q, dist, b.coords.data() + (q * kk + i) * dd);
+    }
+  }
+  sim::Work w;
+  w.flops = static_cast<double>(a.num_queries) * static_cast<double>(kk) *
+            static_cast<double>(dd);
+  w.bytes = static_cast<double>(b.dists.size() + b.coords.size()) *
+            sizeof(double);
+  return w;
+}
+
+sim::Work KnnKernel::global_reduce(freeride::ReductionObject& merged,
+                                   bool& more_passes) {
+  // Lists are already sorted; the global step only validates them.
+  auto& o = dynamic_cast<KnnObject&>(merged);
+  const std::size_t kk = static_cast<std::size_t>(o.k);
+  for (std::size_t q = 0; q < static_cast<std::size_t>(o.num_queries); ++q)
+    FGP_CHECK(std::is_sorted(o.dists.begin() + q * kk,
+                             o.dists.begin() + (q + 1) * kk));
+  more_passes = false;
+  sim::Work w;
+  w.flops = static_cast<double>(o.dists.size());
+  w.bytes = static_cast<double>(o.dists.size()) * sizeof(double);
+  return w;
+}
+
+std::vector<double> knn_reference(const std::vector<double>& points, int dim,
+                                  const double* query, int k) {
+  FGP_CHECK(dim > 0 && k > 0);
+  const std::size_t d = static_cast<std::size_t>(dim);
+  FGP_CHECK(points.size() % d == 0);
+  const std::size_t count = points.size() / d;
+  std::vector<double> dists;
+  dists.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    double dist = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = points[p * d + j] - query[j];
+      dist += diff * diff;
+    }
+    dists.push_back(dist);
+  }
+  std::sort(dists.begin(), dists.end());
+  dists.resize(std::min<std::size_t>(static_cast<std::size_t>(k), count),
+               std::numeric_limits<double>::infinity());
+  dists.resize(static_cast<std::size_t>(k),
+               std::numeric_limits<double>::infinity());
+  return dists;
+}
+
+}  // namespace fgp::apps

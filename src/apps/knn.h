@@ -1,0 +1,73 @@
+// knn.h — k-nearest-neighbour search on the FREERIDE-G reduction API
+// (paper §4.3).
+//
+// Training samples are distributed across nodes; each node finds the k
+// nearest neighbours of every query among its local samples; the global
+// reduction merges per-node k-lists. The reduction object (m queries x k
+// neighbours) has *constant* size, and the global reduction is the
+// "linear-constant" class (merge cost scales with node count, not data).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "freeride/reduction.h"
+#include "repository/dataset.h"
+
+namespace fgp::apps {
+
+/// Per-query sorted k-lists: distances ascending, +inf padding, with the
+/// matching neighbour coordinates.
+class KnnObject final : public freeride::ReductionObject {
+ public:
+  KnnObject() = default;
+  KnnObject(int num_queries, int k, int dim);
+
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  /// Inserts a candidate neighbour for query q; keeps the list sorted.
+  void insert(std::size_t q, double dist, const double* point);
+
+  /// Squared distance of the current kth neighbour of query q.
+  double kth_distance(std::size_t q) const;
+
+  int num_queries = 0;
+  int k = 0;
+  int dim = 0;
+  std::vector<double> dists;   ///< [num_queries x k], ascending per query
+  std::vector<double> coords;  ///< [num_queries x k x dim]
+};
+
+struct KnnParams {
+  std::vector<double> queries;  ///< row-major [m x dim]
+  int k = 8;
+  int dim = 8;
+};
+
+class KnnKernel final : public freeride::ReductionKernel {
+ public:
+  explicit KnnKernel(KnnParams params);
+
+  std::string name() const override { return "knn"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  bool reduction_object_scales_with_data() const override { return false; }
+
+  int num_queries() const;
+
+ private:
+  KnnParams params_;
+};
+
+/// Serial brute-force reference: the exact sorted k-nearest distances of
+/// one query among all points.
+std::vector<double> knn_reference(const std::vector<double>& points, int dim,
+                                  const double* query, int k);
+
+}  // namespace fgp::apps

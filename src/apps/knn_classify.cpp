@@ -1,0 +1,199 @@
+#include "apps/knn_classify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.h"
+
+namespace fgp::apps {
+
+KnnClassifyObject::KnnClassifyObject(int num_queries_, int k_)
+    : num_queries(num_queries_),
+      k(k_),
+      dists(static_cast<std::size_t>(num_queries_) * k_,
+            std::numeric_limits<double>::infinity()),
+      labels(static_cast<std::size_t>(num_queries_) * k_, -1) {}
+
+void KnnClassifyObject::serialize(util::ByteWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(num_queries));
+  w.put_u32(static_cast<std::uint32_t>(k));
+  w.put_vector(dists);
+  w.put_vector(labels);
+  w.put_vector(predicted);
+}
+
+void KnnClassifyObject::deserialize(util::ByteReader& r) {
+  num_queries = static_cast<int>(r.get_u32());
+  k = static_cast<int>(r.get_u32());
+  dists = r.get_vector<double>();
+  labels = r.get_vector<std::int32_t>();
+  predicted = r.get_vector<std::int32_t>();
+  FGP_CHECK(dists.size() ==
+            static_cast<std::size_t>(num_queries) * static_cast<std::size_t>(k));
+  FGP_CHECK(labels.size() == dists.size());
+}
+
+double KnnClassifyObject::kth_distance(std::size_t q) const {
+  return dists[q * static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(k - 1)];
+}
+
+void KnnClassifyObject::insert(std::size_t q, double dist,
+                               std::int32_t label) {
+  const std::size_t kk = static_cast<std::size_t>(k);
+  double* qd = dists.data() + q * kk;
+  std::int32_t* ql = labels.data() + q * kk;
+  if (dist >= qd[kk - 1]) return;
+  std::size_t pos = kk - 1;
+  while (pos > 0 && qd[pos - 1] > dist) {
+    qd[pos] = qd[pos - 1];
+    ql[pos] = ql[pos - 1];
+    --pos;
+  }
+  qd[pos] = dist;
+  ql[pos] = label;
+}
+
+KnnClassifyKernel::KnnClassifyKernel(KnnClassifyParams params)
+    : params_(std::move(params)) {
+  FGP_CHECK(params_.k > 0 && params_.dim > 0);
+  FGP_CHECK_MSG(!params_.queries.empty() &&
+                    params_.queries.size() %
+                            static_cast<std::size_t>(params_.dim) ==
+                        0,
+                "queries must be m x dim");
+}
+
+int KnnClassifyKernel::num_queries() const {
+  return static_cast<int>(params_.queries.size() /
+                          static_cast<std::size_t>(params_.dim));
+}
+
+std::unique_ptr<freeride::ReductionObject> KnnClassifyKernel::create_object()
+    const {
+  return std::make_unique<KnnClassifyObject>(num_queries(), params_.k);
+}
+
+sim::Work KnnClassifyKernel::process_chunk(
+    const repository::Chunk& chunk, freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<KnnClassifyObject&>(obj);
+  const auto rows = chunk.as_span<double>();
+  const std::size_t d = static_cast<std::size_t>(params_.dim);
+  const std::size_t row = d + 1;  // [label, features...]
+  FGP_CHECK_MSG(rows.size() % row == 0,
+                "chunk " << chunk.id() << " not labeled rows of dim+1");
+  const std::size_t count = rows.size() / row;
+  const std::size_t m = static_cast<std::size_t>(num_queries());
+
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* r = rows.data() + p * row;
+    const auto label = static_cast<std::int32_t>(r[0]);
+    const double* x = r + 1;
+    for (std::size_t q = 0; q < m; ++q) {
+      const double* qp = params_.queries.data() + q * d;
+      const double bound = o.kth_distance(q);
+      double dist = 0.0;
+      std::size_t j = 0;
+      for (; j < d; ++j) {
+        const double diff = x[j] - qp[j];
+        dist += diff * diff;
+        if (dist >= bound) break;
+      }
+      if (j == d) o.insert(q, dist, label);
+    }
+  }
+
+  sim::Work w;
+  w.flops = static_cast<double>(count) * static_cast<double>(m) *
+            static_cast<double>(d) * 3.0;
+  w.bytes = static_cast<double>(count) * static_cast<double>(row) *
+            sizeof(double);
+  return w;
+}
+
+sim::Work KnnClassifyKernel::merge(freeride::ReductionObject& into,
+                                   const freeride::ReductionObject& other)
+    const {
+  auto& a = dynamic_cast<KnnClassifyObject&>(into);
+  const auto& b = dynamic_cast<const KnnClassifyObject&>(other);
+  FGP_CHECK(a.num_queries == b.num_queries && a.k == b.k);
+  const std::size_t kk = static_cast<std::size_t>(a.k);
+  for (std::size_t q = 0; q < static_cast<std::size_t>(a.num_queries); ++q) {
+    for (std::size_t i = 0; i < kk; ++i) {
+      const double dist = b.dists[q * kk + i];
+      if (!std::isfinite(dist)) break;
+      a.insert(q, dist, b.labels[q * kk + i]);
+    }
+  }
+  sim::Work w;
+  w.flops = static_cast<double>(a.num_queries) * static_cast<double>(kk) * 2.0;
+  w.bytes = static_cast<double>(b.dists.size()) *
+            (sizeof(double) + sizeof(std::int32_t));
+  return w;
+}
+
+sim::Work KnnClassifyKernel::global_reduce(freeride::ReductionObject& merged,
+                                           bool& more_passes) {
+  auto& o = dynamic_cast<KnnClassifyObject&>(merged);
+  more_passes = false;
+  const std::size_t kk = static_cast<std::size_t>(o.k);
+  o.predicted.assign(static_cast<std::size_t>(o.num_queries), -1);
+  for (std::size_t q = 0; q < static_cast<std::size_t>(o.num_queries); ++q) {
+    std::map<std::int32_t, int> votes;
+    for (std::size_t i = 0; i < kk; ++i) {
+      if (!std::isfinite(o.dists[q * kk + i])) break;
+      votes[o.labels[q * kk + i]] += 1;
+    }
+    int best_votes = -1;
+    for (const auto& [label, n] : votes) {
+      if (n > best_votes) {  // ties resolve to the smallest label id
+        best_votes = n;
+        o.predicted[q] = label;
+      }
+    }
+  }
+  sim::Work w;
+  w.flops = static_cast<double>(o.dists.size()) * 2.0;
+  w.bytes = static_cast<double>(o.dists.size()) * sizeof(double);
+  return w;
+}
+
+std::int32_t knn_classify_reference(const std::vector<double>& rows, int dim,
+                                    const double* query, int k) {
+  FGP_CHECK(dim > 0 && k > 0);
+  const std::size_t d = static_cast<std::size_t>(dim);
+  const std::size_t row = d + 1;
+  FGP_CHECK(rows.size() % row == 0);
+  const std::size_t count = rows.size() / row;
+
+  std::vector<std::pair<double, std::int32_t>> all;
+  all.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* r = rows.data() + p * row;
+    double dist = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = r[1 + j] - query[j];
+      dist += diff * diff;
+    }
+    all.emplace_back(dist, static_cast<std::int32_t>(r[0]));
+  }
+  std::sort(all.begin(), all.end());
+  std::map<std::int32_t, int> votes;
+  for (std::size_t i = 0; i < std::min<std::size_t>(all.size(),
+                                                    static_cast<std::size_t>(k));
+       ++i)
+    votes[all[i].second] += 1;
+  std::int32_t best = -1;
+  int best_votes = -1;
+  for (const auto& [label, n] : votes) {
+    if (n > best_votes) {
+      best_votes = n;
+      best = label;
+    }
+  }
+  return best;
+}
+
+}  // namespace fgp::apps

@@ -1,0 +1,71 @@
+// knn_classify.h — the k-nearest-neighbour *classifier* (paper §4.3: "the
+// k-nearest neighbor classifier is based on learning by analogy").
+//
+// Training samples are labeled points distributed across nodes; each node
+// finds the k nearest labeled neighbours of every query locally; the
+// global reduction merges the k-lists and takes the majority vote. The
+// reduction object (m queries x k (distance, label) pairs) is constant
+// size; the global reduction is linear-constant.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "freeride/reduction.h"
+#include "repository/dataset.h"
+
+namespace fgp::apps {
+
+/// Per-query sorted k-lists of (squared distance, label).
+class KnnClassifyObject final : public freeride::ReductionObject {
+ public:
+  KnnClassifyObject() = default;
+  KnnClassifyObject(int num_queries, int k);
+
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  /// Inserts a labeled candidate for query q; keeps the list sorted.
+  void insert(std::size_t q, double dist, std::int32_t label);
+  double kth_distance(std::size_t q) const;
+
+  int num_queries = 0;
+  int k = 0;
+  std::vector<double> dists;        ///< [m x k], ascending per query
+  std::vector<std::int32_t> labels; ///< [m x k]
+  /// Filled by the global reduction: the majority-vote class per query.
+  std::vector<std::int32_t> predicted;
+};
+
+struct KnnClassifyParams {
+  std::vector<double> queries;  ///< row-major [m x dim] (features only)
+  int k = 8;
+  int dim = 8;  ///< feature dimension; payload rows carry dim+1 doubles
+};
+
+class KnnClassifyKernel final : public freeride::ReductionKernel {
+ public:
+  explicit KnnClassifyKernel(KnnClassifyParams params);
+
+  std::string name() const override { return "knn-classify"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  bool reduction_object_scales_with_data() const override { return false; }
+
+  int num_queries() const;
+
+ private:
+  KnnClassifyParams params_;
+};
+
+/// Serial reference: the majority label among the exact k nearest labeled
+/// points (rows of dim+1 doubles) for one query.
+std::int32_t knn_classify_reference(const std::vector<double>& rows, int dim,
+                                    const double* query, int k);
+
+}  // namespace fgp::apps

@@ -1,0 +1,312 @@
+#include "apps/vortex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace fgp::apps {
+
+namespace {
+
+using datagen::FieldChunkView;
+
+/// Discrete vorticity (curl z-component) with a central-difference stencil.
+/// `gy` must be an interior row of the stored range.
+double vorticity(const FieldChunkView& view, std::uint32_t gy,
+                 std::uint32_t gx) {
+  const double dvdx =
+      0.5 * (view.at(gy, gx + 1).v - view.at(gy, gx - 1).v);
+  const double dudy =
+      0.5 * (view.at(gy + 1, gx).u - view.at(gy - 1, gx).u);
+  return dvdx - dudy;
+}
+
+/// Packs (row, x) into one key for the cross-band join maps.
+std::uint64_t cell_key(std::int64_t row, std::int64_t x) {
+  return (static_cast<std::uint64_t>(row) << 32) ^
+         static_cast<std::uint32_t>(x);
+}
+
+struct VortexAccum {
+  std::int32_t sign = 0;
+  std::uint64_t cells = 0;
+  double sum_x = 0.0, sum_y = 0.0;
+};
+
+std::vector<Vortex> finalize(std::vector<VortexAccum> accums,
+                             std::uint64_t min_cells) {
+  std::vector<Vortex> out;
+  for (const auto& a : accums) {
+    if (a.cells < min_cells) continue;  // de-noising
+    Vortex v;
+    v.cells = a.cells;
+    v.sign = a.sign;
+    v.cx = a.sum_x / static_cast<double>(a.cells);
+    v.cy = a.sum_y / static_cast<double>(a.cells);
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(), [](const Vortex& a, const Vortex& b) {
+    if (a.cells != b.cells) return a.cells > b.cells;
+    if (a.cy != b.cy) return a.cy < b.cy;
+    return a.cx < b.cx;
+  });
+  return out;
+}
+
+}  // namespace
+
+void VortexObject::serialize(util::ByteWriter& w) const {
+  w.put_u64(fragments.size());
+  for (const auto& f : fragments) {
+    w.put<std::int32_t>(f.sign);
+    w.put_u64(f.cells);
+    w.put_f64(f.sum_x);
+    w.put_f64(f.sum_y);
+    w.put_vector(f.boundary);
+  }
+  w.put_u64(vortices.size());
+  for (const auto& v : vortices) {
+    w.put_f64(v.cx);
+    w.put_f64(v.cy);
+    w.put_u64(v.cells);
+    w.put<std::int32_t>(v.sign);
+  }
+}
+
+void VortexObject::deserialize(util::ByteReader& r) {
+  fragments.clear();
+  vortices.clear();
+  const std::uint64_t nf = r.get_u64();
+  fragments.reserve(nf);
+  for (std::uint64_t i = 0; i < nf; ++i) {
+    RegionFragment f;
+    f.sign = r.get<std::int32_t>();
+    f.cells = r.get_u64();
+    f.sum_x = r.get_f64();
+    f.sum_y = r.get_f64();
+    f.boundary = r.get_vector<BoundaryCell>();
+    fragments.push_back(std::move(f));
+  }
+  const std::uint64_t nv = r.get_u64();
+  vortices.reserve(nv);
+  for (std::uint64_t i = 0; i < nv; ++i) {
+    Vortex v;
+    v.cx = r.get_f64();
+    v.cy = r.get_f64();
+    v.cells = r.get_u64();
+    v.sign = r.get<std::int32_t>();
+    vortices.push_back(v);
+  }
+}
+
+VortexKernel::VortexKernel(VortexParams params) : params_(params) {
+  FGP_CHECK(params_.vorticity_threshold > 0.0);
+}
+
+std::unique_ptr<freeride::ReductionObject> VortexKernel::create_object() const {
+  return std::make_unique<VortexObject>();
+}
+
+sim::Work VortexKernel::process_chunk(const repository::Chunk& chunk,
+                                      freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<VortexObject&>(obj);
+  const FieldChunkView view = datagen::parse_field_chunk(chunk);
+  const auto& h = view.header;
+
+  // Detection + classification over the owned rows. Global-border cells
+  // have no full stencil and are skipped.
+  const std::uint32_t W = h.width;
+  std::vector<std::int8_t> mark(static_cast<std::size_t>(h.rows) * W, 0);
+  for (std::uint32_t r = 0; r < h.rows; ++r) {
+    const std::uint32_t gy = h.row0 + r;
+    if (gy == 0 || gy + 1 >= h.height) continue;
+    for (std::uint32_t gx = 1; gx + 1 < W; ++gx) {
+      const double w = vorticity(view, gy, gx);
+      if (w > params_.vorticity_threshold)
+        mark[static_cast<std::size_t>(r) * W + gx] = 1;
+      else if (w < -params_.vorticity_threshold)
+        mark[static_cast<std::size_t>(r) * W + gx] = -1;
+    }
+  }
+
+  // Local aggregation: 4-connected components of same-sign cells.
+  util::UnionFind uf(static_cast<std::size_t>(h.rows) * W);
+  for (std::uint32_t r = 0; r < h.rows; ++r) {
+    for (std::uint32_t x = 0; x < W; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(r) * W + x;
+      if (mark[idx] == 0) continue;
+      if (x + 1 < W && mark[idx + 1] == mark[idx]) uf.unite(idx, idx + 1);
+      if (r + 1 < h.rows && mark[idx + W] == mark[idx]) uf.unite(idx, idx + W);
+    }
+  }
+
+  // Build fragments rooted at their union-find representative.
+  std::unordered_map<std::size_t, std::size_t> root_to_fragment;
+  const std::size_t first_new = o.fragments.size();
+  for (std::uint32_t r = 0; r < h.rows; ++r) {
+    for (std::uint32_t x = 0; x < W; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(r) * W + x;
+      if (mark[idx] == 0) continue;
+      const std::size_t root = uf.find(idx);
+      auto [it, inserted] = root_to_fragment.try_emplace(
+          root, o.fragments.size());
+      if (inserted) {
+        RegionFragment f;
+        f.sign = mark[idx];
+        o.fragments.push_back(std::move(f));
+      }
+      RegionFragment& f = o.fragments[it->second];
+      f.cells += 1;
+      f.sum_x += x;
+      f.sum_y += h.row0 + r;
+      if (r == 0 || r + 1 == h.rows)
+        f.boundary.push_back({static_cast<std::int32_t>(h.row0 + r),
+                              static_cast<std::int32_t>(x)});
+    }
+  }
+  (void)first_new;
+
+  // ~12 flops per owned cell for the stencil and threshold; the whole
+  // stored band streams through memory once.
+  sim::Work w;
+  w.flops = static_cast<double>(h.rows) * W * 12.0;
+  w.bytes = static_cast<double>(view.cells.size()) * sizeof(datagen::Vec2f);
+  return w;
+}
+
+sim::Work VortexKernel::merge(freeride::ReductionObject& into,
+                              const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<VortexObject&>(into);
+  const auto& b = dynamic_cast<const VortexObject&>(other);
+  double moved = 0.0;
+  for (const auto& f : b.fragments) {
+    moved += static_cast<double>(sizeof(RegionFragment) +
+                                 f.boundary.size() * sizeof(BoundaryCell));
+    a.fragments.push_back(f);
+  }
+  sim::Work w;
+  w.flops = static_cast<double>(b.fragments.size()) * 4.0;
+  w.bytes = moved * 2.0;
+  return w;
+}
+
+sim::Work VortexKernel::global_reduce(freeride::ReductionObject& merged,
+                                      bool& more_passes) {
+  auto& o = dynamic_cast<VortexObject&>(merged);
+  more_passes = false;
+
+  // Cross-band join: fragments owning a boundary cell at (row, x) connect
+  // to fragments owning (row+1, x) with the same rotation sense.
+  std::unordered_map<std::uint64_t, std::size_t> cell_owner;
+  double boundary_cells = 0.0;
+  for (std::size_t i = 0; i < o.fragments.size(); ++i) {
+    for (const auto& bc : o.fragments[i].boundary) {
+      cell_owner.emplace(cell_key(bc.row, bc.x), i);
+      boundary_cells += 1.0;
+    }
+  }
+  util::UnionFind uf(o.fragments.size());
+  for (std::size_t i = 0; i < o.fragments.size(); ++i) {
+    for (const auto& bc : o.fragments[i].boundary) {
+      auto it = cell_owner.find(cell_key(bc.row + 1, bc.x));
+      if (it != cell_owner.end() && it->second != i &&
+          o.fragments[it->second].sign == o.fragments[i].sign)
+        uf.unite(i, it->second);
+    }
+  }
+
+  std::unordered_map<std::size_t, std::size_t> root_to_accum;
+  std::vector<VortexAccum> accums;
+  for (std::size_t i = 0; i < o.fragments.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto [it, inserted] = root_to_accum.try_emplace(root, accums.size());
+    if (inserted) {
+      VortexAccum a;
+      a.sign = o.fragments[i].sign;
+      accums.push_back(a);
+    }
+    VortexAccum& a = accums[it->second];
+    a.cells += o.fragments[i].cells;
+    a.sum_x += o.fragments[i].sum_x;
+    a.sum_y += o.fragments[i].sum_y;
+  }
+
+  o.vortices = finalize(std::move(accums), params_.min_cells);
+
+  sim::Work w;
+  w.flops = static_cast<double>(o.fragments.size()) * 8.0 +
+            boundary_cells * 4.0;
+  w.bytes = static_cast<double>(o.fragments.size()) *
+                sizeof(RegionFragment) +
+            boundary_cells * sizeof(BoundaryCell) * 2.0;
+  return w;
+}
+
+std::vector<Vortex> vortex_reference(const datagen::FlowDataset& flow,
+                                     const VortexParams& params) {
+  const int W = flow.width;
+  const int H = flow.height;
+
+  // Reassemble the field from the owned rows of every chunk.
+  std::vector<datagen::Vec2f> field(static_cast<std::size_t>(W) * H);
+  for (const auto& chunk : flow.dataset.chunks()) {
+    const auto view = datagen::parse_field_chunk(chunk);
+    for (std::uint32_t r = 0; r < view.header.rows; ++r) {
+      const std::uint32_t gy = view.header.row0 + r;
+      for (std::uint32_t x = 0; x < view.header.width; ++x)
+        field[static_cast<std::size_t>(gy) * W + x] = view.at(gy, x);
+    }
+  }
+
+  auto at = [&](int y, int x) -> const datagen::Vec2f& {
+    return field[static_cast<std::size_t>(y) * W + x];
+  };
+  std::vector<std::int8_t> mark(static_cast<std::size_t>(W) * H, 0);
+  for (int y = 1; y + 1 < H; ++y) {
+    for (int x = 1; x + 1 < W; ++x) {
+      const double w = 0.5 * (at(y, x + 1).v - at(y, x - 1).v) -
+                       0.5 * (at(y + 1, x).u - at(y - 1, x).u);
+      if (w > params.vorticity_threshold)
+        mark[static_cast<std::size_t>(y) * W + x] = 1;
+      else if (w < -params.vorticity_threshold)
+        mark[static_cast<std::size_t>(y) * W + x] = -1;
+    }
+  }
+
+  util::UnionFind uf(mark.size());
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * W + x;
+      if (mark[idx] == 0) continue;
+      if (x + 1 < W && mark[idx + 1] == mark[idx]) uf.unite(idx, idx + 1);
+      if (y + 1 < H && mark[idx + static_cast<std::size_t>(W)] == mark[idx])
+        uf.unite(idx, idx + static_cast<std::size_t>(W));
+    }
+  }
+
+  std::unordered_map<std::size_t, std::size_t> root_to_accum;
+  std::vector<VortexAccum> accums;
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * W + x;
+      if (mark[idx] == 0) continue;
+      const std::size_t root = uf.find(idx);
+      auto [it, inserted] = root_to_accum.try_emplace(root, accums.size());
+      if (inserted) {
+        VortexAccum a;
+        a.sign = mark[idx];
+        accums.push_back(a);
+      }
+      VortexAccum& a = accums[it->second];
+      a.cells += 1;
+      a.sum_x += x;
+      a.sum_y += y;
+    }
+  }
+  return finalize(std::move(accums), params.min_cells);
+}
+
+}  // namespace fgp::apps

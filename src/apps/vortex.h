@@ -1,0 +1,86 @@
+// vortex.h — feature-mining vortex detection on the FREERIDE-G reduction
+// API (paper §4.4, after Machiraju et al.).
+//
+// Pipeline per the paper: *detection* marks individual grid points as
+// vortical (here: discrete vorticity above a threshold — the halo rows in
+// each chunk make the stencil communication-free), *classification*
+// assigns the rotation sense, *aggregation* grows connected regions
+// locally, and the *global combination* joins region fragments that span
+// partition boundaries, then de-noises and sorts the vortices.
+//
+// The reduction object carries every locally detected region fragment, so
+// its size tracks the local data volume — the paper's "linear object size"
+// class — and the join/denoise global reduction is "constant-linear".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "datagen/flowfield.h"
+#include "freeride/reduction.h"
+
+namespace fgp::apps {
+
+/// A boundary cell of a region fragment: a vortical cell lying on the
+/// first or last owned row of its band (candidates for cross-band joins).
+struct BoundaryCell {
+  std::int32_t row = 0;
+  std::int32_t x = 0;
+};
+
+/// A connected vortical region fragment local to one chunk band.
+struct RegionFragment {
+  std::int32_t sign = 0;  ///< rotation sense: +1 or -1
+  std::uint64_t cells = 0;
+  double sum_x = 0.0;  ///< coordinate sums for the centroid
+  double sum_y = 0.0;
+  std::vector<BoundaryCell> boundary;
+};
+
+/// A finished vortex after the global combination.
+struct Vortex {
+  double cx = 0.0;
+  double cy = 0.0;
+  std::uint64_t cells = 0;
+  std::int32_t sign = 0;
+};
+
+class VortexObject final : public freeride::ReductionObject {
+ public:
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  std::vector<RegionFragment> fragments;
+  /// Filled by the global reduction: de-noised vortices, largest first.
+  std::vector<Vortex> vortices;
+};
+
+struct VortexParams {
+  double vorticity_threshold = 0.8;
+  std::uint64_t min_cells = 8;  ///< de-noising: smaller regions are dropped
+};
+
+class VortexKernel final : public freeride::ReductionKernel {
+ public:
+  explicit VortexKernel(VortexParams params);
+
+  std::string name() const override { return "vortex"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  bool reduction_object_scales_with_data() const override { return true; }
+
+ private:
+  VortexParams params_;
+};
+
+/// Serial reference: detection over the full reassembled field with a
+/// single global union-find. Returns de-noised vortices, largest first.
+std::vector<Vortex> vortex_reference(const datagen::FlowDataset& flow,
+                                     const VortexParams& params);
+
+}  // namespace fgp::apps

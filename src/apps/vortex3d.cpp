@@ -1,0 +1,333 @@
+#include "apps/vortex3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace fgp::apps {
+
+namespace {
+
+using datagen::VolumeChunkView;
+
+/// Curl magnitude and z-component sign via central differences; (gz, gy,
+/// gx) must be interior in the stored range.
+std::pair<double, int> curl_at(const VolumeChunkView& view, std::uint32_t gz,
+                               std::uint32_t gy, std::uint32_t gx) {
+  const auto& h = view.header;
+  (void)h;
+  const double dwdy = 0.5 * (view.at(gz, gy + 1, gx).w -
+                             view.at(gz, gy - 1, gx).w);
+  const double dvdz = 0.5 * (view.at(gz + 1, gy, gx).v -
+                             view.at(gz - 1, gy, gx).v);
+  const double dudz = 0.5 * (view.at(gz + 1, gy, gx).u -
+                             view.at(gz - 1, gy, gx).u);
+  const double dwdx = 0.5 * (view.at(gz, gy, gx + 1).w -
+                             view.at(gz, gy, gx - 1).w);
+  const double dvdx = 0.5 * (view.at(gz, gy, gx + 1).v -
+                             view.at(gz, gy, gx - 1).v);
+  const double dudy = 0.5 * (view.at(gz, gy + 1, gx).u -
+                             view.at(gz, gy - 1, gx).u);
+  const double ox = dwdy - dvdz;
+  const double oy = dudz - dwdx;
+  const double oz = dvdx - dudy;
+  const double mag = std::sqrt(ox * ox + oy * oy + oz * oz);
+  return {mag, oz >= 0.0 ? 1 : -1};
+}
+
+std::uint64_t cell_key(std::int64_t z, std::int64_t y, std::int64_t x) {
+  return (static_cast<std::uint64_t>(z & 0xFFFFF) << 40) |
+         (static_cast<std::uint64_t>(y & 0xFFFFF) << 20) |
+         static_cast<std::uint64_t>(x & 0xFFFFF);
+}
+
+struct Accum3d {
+  std::int32_t sign = 0;
+  std::uint64_t cells = 0;
+  double sum_x = 0.0, sum_y = 0.0, sum_z = 0.0;
+};
+
+std::vector<Vortex3d> finalize(std::vector<Accum3d> accums,
+                               std::uint64_t min_cells) {
+  std::vector<Vortex3d> out;
+  for (const auto& a : accums) {
+    if (a.cells < min_cells) continue;
+    Vortex3d v;
+    v.cells = a.cells;
+    v.sign = a.sign;
+    v.cx = a.sum_x / static_cast<double>(a.cells);
+    v.cy = a.sum_y / static_cast<double>(a.cells);
+    v.cz = a.sum_z / static_cast<double>(a.cells);
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(), [](const Vortex3d& a, const Vortex3d& b) {
+    if (a.cells != b.cells) return a.cells > b.cells;
+    if (a.cz != b.cz) return a.cz < b.cz;
+    if (a.cy != b.cy) return a.cy < b.cy;
+    return a.cx < b.cx;
+  });
+  return out;
+}
+
+/// Shared by the kernel and the reference: marks vortical cells of the
+/// owned planes [z_lo, z_hi) and runs the slab-local union-find.
+template <typename CurlFn>
+std::vector<RegionFragment3d> aggregate_slab(
+    std::uint32_t z_lo, std::uint32_t z_hi, std::uint32_t ny,
+    std::uint32_t nx, std::uint32_t nz, double threshold, CurlFn&& curl) {
+  const std::uint32_t planes = z_hi - z_lo;
+  const std::size_t plane_cells = static_cast<std::size_t>(ny) * nx;
+  std::vector<std::int8_t> mark(static_cast<std::size_t>(planes) *
+                                    plane_cells,
+                                0);
+  for (std::uint32_t z = z_lo; z < z_hi; ++z) {
+    if (z == 0 || z + 1 >= nz) continue;
+    for (std::uint32_t y = 1; y + 1 < ny; ++y) {
+      for (std::uint32_t x = 1; x + 1 < nx; ++x) {
+        const auto [mag, sign] = curl(z, y, x);
+        if (mag > threshold)
+          mark[static_cast<std::size_t>(z - z_lo) * plane_cells +
+               static_cast<std::size_t>(y) * nx + x] =
+              static_cast<std::int8_t>(sign);
+      }
+    }
+  }
+
+  util::UnionFind uf(mark.size());
+  auto idx_of = [&](std::uint32_t z, std::uint32_t y, std::uint32_t x) {
+    return static_cast<std::size_t>(z - z_lo) * plane_cells +
+           static_cast<std::size_t>(y) * nx + x;
+  };
+  for (std::uint32_t z = z_lo; z < z_hi; ++z)
+    for (std::uint32_t y = 0; y < ny; ++y)
+      for (std::uint32_t x = 0; x < nx; ++x) {
+        const std::size_t i = idx_of(z, y, x);
+        if (mark[i] == 0) continue;
+        if (x + 1 < nx && mark[i + 1] == mark[i]) uf.unite(i, i + 1);
+        if (y + 1 < ny && mark[i + nx] == mark[i]) uf.unite(i, i + nx);
+        if (z + 1 < z_hi && mark[i + plane_cells] == mark[i])
+          uf.unite(i, i + plane_cells);
+      }
+
+  std::unordered_map<std::size_t, std::size_t> root_to_fragment;
+  std::vector<RegionFragment3d> fragments;
+  for (std::uint32_t z = z_lo; z < z_hi; ++z)
+    for (std::uint32_t y = 0; y < ny; ++y)
+      for (std::uint32_t x = 0; x < nx; ++x) {
+        const std::size_t i = idx_of(z, y, x);
+        if (mark[i] == 0) continue;
+        const std::size_t root = uf.find(i);
+        auto [it, inserted] =
+            root_to_fragment.try_emplace(root, fragments.size());
+        if (inserted) {
+          RegionFragment3d f;
+          f.sign = mark[i];
+          fragments.push_back(std::move(f));
+        }
+        RegionFragment3d& f = fragments[it->second];
+        f.cells += 1;
+        f.sum_x += x;
+        f.sum_y += y;
+        f.sum_z += z;
+        if (z == z_lo || z + 1 == z_hi)
+          f.boundary.push_back({static_cast<std::int32_t>(z),
+                                static_cast<std::int32_t>(y),
+                                static_cast<std::int32_t>(x)});
+      }
+  return fragments;
+}
+
+/// Join fragments whose boundary cells are face-adjacent across planes,
+/// then de-noise and sort.
+std::vector<Vortex3d> join_and_finalize(
+    const std::vector<RegionFragment3d>& fragments, std::uint64_t min_cells,
+    double* boundary_cells_out) {
+  std::unordered_map<std::uint64_t, std::size_t> owner;
+  double boundary_cells = 0.0;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    for (const auto& bc : fragments[i].boundary) {
+      owner.emplace(cell_key(bc.z, bc.y, bc.x), i);
+      boundary_cells += 1.0;
+    }
+  }
+  util::UnionFind uf(fragments.size());
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    for (const auto& bc : fragments[i].boundary) {
+      const auto it = owner.find(cell_key(bc.z + 1, bc.y, bc.x));
+      if (it != owner.end() && it->second != i &&
+          fragments[it->second].sign == fragments[i].sign)
+        uf.unite(i, it->second);
+    }
+  }
+  std::unordered_map<std::size_t, std::size_t> root_to_accum;
+  std::vector<Accum3d> accums;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto [it, inserted] = root_to_accum.try_emplace(root, accums.size());
+    if (inserted) {
+      Accum3d a;
+      a.sign = fragments[i].sign;
+      accums.push_back(a);
+    }
+    Accum3d& a = accums[it->second];
+    a.cells += fragments[i].cells;
+    a.sum_x += fragments[i].sum_x;
+    a.sum_y += fragments[i].sum_y;
+    a.sum_z += fragments[i].sum_z;
+  }
+  if (boundary_cells_out) *boundary_cells_out = boundary_cells;
+  return finalize(std::move(accums), min_cells);
+}
+
+}  // namespace
+
+void Vortex3dObject::serialize(util::ByteWriter& w) const {
+  w.put_u64(fragments.size());
+  for (const auto& f : fragments) {
+    w.put<std::int32_t>(f.sign);
+    w.put_u64(f.cells);
+    w.put_f64(f.sum_x);
+    w.put_f64(f.sum_y);
+    w.put_f64(f.sum_z);
+    w.put_vector(f.boundary);
+  }
+  w.put_u64(vortices.size());
+  for (const auto& v : vortices) {
+    w.put_f64(v.cx);
+    w.put_f64(v.cy);
+    w.put_f64(v.cz);
+    w.put_u64(v.cells);
+    w.put<std::int32_t>(v.sign);
+  }
+}
+
+void Vortex3dObject::deserialize(util::ByteReader& r) {
+  fragments.clear();
+  vortices.clear();
+  const std::uint64_t nf = r.get_u64();
+  fragments.reserve(nf);
+  for (std::uint64_t i = 0; i < nf; ++i) {
+    RegionFragment3d f;
+    f.sign = r.get<std::int32_t>();
+    f.cells = r.get_u64();
+    f.sum_x = r.get_f64();
+    f.sum_y = r.get_f64();
+    f.sum_z = r.get_f64();
+    f.boundary = r.get_vector<BoundaryCell3d>();
+    fragments.push_back(std::move(f));
+  }
+  const std::uint64_t nv = r.get_u64();
+  vortices.reserve(nv);
+  for (std::uint64_t i = 0; i < nv; ++i) {
+    Vortex3d v;
+    v.cx = r.get_f64();
+    v.cy = r.get_f64();
+    v.cz = r.get_f64();
+    v.cells = r.get_u64();
+    v.sign = r.get<std::int32_t>();
+    vortices.push_back(v);
+  }
+}
+
+Vortex3dKernel::Vortex3dKernel(Vortex3dParams params) : params_(params) {
+  FGP_CHECK(params_.vorticity_threshold > 0.0);
+}
+
+std::unique_ptr<freeride::ReductionObject> Vortex3dKernel::create_object()
+    const {
+  return std::make_unique<Vortex3dObject>();
+}
+
+sim::Work Vortex3dKernel::process_chunk(const repository::Chunk& chunk,
+                                        freeride::ReductionObject& obj) const {
+  auto& o = dynamic_cast<Vortex3dObject&>(obj);
+  const auto view = datagen::parse_volume_chunk(chunk);
+  const auto& h = view.header;
+
+  auto fragments = aggregate_slab(
+      h.z0, h.z0 + h.planes, h.ny, h.nx, h.nz, params_.vorticity_threshold,
+      [&view](std::uint32_t z, std::uint32_t y, std::uint32_t x) {
+        return curl_at(view, z, y, x);
+      });
+  for (auto& f : fragments) o.fragments.push_back(std::move(f));
+
+  sim::Work w;
+  w.flops = static_cast<double>(h.planes) * h.ny * h.nx * 30.0;
+  w.bytes = static_cast<double>(view.cells.size()) * sizeof(datagen::Vec3f);
+  return w;
+}
+
+sim::Work Vortex3dKernel::merge(freeride::ReductionObject& into,
+                                const freeride::ReductionObject& other) const {
+  auto& a = dynamic_cast<Vortex3dObject&>(into);
+  const auto& b = dynamic_cast<const Vortex3dObject&>(other);
+  double moved = 0.0;
+  for (const auto& f : b.fragments) {
+    moved += static_cast<double>(sizeof(RegionFragment3d) +
+                                 f.boundary.size() * sizeof(BoundaryCell3d));
+    a.fragments.push_back(f);
+  }
+  sim::Work w;
+  w.flops = static_cast<double>(b.fragments.size()) * 4.0;
+  w.bytes = moved * 2.0;
+  return w;
+}
+
+sim::Work Vortex3dKernel::global_reduce(freeride::ReductionObject& merged,
+                                        bool& more_passes) {
+  auto& o = dynamic_cast<Vortex3dObject&>(merged);
+  more_passes = false;
+  double boundary_cells = 0.0;
+  o.vortices = join_and_finalize(o.fragments, params_.min_cells,
+                                 &boundary_cells);
+  sim::Work w;
+  w.flops =
+      static_cast<double>(o.fragments.size()) * 8.0 + boundary_cells * 4.0;
+  w.bytes = static_cast<double>(o.fragments.size()) *
+                sizeof(RegionFragment3d) +
+            boundary_cells * sizeof(BoundaryCell3d) * 2.0;
+  return w;
+}
+
+std::vector<Vortex3d> vortex3d_reference(const datagen::Flow3dDataset& flow,
+                                         const Vortex3dParams& params) {
+  const std::uint32_t nx = static_cast<std::uint32_t>(flow.nx);
+  const std::uint32_t ny = static_cast<std::uint32_t>(flow.ny);
+  const std::uint32_t nz = static_cast<std::uint32_t>(flow.nz);
+
+  // Reassemble the volume from the owned planes of every chunk.
+  std::vector<datagen::Vec3f> volume(static_cast<std::size_t>(nx) * ny * nz);
+  for (const auto& chunk : flow.dataset.chunks()) {
+    const auto view = datagen::parse_volume_chunk(chunk);
+    for (std::uint32_t p = 0; p < view.header.planes; ++p) {
+      const std::uint32_t gz = view.header.z0 + p;
+      for (std::uint32_t y = 0; y < ny; ++y)
+        for (std::uint32_t x = 0; x < nx; ++x)
+          volume[(static_cast<std::size_t>(gz) * ny + y) * nx + x] =
+              view.at(gz, y, x);
+    }
+  }
+  auto at = [&](std::uint32_t z, std::uint32_t y,
+                std::uint32_t x) -> const datagen::Vec3f& {
+    return volume[(static_cast<std::size_t>(z) * ny + y) * nx + x];
+  };
+  auto curl = [&](std::uint32_t z, std::uint32_t y, std::uint32_t x) {
+    const double ox = 0.5 * (at(z, y + 1, x).w - at(z, y - 1, x).w) -
+                      0.5 * (at(z + 1, y, x).v - at(z - 1, y, x).v);
+    const double oy = 0.5 * (at(z + 1, y, x).u - at(z - 1, y, x).u) -
+                      0.5 * (at(z, y, x + 1).w - at(z, y, x - 1).w);
+    const double oz = 0.5 * (at(z, y, x + 1).v - at(z, y, x - 1).v) -
+                      0.5 * (at(z, y + 1, x).u - at(z, y - 1, x).u);
+    const double mag = std::sqrt(ox * ox + oy * oy + oz * oz);
+    return std::pair<double, int>{mag, oz >= 0.0 ? 1 : -1};
+  };
+  // One "slab" covering the whole volume: the same aggregation code path.
+  const auto fragments = aggregate_slab(0, nz, ny, nx, nz,
+                                        params.vorticity_threshold, curl);
+  return join_and_finalize(fragments, params.min_cells, nullptr);
+}
+
+}  // namespace fgp::apps

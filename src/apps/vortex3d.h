@@ -1,0 +1,77 @@
+// vortex3d.h — volumetric vortex detection on the FREERIDE-G reduction
+// API: the 3-D realization of the paper's "volumetric regions" feature
+// mining (§4.4).
+//
+// Same pipeline as the 2-D version — detection (curl magnitude above a
+// threshold; the slab halos make the stencil communication-free),
+// classification (sense of rotation about z), local aggregation
+// (6-connected components per slab), global combination (join fragments
+// across slab boundaries), de-noising and sorting — over 3-D velocity
+// volumes chunked into z-slabs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "datagen/flowfield3d.h"
+#include "freeride/reduction.h"
+
+namespace fgp::apps {
+
+/// A vortical cell on the first or last owned plane of a slab.
+struct BoundaryCell3d {
+  std::int32_t z = 0, y = 0, x = 0;
+};
+
+/// A connected vortical region fragment local to one slab.
+struct RegionFragment3d {
+  std::int32_t sign = 0;
+  std::uint64_t cells = 0;
+  double sum_x = 0.0, sum_y = 0.0, sum_z = 0.0;
+  std::vector<BoundaryCell3d> boundary;
+};
+
+/// A finished volumetric vortex after the global combination.
+struct Vortex3d {
+  double cx = 0.0, cy = 0.0, cz = 0.0;
+  std::uint64_t cells = 0;
+  std::int32_t sign = 0;
+};
+
+class Vortex3dObject final : public freeride::ReductionObject {
+ public:
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+  std::vector<RegionFragment3d> fragments;
+  std::vector<Vortex3d> vortices;  ///< filled by the global reduction
+};
+
+struct Vortex3dParams {
+  double vorticity_threshold = 0.8;
+  std::uint64_t min_cells = 32;  ///< volumetric de-noising threshold
+};
+
+class Vortex3dKernel final : public freeride::ReductionKernel {
+ public:
+  explicit Vortex3dKernel(Vortex3dParams params);
+
+  std::string name() const override { return "vortex3d"; }
+  std::unique_ptr<freeride::ReductionObject> create_object() const override;
+  sim::Work process_chunk(const repository::Chunk& chunk,
+                          freeride::ReductionObject& obj) const override;
+  sim::Work merge(freeride::ReductionObject& into,
+                  const freeride::ReductionObject& other) const override;
+  sim::Work global_reduce(freeride::ReductionObject& merged,
+                          bool& more_passes) override;
+  bool reduction_object_scales_with_data() const override { return true; }
+
+ private:
+  Vortex3dParams params_;
+};
+
+/// Serial reference over the reassembled full volume.
+std::vector<Vortex3d> vortex3d_reference(const datagen::Flow3dDataset& flow,
+                                         const Vortex3dParams& params);
+
+}  // namespace fgp::apps

@@ -1,0 +1,62 @@
+#include "core/calibrate.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fgp::core {
+
+CalibrationResult calibrate_machine(
+    std::span<const CalibrationSample> samples) {
+  FGP_CHECK_MSG(samples.size() >= 2, "calibration needs >= 2 samples");
+  // Fit t = f*x + b*y with x = 1/F, y = 1/B via 2x2 normal equations.
+  double sff = 0, sbb = 0, sfb = 0, sft = 0, sbt = 0;
+  for (const auto& s : samples) {
+    FGP_CHECK_MSG(s.seconds > 0.0, "sample with non-positive time");
+    FGP_CHECK_MSG(s.work.flops > 0.0 && s.work.bytes > 0.0,
+                  "sample with non-positive work");
+    sff += s.work.flops * s.work.flops;
+    sbb += s.work.bytes * s.work.bytes;
+    sfb += s.work.flops * s.work.bytes;
+    sft += s.work.flops * s.seconds;
+    sbt += s.work.bytes * s.seconds;
+  }
+  const double det = sff * sbb - sfb * sfb;
+  FGP_CHECK_MSG(std::abs(det) > 1e-9 * sff * sbb,
+                "samples have indistinguishable flop:byte mixes");
+  const double x = (sbb * sft - sfb * sbt) / det;  // 1/F
+  const double y = (sff * sbt - sfb * sft) / det;  // 1/B
+  FGP_CHECK_MSG(x > 0.0 && y > 0.0,
+                "fit produced non-physical rates (mixes too similar or "
+                "timings too noisy)");
+
+  CalibrationResult out;
+  out.cpu_flops = 1.0 / x;
+  out.mem_Bps = 1.0 / y;
+  for (const auto& s : samples) {
+    const double fit = s.work.flops * x + s.work.bytes * y;
+    out.max_residual_fraction = std::max(
+        out.max_residual_fraction, std::abs(s.seconds - fit) / s.seconds);
+  }
+  return out;
+}
+
+CalibrationSample measure_kernel_sample(freeride::ReductionKernel& kernel,
+                                        const repository::Chunk& chunk,
+                                        int repeats) {
+  FGP_CHECK(repeats >= 1);
+  CalibrationSample sample;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    auto obj = kernel.create_object();
+    sample.work += kernel.process_chunk(chunk, *obj);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  sample.seconds =
+      std::chrono::duration<double>(end - begin).count();
+  FGP_CHECK_MSG(sample.seconds > 0.0, "clock resolution too coarse");
+  return sample;
+}
+
+}  // namespace fgp::core

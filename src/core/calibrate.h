@@ -1,0 +1,46 @@
+// calibrate.h — fitting virtual-machine parameters from real measurements.
+//
+// The virtual cluster charges time as t = flops/F + bytes/B per node. To
+// model a *new* machine type, F and B can be fitted from wall-clock
+// measurements of the real kernels (whose work counts are exact): run two
+// or more kernels with different flop:byte mixes, time them, and solve the
+// least-squares system. This is the practical bridge between the paper's
+// "experimentally determined" scaling factors and the simulator's machine
+// model — and it doubles as a validation that the two-parameter roofline
+// form fits real kernels at all (see max_residual_fraction).
+#pragma once
+
+#include <span>
+
+#include "freeride/reduction.h"
+#include "repository/chunk.h"
+#include "sim/machine.h"
+
+namespace fgp::core {
+
+/// One calibration point: the work a kernel reported and the wall-clock
+/// seconds it actually took on the host.
+struct CalibrationSample {
+  sim::Work work;
+  double seconds = 0.0;
+};
+
+struct CalibrationResult {
+  double cpu_flops = 0.0;  ///< fitted F (flop/s)
+  double mem_Bps = 0.0;    ///< fitted B (bytes/s)
+  /// max |t_measured - t_fit| / t_measured over the samples — how well the
+  /// two-parameter model explains the machine.
+  double max_residual_fraction = 0.0;
+};
+
+/// Least-squares fit of t = flops/F + bytes/B. Needs >= 2 samples whose
+/// flop:byte mixes differ (a rank-deficient system throws).
+CalibrationResult calibrate_machine(std::span<const CalibrationSample> samples);
+
+/// Measures one sample on the host: runs `kernel.process_chunk` over
+/// `chunk` `repeats` times (fresh object each time) under a wall clock.
+CalibrationSample measure_kernel_sample(freeride::ReductionKernel& kernel,
+                                        const repository::Chunk& chunk,
+                                        int repeats = 8);
+
+}  // namespace fgp::core

@@ -1,0 +1,139 @@
+#include "core/classes.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace fgp::core {
+
+double estimate_object_bytes(RoSizeClass cls, const Profile& profile,
+                             const ProfileConfig& target) {
+  FGP_CHECK(profile.config.dataset_bytes > 0 && target.dataset_bytes > 0);
+  switch (cls) {
+    case RoSizeClass::Constant:
+      return profile.object_bytes;
+    case RoSizeClass::LinearWithData: {
+      // Per-node object tracks local volume s/c.
+      const double s_ratio =
+          target.dataset_bytes / profile.config.dataset_bytes;
+      const double c_ratio =
+          static_cast<double>(profile.config.compute_nodes) /
+          static_cast<double>(target.compute_nodes);
+      return profile.object_bytes * s_ratio * c_ratio;
+    }
+  }
+  throw util::Error("unknown RoSizeClass");
+}
+
+double estimate_global_time(GlobalReductionClass cls, const Profile& profile,
+                            const ProfileConfig& target) {
+  switch (cls) {
+    case GlobalReductionClass::LinearConstant:
+      return profile.t_g * static_cast<double>(target.compute_nodes) /
+             static_cast<double>(profile.config.compute_nodes);
+    case GlobalReductionClass::ConstantLinear:
+      return profile.t_g * target.dataset_bytes /
+             profile.config.dataset_bytes;
+  }
+  throw util::Error("unknown GlobalReductionClass");
+}
+
+namespace {
+
+/// Fits the exponent e in y ~ x^e from all profile pairs where `x` varies
+/// and every other driver is fixed. Returns false when no such pair exists.
+bool fit_exponent(std::span<const Profile> profiles,
+                  double (*x_of)(const Profile&),
+                  double (*other_of)(const Profile&),
+                  double (*y_of)(const Profile&), double* exponent) {
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      const double xi = x_of(profiles[i]), xj = x_of(profiles[j]);
+      const double oi = other_of(profiles[i]), oj = other_of(profiles[j]);
+      if (xi == xj || oi != oj) continue;
+      const double yi = y_of(profiles[i]), yj = y_of(profiles[j]);
+      if (yi <= 0 || yj <= 0) continue;
+      lx.push_back(std::log(xj) - std::log(xi));
+      ly.push_back(std::log(yj) - std::log(yi));
+    }
+  }
+  if (lx.empty()) return false;
+  // Slope through the origin: e = sum(lx*ly)/sum(lx*lx).
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    num += lx[i] * ly[i];
+    den += lx[i] * lx[i];
+  }
+  *exponent = num / den;
+  return true;
+}
+
+double size_of(const Profile& p) { return p.config.dataset_bytes; }
+double nodes_of(const Profile& p) {
+  return static_cast<double>(p.config.compute_nodes);
+}
+double r_of(const Profile& p) { return p.object_bytes; }
+double tg_of(const Profile& p) { return p.t_g; }
+
+}  // namespace
+
+AppClasses detect_classes(std::span<const Profile> profiles) {
+  FGP_CHECK_MSG(profiles.size() >= 2,
+                "class detection needs at least two profiles");
+
+  AppClasses out;
+
+  // Reduction-object size: test how r responds to dataset size at fixed
+  // node count, and to node count at fixed size.
+  double e_rs = 0.0, e_rc = 0.0;
+  const bool have_rs = fit_exponent(profiles, size_of, nodes_of, r_of, &e_rs);
+  const bool have_rc = fit_exponent(profiles, nodes_of, size_of, r_of, &e_rc);
+  FGP_CHECK_MSG(have_rs || have_rc,
+                "profiles do not vary in dataset size or node count");
+  // Linear class: r grows with s (exponent near 1) or shrinks with c
+  // (exponent near -1). Constant class shows exponents near 0 on both.
+  const bool linear_r = (have_rs && e_rs > 0.5) || (have_rc && e_rc < -0.5);
+  out.ro = linear_r ? RoSizeClass::LinearWithData : RoSizeClass::Constant;
+
+  // Global reduction time: linear-constant grows with c; constant-linear
+  // grows with s.
+  double e_gs = 0.0, e_gc = 0.0;
+  const bool have_gs = fit_exponent(profiles, size_of, nodes_of, tg_of, &e_gs);
+  const bool have_gc = fit_exponent(profiles, nodes_of, size_of, tg_of, &e_gc);
+  if (have_gs && have_gc) {
+    out.global = e_gs >= e_gc ? GlobalReductionClass::ConstantLinear
+                              : GlobalReductionClass::LinearConstant;
+  } else if (have_gs) {
+    out.global = e_gs > 0.5 ? GlobalReductionClass::ConstantLinear
+                            : GlobalReductionClass::LinearConstant;
+  } else if (have_gc) {
+    out.global = e_gc > 0.5 ? GlobalReductionClass::LinearConstant
+                            : GlobalReductionClass::ConstantLinear;
+  }
+  return out;
+}
+
+const char* to_string(RoSizeClass cls) {
+  switch (cls) {
+    case RoSizeClass::Constant:
+      return "constant";
+    case RoSizeClass::LinearWithData:
+      return "linear";
+  }
+  return "?";
+}
+
+const char* to_string(GlobalReductionClass cls) {
+  switch (cls) {
+    case GlobalReductionClass::LinearConstant:
+      return "linear-constant";
+    case GlobalReductionClass::ConstantLinear:
+      return "constant-linear";
+  }
+  return "?";
+}
+
+}  // namespace fgp::core

@@ -1,0 +1,50 @@
+// classes.h — application taxonomy for the compute-time sub-models.
+//
+// Paper §3.3.1: "almost all applications fall into one of the two
+// classes" for reduction-object size — constant (k-means, k-NN) or linear
+// (EM, vortex, defect; size tracks the node's data volume). Paper §3.3.2:
+// global reduction time is either linear in node count and constant in
+// data (linear-constant) or constant in node count and linear in data
+// (constant-linear). "The appropriate predictor for a given application
+// can either be selected by a user, or can be determined by analyzing
+// multiple profile runs" — detect_classes implements the latter.
+#pragma once
+
+#include <span>
+
+#include "core/profile.h"
+
+namespace fgp::core {
+
+enum class RoSizeClass {
+  Constant,        ///< r independent of dataset size and node count
+  LinearWithData,  ///< per-node r tracks the local data volume (s/c)
+};
+
+enum class GlobalReductionClass {
+  LinearConstant,  ///< T_g linear in node count, constant in dataset size
+  ConstantLinear,  ///< T_g constant in node count, linear in dataset size
+};
+
+struct AppClasses {
+  RoSizeClass ro = RoSizeClass::Constant;
+  GlobalReductionClass global = GlobalReductionClass::LinearConstant;
+};
+
+/// Estimates the reduction-object size r̂ for `target` from a profile.
+double estimate_object_bytes(RoSizeClass cls, const Profile& profile,
+                             const ProfileConfig& target);
+
+/// Estimates the global reduction time T̂_g for `target` from a profile.
+double estimate_global_time(GlobalReductionClass cls, const Profile& profile,
+                            const ProfileConfig& target);
+
+/// Determines both classes from two or more profile runs that differ in
+/// dataset size and/or compute-node count. Throws util::Error when the
+/// profiles do not vary enough to decide (all identical configs).
+AppClasses detect_classes(std::span<const Profile> profiles);
+
+const char* to_string(RoSizeClass cls);
+const char* to_string(GlobalReductionClass cls);
+
+}  // namespace fgp::core

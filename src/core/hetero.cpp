@@ -1,0 +1,47 @@
+#include "core/hetero.h"
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace fgp::core {
+
+ScalingFactors compute_scaling_factors(std::span<const Profile> on_a,
+                                       std::span<const Profile> on_b) {
+  FGP_CHECK_MSG(!on_a.empty(), "need at least one representative profile");
+  util::Accumulator disk, network, compute;
+  for (const auto& pa : on_a) {
+    const Profile* pb = nullptr;
+    for (const auto& candidate : on_b) {
+      if (candidate.app == pa.app) {
+        pb = &candidate;
+        break;
+      }
+    }
+    FGP_CHECK_MSG(pb != nullptr,
+                  "no cluster-B profile for app '" << pa.app << "'");
+    FGP_CHECK_MSG(pa.config.data_nodes == pb->config.data_nodes &&
+                      pa.config.compute_nodes == pb->config.compute_nodes &&
+                      pa.config.dataset_bytes == pb->config.dataset_bytes,
+                  "scaling factors need identical configurations (app '"
+                      << pa.app << "')");
+    FGP_CHECK_MSG(pa.t_disk > 0 && pa.t_network > 0 && pa.t_compute > 0,
+                  "degenerate cluster-A profile for app '" << pa.app << "'");
+    disk.add(pb->t_disk / pa.t_disk);
+    network.add(pb->t_network / pa.t_network);
+    compute.add(pb->t_compute / pa.t_compute);
+  }
+  return {disk.mean(), network.mean(), compute.mean()};
+}
+
+PredictedTime HeteroPredictor::predict(const ProfileConfig& target) const {
+  // First predict on an identical configuration on cluster A, then scale
+  // each component (paper §3.4).
+  const PredictedTime on_a = base_.predict(target);
+  PredictedTime out;
+  out.disk = factors_.disk * on_a.disk;
+  out.network = factors_.network * on_a.network;
+  out.compute = factors_.compute * on_a.compute;
+  return out;
+}
+
+}  // namespace fgp::core

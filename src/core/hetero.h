@@ -1,0 +1,49 @@
+// hetero.h — predictions across heterogeneous clusters (paper §3.4).
+//
+// Component-wise scaling factors s_d, s_n, s_c are measured by running a
+// small set of representative FREERIDE-G applications on *identical
+// configurations* (same node counts, same dataset) on both clusters and
+// averaging the per-component time ratios:
+//   s_d = mean_i( T_disk,i,B / T_disk,i,A )   (likewise s_n, s_c)
+// A prediction for cluster B is then the cluster-A prediction with each
+// component scaled:
+//   T̂_B = s_d·T̂_disk,A + s_n·T̂_net,A + s_c·T̂_comp,A
+// The averaged s_c is the main error source: apps differ in flop:byte mix
+// (the paper observed per-app factors from 0.233 to 0.370).
+#pragma once
+
+#include <span>
+
+#include "core/predictor.h"
+
+namespace fgp::core {
+
+struct ScalingFactors {
+  double disk = 1.0;     ///< s_d
+  double network = 1.0;  ///< s_n
+  double compute = 1.0;  ///< s_c
+};
+
+/// Computes the averaged factors from representative-application profiles
+/// collected on matching configurations. Profiles are matched by app name;
+/// each matched pair must have identical (n, c, s) per the paper's
+/// "identical configuration" requirement — mismatches throw.
+ScalingFactors compute_scaling_factors(std::span<const Profile> on_a,
+                                       std::span<const Profile> on_b);
+
+/// Wraps a cluster-A predictor with A->B scaling factors.
+class HeteroPredictor {
+ public:
+  HeteroPredictor(Predictor base, ScalingFactors factors)
+      : base_(std::move(base)), factors_(factors) {}
+
+  PredictedTime predict(const ProfileConfig& target) const;
+
+  const ScalingFactors& factors() const { return factors_; }
+
+ private:
+  Predictor base_;
+  ScalingFactors factors_;
+};
+
+}  // namespace fgp::core

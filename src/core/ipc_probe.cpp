@@ -1,0 +1,20 @@
+#include "core/ipc_probe.h"
+
+#include "util/check.h"
+
+namespace fgp::core {
+
+IpcParams measure_ipc(const sim::ClusterSpec& cluster) {
+  // Two probe sizes, far apart so the fit is well-conditioned.
+  const double s1 = 4 * 1024.0;
+  const double s2 = 4 * 1024.0 * 1024.0;
+  const double t1 = cluster.interconnect.message_time(s1);
+  const double t2 = cluster.interconnect.message_time(s2);
+  IpcParams p;
+  p.w = (t2 - t1) / (s2 - s1);
+  p.l = t1 - p.w * s1;
+  FGP_CHECK_MSG(p.w > 0.0 && p.l >= 0.0, "probe produced nonsensical params");
+  return p;
+}
+
+}  // namespace fgp::core

@@ -1,0 +1,23 @@
+// ipc_probe.h — measuring the reduction-object communication parameters.
+//
+// The model's T_ro = w·r + l needs "experimentally determined bandwidth
+// and latency for the target processing configuration" (paper §3.3.1).
+// The probe times two different-sized ping messages over the target
+// cluster's interconnect and solves for (w, l) — the virtual-cluster
+// equivalent of an MPI ping-pong microbenchmark.
+#pragma once
+
+#include "sim/cluster.h"
+
+namespace fgp::core {
+
+struct IpcParams {
+  double w = 0.0;  ///< seconds per byte (1 / effective bandwidth)
+  double l = 0.0;  ///< per-message latency, seconds
+};
+
+/// Probes the cluster's interconnect with two message sizes and fits the
+/// linear cost model through the measurements.
+IpcParams measure_ipc(const sim::ClusterSpec& cluster);
+
+}  // namespace fgp::core

@@ -1,0 +1,93 @@
+#include "core/predictor.h"
+
+#include "util/check.h"
+
+namespace fgp::core {
+
+Predictor::Predictor(Profile profile, PredictorOptions options)
+    : profile_(std::move(profile)), options_(options) {
+  FGP_CHECK_MSG(profile_.config.dataset_bytes > 0,
+                "profile has empty dataset");
+  FGP_CHECK_MSG(profile_.config.data_nodes > 0 &&
+                    profile_.config.compute_nodes > 0,
+                "profile has invalid node counts");
+  FGP_CHECK_MSG(profile_.config.bandwidth_Bps > 0,
+                "profile has no bandwidth information");
+  FGP_CHECK_MSG(profile_.t_compute >= profile_.t_ro + profile_.t_g - 1e-12,
+                "profile breakdown inconsistent: t_c < t_ro + t_g");
+}
+
+double Predictor::predict_t_ro(const ProfileConfig& target) const {
+  // T̂_ro = (ĉ-1)·(w·r̂ + l) per pass; the profile's t_ro and t_g are sums
+  // over all passes, so the estimate is scaled by the pass count (the
+  // model assumes the target runs the same number of passes — true for
+  // deterministic iterative reductions on the same dataset).
+  const double r_hat =
+      estimate_object_bytes(options_.classes.ro, profile_, target);
+  return static_cast<double>(target.compute_nodes - 1) *
+         (options_.ipc.w * r_hat + options_.ipc.l) *
+         static_cast<double>(std::max(1, profile_.passes));
+}
+
+PredictedTime Predictor::predict(const ProfileConfig& target) const {
+  FGP_CHECK_MSG(target.data_nodes > 0 && target.compute_nodes > 0 &&
+                    target.threads_per_node > 0,
+                "target has invalid node counts");
+  FGP_CHECK_MSG(target.dataset_bytes > 0, "target has empty dataset");
+  FGP_CHECK_MSG(target.bandwidth_Bps > 0, "target has no bandwidth");
+  FGP_CHECK_MSG(target.compute_nodes >= target.data_nodes,
+                "FREERIDE-G requires compute_nodes >= data_nodes");
+
+  const auto& p = profile_;
+  const double s_ratio = target.dataset_bytes / p.config.dataset_bytes;
+  const double n_ratio = static_cast<double>(p.config.data_nodes) /
+                         static_cast<double>(target.data_nodes);
+  // Effective compute parallelism is nodes x SMP threads (the parallel
+  // part of t_c scales with both; the serialized T_ro/T_g terms stay
+  // node-based since one reduction object is gathered per *node*).
+  const double c_ratio =
+      static_cast<double>(p.config.compute_nodes *
+                          p.config.threads_per_node) /
+      static_cast<double>(target.compute_nodes * target.threads_per_node);
+  const double b_ratio = p.config.bandwidth_Bps / target.bandwidth_Bps;
+
+  PredictedTime out;
+  out.disk = s_ratio * n_ratio * p.t_disk;
+  out.network = s_ratio * b_ratio * p.t_network *
+                (options_.network_throughput_scales_with_nodes ? n_ratio : 1.0);
+
+  switch (options_.model) {
+    case PredictionModel::NoCommunication: {
+      out.compute = s_ratio * c_ratio * p.t_compute;
+      break;
+    }
+    case PredictionModel::ReductionCommunication: {
+      const double parallel = p.t_compute - p.t_ro;  // T' (paper §3.3.1)
+      out.compute = s_ratio * c_ratio * parallel + predict_t_ro(target);
+      break;
+    }
+    case PredictionModel::GlobalReduction: {
+      const double parallel = p.t_compute - p.t_ro - p.t_g;  // T'' (§3.3.2)
+      const double t_g_hat =
+          estimate_global_time(options_.classes.global, p, target);
+      out.compute =
+          s_ratio * c_ratio * parallel + predict_t_ro(target) + t_g_hat;
+      break;
+    }
+  }
+  return out;
+}
+
+const char* to_string(PredictionModel model) {
+  switch (model) {
+    case PredictionModel::NoCommunication:
+      return "no communication";
+    case PredictionModel::ReductionCommunication:
+      return "reduction communication";
+    case PredictionModel::GlobalReduction:
+      return "global reduction";
+  }
+  return "?";
+}
+
+}  // namespace fgp::core

@@ -1,0 +1,64 @@
+// predictor.h — the execution-time prediction model (paper §3).
+//
+//   T̂_disk = (ŝ/s)·(n/n̂)·t_d
+//   T̂_net  = (ŝ/s)·(n/n̂)·(b/b̂)·t_n
+//   T̂_comp =                               (no-communication)
+//       (ŝ/s)·(c/ĉ)·t_c
+//   T̂_comp =                               (reduction-communication)
+//       (ŝ/s)·(c/ĉ)·(t_c − t_ro) + T̂_ro
+//   T̂_comp =                               (global-reduction)
+//       (ŝ/s)·(c/ĉ)·(t_c − t_ro − t_g) + T̂_ro + T̂_g
+//   with T̂_ro = (ĉ−1)·(w·r̂ + l).
+#pragma once
+
+#include "core/classes.h"
+#include "core/ipc_probe.h"
+#include "core/profile.h"
+
+namespace fgp::core {
+
+enum class PredictionModel {
+  NoCommunication,         ///< §3.3 opening: pure linear compute scaling
+  ReductionCommunication,  ///< §3.3.1: models T_ro
+  GlobalReduction,         ///< §3.3.2: models T_ro and T_g
+};
+
+struct PredictedTime {
+  double disk = 0.0;
+  double network = 0.0;
+  double compute = 0.0;
+  double total() const { return disk + network + compute; }
+};
+
+struct PredictorOptions {
+  PredictionModel model = PredictionModel::GlobalReduction;
+  AppClasses classes;
+  IpcParams ipc;  ///< measured on the *target* processing cluster
+  /// When true, drop the n/n̂ term from the network predictor (paper: "if
+  /// throughput does not increase with storage nodes, the term can be
+  /// removed").
+  bool network_throughput_scales_with_nodes = true;
+};
+
+class Predictor {
+ public:
+  Predictor(Profile profile, PredictorOptions options);
+
+  /// Predicts component times for a target configuration on the same kind
+  /// of hardware the profile was collected on.
+  PredictedTime predict(const ProfileConfig& target) const;
+
+  const Profile& profile() const { return profile_; }
+  const PredictorOptions& options() const { return options_; }
+
+ private:
+  /// T̂_ro for the target: (ĉ-1)·(w·r̂ + l) summed over the profile's passes.
+  double predict_t_ro(const ProfileConfig& target) const;
+
+  Profile profile_;
+  PredictorOptions options_;
+};
+
+const char* to_string(PredictionModel model);
+
+}  // namespace fgp::core

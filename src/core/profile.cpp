@@ -1,0 +1,34 @@
+#include "core/profile.h"
+
+namespace fgp::core {
+
+Profile ProfileCollector::collect(const freeride::JobSetup& setup,
+                                  freeride::ReductionKernel& kernel) {
+  freeride::Runtime runtime;
+  const freeride::RunResult result = runtime.run(setup, kernel);
+  return from_result(setup, kernel.name(), result);
+}
+
+Profile ProfileCollector::from_result(const freeride::JobSetup& setup,
+                                      const std::string& app,
+                                      const freeride::RunResult& result) {
+  Profile p;
+  p.app = app;
+  p.config.data_nodes = setup.config.data_nodes;
+  p.config.compute_nodes = setup.config.compute_nodes;
+  p.config.threads_per_node = setup.config.threads_per_node;
+  p.config.dataset_bytes = setup.dataset->total_virtual_bytes();
+  p.config.bandwidth_Bps = setup.wan.per_link_Bps;
+  p.config.data_cluster = setup.data_cluster.name;
+  p.config.compute_cluster = setup.compute_cluster.name;
+  p.t_disk = result.timing.total.disk;
+  p.t_network = result.timing.total.network;
+  p.t_compute = result.timing.total.compute();
+  p.t_ro = result.timing.total.ro_comm;
+  p.t_g = result.timing.total.global_red;
+  p.object_bytes = result.timing.max_object_bytes;
+  p.passes = result.passes;
+  return p;
+}
+
+}  // namespace fgp::core

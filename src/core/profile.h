@@ -1,0 +1,56 @@
+// profile.h — application profiles, the input to the prediction model.
+//
+// "Predictions have to be based on a profile, which is collected by
+// executing the application on one dataset and one execution
+// configuration" (paper §3.1). A profile records the configuration
+// (n, c, s, b), the execution-time breakdown (t_d, t_n, t_c), the maximum
+// reduction-object size r, the reduction-object communication time T_ro
+// and the global reduction time T_g.
+#pragma once
+
+#include <string>
+
+#include "freeride/runtime.h"
+
+namespace fgp::core {
+
+/// The knobs a configuration exposes to the model.
+struct ProfileConfig {
+  int data_nodes = 1;         ///< n
+  int compute_nodes = 1;      ///< c
+  int threads_per_node = 1;   ///< t — SMP threads per compute node
+  double dataset_bytes = 0;   ///< s (virtual bytes)
+  double bandwidth_Bps = 0;   ///< b (per-link repository->compute bandwidth)
+  std::string data_cluster;    ///< cluster name hosting the data
+  std::string compute_cluster; ///< cluster name doing the processing
+};
+
+/// Summary information extracted from one profile run.
+struct Profile {
+  std::string app;
+  ProfileConfig config;
+  double t_disk = 0.0;     ///< t_d
+  double t_network = 0.0;  ///< t_n
+  double t_compute = 0.0;  ///< t_c (includes t_ro and t_g)
+  double t_ro = 0.0;       ///< reduction-object communication time
+  double t_g = 0.0;        ///< global reduction time (merges + finalize)
+  double object_bytes = 0.0;  ///< r: max reduction-object size
+  int passes = 0;
+
+  double total() const { return t_disk + t_network + t_compute; }
+};
+
+/// Collects profiles by running jobs on the virtual cluster.
+class ProfileCollector {
+ public:
+  /// Runs `kernel` on `setup` and assembles the profile.
+  static Profile collect(const freeride::JobSetup& setup,
+                         freeride::ReductionKernel& kernel);
+
+  /// Assembles a profile from an already-finished run.
+  static Profile from_result(const freeride::JobSetup& setup,
+                             const std::string& app,
+                             const freeride::RunResult& result);
+};
+
+}  // namespace fgp::core

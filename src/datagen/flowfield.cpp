@@ -1,0 +1,139 @@
+#include "datagen/flowfield.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fgp::datagen {
+
+FieldChunkView parse_field_chunk(const repository::Chunk& chunk) {
+  const auto& payload = chunk.payload();
+  FGP_CHECK_MSG(payload.size() >= sizeof(FieldChunkHeader),
+                "flow chunk " << chunk.id() << " too small for header");
+  FieldChunkView view;
+  std::memcpy(&view.header, payload.data(), sizeof(FieldChunkHeader));
+  const auto& h = view.header;
+  FGP_CHECK_MSG(h.stored_row0 <= h.row0 &&
+                    h.row0 + h.rows <= h.stored_row0 + h.stored_rows &&
+                    h.stored_row0 + h.stored_rows <= h.height,
+                "flow chunk " << chunk.id() << ": inconsistent row ranges");
+  const std::size_t cell_bytes = payload.size() - sizeof(FieldChunkHeader);
+  const std::size_t expected =
+      static_cast<std::size_t>(h.stored_rows) * h.width * sizeof(Vec2f);
+  FGP_CHECK_MSG(cell_bytes == expected,
+                "flow chunk " << chunk.id() << ": payload " << cell_bytes
+                              << " bytes, header implies " << expected);
+  view.cells = {
+      reinterpret_cast<const Vec2f*>(payload.data() + sizeof(FieldChunkHeader)),
+      cell_bytes / sizeof(Vec2f)};
+  return view;
+}
+
+namespace {
+
+/// Velocity induced at (x, y) by one Rankine vortex: solid-body rotation
+/// inside the core, potential-flow decay outside.
+Vec2f induced_velocity(const PlantedVortex& vx, double x, double y) {
+  const double dx = x - vx.cx;
+  const double dy = y - vx.cy;
+  const double r = std::sqrt(dx * dx + dy * dy);
+  const double two_pi = 6.283185307179586;
+  if (r < 1e-9) return {0.0f, 0.0f};
+  double vtheta;
+  if (r < vx.core_radius) {
+    vtheta = vx.circulation * r / (two_pi * vx.core_radius * vx.core_radius);
+  } else {
+    vtheta = vx.circulation / (two_pi * r);
+  }
+  // Tangential direction: (-dy, dx)/r.
+  return {static_cast<float>(-vtheta * dy / r),
+          static_cast<float>(vtheta * dx / r)};
+}
+
+}  // namespace
+
+FlowDataset generate_flowfield(const FlowSpec& spec) {
+  FGP_CHECK(spec.width > 2 && spec.height > 2);
+  FGP_CHECK(spec.rows_per_chunk > 0);
+  FGP_CHECK(spec.num_vortices >= 0);
+  FGP_CHECK(spec.min_radius > 0 && spec.max_radius >= spec.min_radius);
+
+  util::Rng rng(spec.seed);
+
+  FlowDataset out;
+  out.width = spec.width;
+  out.height = spec.height;
+
+  for (int i = 0; i < spec.num_vortices; ++i) {
+    PlantedVortex vx;
+    vx.core_radius = rng.uniform(spec.min_radius, spec.max_radius);
+    const double margin = vx.core_radius + 2.0;
+    vx.cx = rng.uniform(margin, spec.width - margin);
+    vx.cy = rng.uniform(margin, spec.height - margin);
+    const double sign = rng.next_double() < 0.5 ? -1.0 : 1.0;
+    // Rankine core vorticity is Γ/(π R²); pick Γ so the peak sits well
+    // above the detection threshold regardless of the drawn radius.
+    const double peak_vorticity = rng.uniform(1.6, 3.0);
+    vx.circulation = sign * peak_vorticity * 3.141592653589793 *
+                     vx.core_radius * vx.core_radius;
+    out.vortices.push_back(vx);
+  }
+
+  // Synthesize the full field once so halo rows shared by adjacent chunks
+  // are bit-identical.
+  std::vector<Vec2f> field(static_cast<std::size_t>(spec.width) * spec.height);
+  for (int y = 0; y < spec.height; ++y) {
+    for (int x = 0; x < spec.width; ++x) {
+      Vec2f cell{static_cast<float>(spec.background_u +
+                                    spec.noise * rng.next_gaussian()),
+                 static_cast<float>(spec.noise * rng.next_gaussian())};
+      for (const auto& vx : out.vortices) {
+        const Vec2f iv = induced_velocity(vx, x, y);
+        cell.u += iv.u;
+        cell.v += iv.v;
+      }
+      field[static_cast<std::size_t>(y) * spec.width + x] = cell;
+    }
+  }
+
+  repository::DatasetMeta meta;
+  meta.name = spec.name;
+  meta.schema = "flowfield f32 uv " + std::to_string(spec.width) + "x" +
+                std::to_string(spec.height);
+  meta.seed = spec.seed;
+  out.dataset = repository::ChunkedDataset(meta);
+
+  repository::ChunkId next_id = 0;
+  for (int row0 = 0; row0 < spec.height; row0 += spec.rows_per_chunk) {
+    const int rows = std::min(spec.rows_per_chunk, spec.height - row0);
+    const int stored_row0 = std::max(0, row0 - 1);
+    const int stored_end = std::min(spec.height, row0 + rows + 1);
+    const int stored_rows = stored_end - stored_row0;
+
+    FieldChunkHeader header;
+    header.row0 = static_cast<std::uint32_t>(row0);
+    header.rows = static_cast<std::uint32_t>(rows);
+    header.stored_row0 = static_cast<std::uint32_t>(stored_row0);
+    header.stored_rows = static_cast<std::uint32_t>(stored_rows);
+    header.width = static_cast<std::uint32_t>(spec.width);
+    header.height = static_cast<std::uint32_t>(spec.height);
+
+    std::vector<std::uint8_t> payload(sizeof(FieldChunkHeader) +
+                                      static_cast<std::size_t>(stored_rows) *
+                                          spec.width * sizeof(Vec2f));
+    std::memcpy(payload.data(), &header, sizeof(header));
+    std::memcpy(payload.data() + sizeof(header),
+                field.data() +
+                    static_cast<std::size_t>(stored_row0) * spec.width,
+                static_cast<std::size_t>(stored_rows) * spec.width *
+                    sizeof(Vec2f));
+    out.dataset.add_chunk(
+        repository::Chunk(next_id, std::move(payload), spec.virtual_scale));
+    ++next_id;
+  }
+  return out;
+}
+
+}  // namespace fgp::datagen

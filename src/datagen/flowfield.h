@@ -1,0 +1,89 @@
+// flowfield.h — synthetic CFD simulation output for the vortex-detection
+// application.
+//
+// The paper's vortex application mines "volumetric regions representing
+// features in a CFD simulation output" (710 MB / 1.85 GB datasets). We
+// generate a 2-D velocity field with planted Rankine vortices superposed
+// on a uniform background flow plus noise, chunked into row bands. Bands
+// are stored with a one-row halo on each side — the paper's "special
+// approach to partitioning data (overlapping data instances from
+// neighboring partitions)" that lets the detection step run without
+// communication. The planted vortex list is the ground truth the
+// application tests assert against (vortices may straddle band
+// boundaries, which exercises the cross-node join in the global combine).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "repository/dataset.h"
+
+namespace fgp::datagen {
+
+/// One velocity sample.
+struct Vec2f {
+  float u = 0.0f;
+  float v = 0.0f;
+};
+
+/// Leading bytes of every flow-field chunk payload. The chunk *owns* rows
+/// [row0, row0+rows) but *stores* [stored_row0, stored_row0+stored_rows),
+/// which includes the halo rows needed for derivative stencils.
+struct FieldChunkHeader {
+  std::uint32_t row0 = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t stored_row0 = 0;
+  std::uint32_t stored_rows = 0;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;  ///< total grid height
+};
+
+/// Typed view into a flow-field chunk.
+struct FieldChunkView {
+  FieldChunkHeader header;
+  std::span<const Vec2f> cells;  ///< row-major, stored_rows x width
+
+  /// Velocity at global coordinates; (gy must lie in the stored range).
+  const Vec2f& at(std::uint32_t gy, std::uint32_t gx) const {
+    return cells[static_cast<std::size_t>(gy - header.stored_row0) *
+                     header.width +
+                 gx];
+  }
+};
+
+/// Parses a chunk produced by generate_flowfield; throws on malformed size.
+FieldChunkView parse_field_chunk(const repository::Chunk& chunk);
+
+struct PlantedVortex {
+  double cx = 0.0;
+  double cy = 0.0;
+  double core_radius = 0.0;
+  double circulation = 0.0;  ///< signed strength
+};
+
+struct FlowSpec {
+  int width = 192;
+  int height = 192;
+  int num_vortices = 5;
+  double min_radius = 6.0;
+  double max_radius = 14.0;
+  double background_u = 0.15;  ///< uniform free-stream velocity
+  double noise = 0.01;
+  int rows_per_chunk = 16;
+  double virtual_scale = 1.0;
+  std::uint64_t seed = 7;
+  std::string name = "flowfield";
+};
+
+struct FlowDataset {
+  repository::ChunkedDataset dataset;
+  int width = 0;
+  int height = 0;
+  std::vector<PlantedVortex> vortices;
+};
+
+FlowDataset generate_flowfield(const FlowSpec& spec);
+
+}  // namespace fgp::datagen

@@ -1,0 +1,81 @@
+// flowfield3d.h — volumetric CFD output for 3-D vortex detection.
+//
+// The paper's feature-mining approach "extract[s] and us[es] volumetric
+// regions to represent features in a CFD simulation output". This
+// generator produces a 3-D velocity field with planted vortex *tubes*
+// (Rankine cross-section around a z-aligned axis segment) over background
+// flow plus noise, chunked into z-slabs with one-plane halos so the curl
+// stencil needs no communication — the volumetric analogue of the 2-D
+// generator in flowfield.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "repository/dataset.h"
+
+namespace fgp::datagen {
+
+struct Vec3f {
+  float u = 0.0f, v = 0.0f, w = 0.0f;
+};
+
+/// The chunk *owns* planes [z0, z0+planes) but *stores*
+/// [stored_z0, stored_z0+stored_planes) including the stencil halo.
+struct VolumeChunkHeader {
+  std::uint32_t z0 = 0;
+  std::uint32_t planes = 0;
+  std::uint32_t stored_z0 = 0;
+  std::uint32_t stored_planes = 0;
+  std::uint32_t nx = 0;
+  std::uint32_t ny = 0;
+  std::uint32_t nz = 0;  ///< total planes in the volume
+};
+
+struct VolumeChunkView {
+  VolumeChunkHeader header;
+  std::span<const Vec3f> cells;  ///< [stored_planes][ny][nx]
+
+  const Vec3f& at(std::uint32_t gz, std::uint32_t gy, std::uint32_t gx) const {
+    return cells[(static_cast<std::size_t>(gz - header.stored_z0) * header.ny +
+                  gy) *
+                     header.nx +
+                 gx];
+  }
+};
+
+VolumeChunkView parse_volume_chunk(const repository::Chunk& chunk);
+
+/// A planted vortex tube: Rankine swirl of radius `core_radius` around the
+/// z-aligned axis through (cx, cy), active for z in [z_lo, z_hi).
+struct PlantedTube {
+  double cx = 0.0, cy = 0.0;
+  double core_radius = 0.0;
+  double z_lo = 0.0, z_hi = 0.0;
+  double circulation = 0.0;  ///< signed
+};
+
+struct Flow3dSpec {
+  int nx = 48, ny = 48, nz = 96;
+  int num_tubes = 3;
+  double min_radius = 4.0, max_radius = 8.0;
+  double min_length = 20.0;
+  double background_u = 0.1;
+  double noise = 0.01;
+  int planes_per_chunk = 4;
+  double virtual_scale = 1.0;
+  std::uint64_t seed = 23;
+  std::string name = "flowfield3d";
+};
+
+struct Flow3dDataset {
+  repository::ChunkedDataset dataset;
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<PlantedTube> tubes;
+};
+
+Flow3dDataset generate_flowfield3d(const Flow3dSpec& spec);
+
+}  // namespace fgp::datagen

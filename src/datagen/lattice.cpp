@@ -1,0 +1,188 @@
+#include "datagen/lattice.h"
+
+#include <cstring>
+#include <set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fgp::datagen {
+
+LatticeChunkView parse_lattice_chunk(const repository::Chunk& chunk) {
+  const auto& payload = chunk.payload();
+  FGP_CHECK_MSG(payload.size() >= sizeof(LatticeChunkHeader),
+                "lattice chunk " << chunk.id() << " too small for header");
+  LatticeChunkView view;
+  std::memcpy(&view.header, payload.data(), sizeof(LatticeChunkHeader));
+  const std::size_t atom_bytes = payload.size() - sizeof(LatticeChunkHeader);
+  FGP_CHECK_MSG(atom_bytes % sizeof(Atom) == 0,
+                "lattice chunk " << chunk.id() << ": ragged atom array");
+  view.atoms = {
+      reinterpret_cast<const Atom*>(payload.data() + sizeof(LatticeChunkHeader)),
+      atom_bytes / sizeof(Atom)};
+  return view;
+}
+
+namespace {
+
+using Cell = std::array<int, 3>;
+
+/// Grows a connected cluster of `target` cells from `seed` by random
+/// face-adjacent steps, staying inside the lattice and off reserved cells.
+std::vector<Cell> grow_cluster(Cell seed, int target, int nx, int ny, int nz,
+                               const std::set<Cell>& reserved,
+                               util::Rng& rng) {
+  std::vector<Cell> cells{seed};
+  std::set<Cell> mine{seed};
+  static constexpr int kDirs[6][3] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                                      {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+  int attempts = 0;
+  while (static_cast<int>(cells.size()) < target && attempts < 64) {
+    ++attempts;
+    const Cell& base = cells[rng.next_below(cells.size())];
+    const auto& d = kDirs[rng.next_below(6)];
+    Cell next{base[0] + d[0], base[1] + d[1], base[2] + d[2]};
+    if (next[0] < 0 || next[0] >= nx || next[1] < 0 || next[1] >= ny ||
+        next[2] < 0 || next[2] >= nz)
+      continue;
+    if (mine.count(next) || reserved.count(next)) continue;
+    mine.insert(next);
+    cells.push_back(next);
+  }
+  return cells;
+}
+
+/// Reserves a cluster's cells plus a one-cell halo so planted defects stay
+/// separated (ground-truth counting depends on it).
+void reserve_with_halo(const std::vector<Cell>& cells, int nx, int ny, int nz,
+                       std::set<Cell>& reserved) {
+  for (const auto& c : cells)
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          Cell h{c[0] + dx, c[1] + dy, c[2] + dz};
+          if (h[0] < 0 || h[0] >= nx || h[1] < 0 || h[1] >= ny || h[2] < 0 ||
+              h[2] >= nz)
+            continue;
+          reserved.insert(h);
+        }
+}
+
+bool cluster_clear(const std::vector<Cell>& cells,
+                   const std::set<Cell>& reserved) {
+  for (const auto& c : cells)
+    if (reserved.count(c)) return false;
+  return true;
+}
+
+}  // namespace
+
+LatticeDataset generate_lattice(const LatticeSpec& spec) {
+  FGP_CHECK(spec.nx > 2 && spec.ny > 2 && spec.nz > 2);
+  FGP_CHECK(spec.zslabs_per_chunk > 0);
+  FGP_CHECK(spec.max_cluster_cells >= 1);
+
+  util::Rng rng(spec.seed);
+  LatticeDataset out;
+  out.nx = spec.nx;
+  out.ny = spec.ny;
+  out.nz = spec.nz;
+
+  std::set<Cell> reserved;
+  auto plant = [&](DefectKind kind, int count) {
+    for (int i = 0; i < count; ++i) {
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        Cell seed{static_cast<int>(rng.next_below(spec.nx)),
+                  static_cast<int>(rng.next_below(spec.ny)),
+                  static_cast<int>(rng.next_below(spec.nz))};
+        if (reserved.count(seed)) continue;
+        const int target =
+            1 + static_cast<int>(rng.next_below(spec.max_cluster_cells));
+        auto cells = grow_cluster(seed, target, spec.nx, spec.ny, spec.nz,
+                                  reserved, rng);
+        if (!cluster_clear(cells, reserved)) continue;
+        reserve_with_halo(cells, spec.nx, spec.ny, spec.nz, reserved);
+        out.defects.push_back({kind, cells});
+        break;
+      }
+    }
+  };
+  plant(DefectKind::Vacancy, spec.num_vacancy_clusters);
+  plant(DefectKind::Interstitial, spec.num_interstitials);
+  plant(DefectKind::Displaced, spec.num_displaced_clusters);
+
+  // Index planted cells for the generation sweep.
+  std::set<Cell> vacancy_cells, interstitial_cells, displaced_cells;
+  for (const auto& d : out.defects) {
+    auto& target = d.kind == DefectKind::Vacancy      ? vacancy_cells
+                   : d.kind == DefectKind::Interstitial ? interstitial_cells
+                                                        : displaced_cells;
+    for (const auto& c : d.cells) target.insert(c);
+  }
+
+  repository::DatasetMeta meta;
+  meta.name = spec.name;
+  meta.schema = "lattice atoms " + std::to_string(spec.nx) + "x" +
+                std::to_string(spec.ny) + "x" + std::to_string(spec.nz);
+  meta.seed = spec.seed;
+  out.dataset = repository::ChunkedDataset(meta);
+
+  const float tol = 0.25f;
+  repository::ChunkId next_id = 0;
+  for (int z0 = 0; z0 < spec.nz; z0 += spec.zslabs_per_chunk) {
+    const int zslabs = std::min(spec.zslabs_per_chunk, spec.nz - z0);
+    std::vector<Atom> atoms;
+    atoms.reserve(static_cast<std::size_t>(spec.nx) * spec.ny * zslabs);
+    util::Rng crng = rng.fork(next_id + 1);
+
+    for (int z = z0; z < z0 + zslabs; ++z) {
+      for (int y = 0; y < spec.ny; ++y) {
+        for (int x = 0; x < spec.nx; ++x) {
+          const Cell cell{x, y, z};
+          if (vacancy_cells.count(cell)) continue;  // atom missing
+
+          Atom a{static_cast<float>(
+                     x + spec.thermal_sigma * crng.next_gaussian()),
+                 static_cast<float>(
+                     y + spec.thermal_sigma * crng.next_gaussian()),
+                 static_cast<float>(
+                     z + spec.thermal_sigma * crng.next_gaussian())};
+          if (displaced_cells.count(cell)) {
+            // Push well past the tolerance but keep the atom in its cell.
+            a.x = static_cast<float>(x + 0.38);
+            a.y = static_cast<float>(y + 0.12);
+          }
+          atoms.push_back(a);
+
+          if (interstitial_cells.count(cell)) {
+            // An extra atom squeezed into the same cell.
+            atoms.push_back({static_cast<float>(x + 0.42),
+                             static_cast<float>(y + 0.42),
+                             static_cast<float>(z)});
+          }
+        }
+      }
+    }
+
+    LatticeChunkHeader header;
+    header.z0 = static_cast<std::uint32_t>(z0);
+    header.zslabs = static_cast<std::uint32_t>(zslabs);
+    header.nx = static_cast<std::uint32_t>(spec.nx);
+    header.ny = static_cast<std::uint32_t>(spec.ny);
+    header.nz = static_cast<std::uint32_t>(spec.nz);
+    header.displacement_tol = tol;
+
+    std::vector<std::uint8_t> payload(sizeof(header) +
+                                      atoms.size() * sizeof(Atom));
+    std::memcpy(payload.data(), &header, sizeof(header));
+    if (!atoms.empty())
+      std::memcpy(payload.data() + sizeof(header), atoms.data(),
+                  atoms.size() * sizeof(Atom));
+    out.dataset.add_chunk(
+        repository::Chunk(next_id, std::move(payload), spec.virtual_scale));
+    ++next_id;
+  }
+  return out;
+}
+
+}  // namespace fgp::datagen

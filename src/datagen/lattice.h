@@ -1,0 +1,78 @@
+// lattice.h — synthetic molecular-dynamics snapshots for the defect
+// detection and categorization application.
+//
+// The paper's application uncovers "defect nucleation and growth processes
+// in Silicon lattices". We generate a simple-cubic lattice of atoms with
+// thermal displacement noise and plant three defect species with known
+// positions and shapes: vacancies (missing atoms), interstitials (extra
+// atoms between sites) and displaced clusters (atoms pushed off-site).
+// Chunks are z-slabs; planted defects may span slab boundaries so the
+// cross-node defect joining in the global combine is exercised for real.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "repository/dataset.h"
+
+namespace fgp::datagen {
+
+/// One atom position (lattice units: ideal sites at integer coordinates).
+struct Atom {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+};
+
+/// Leading bytes of every lattice chunk payload.
+struct LatticeChunkHeader {
+  std::uint32_t z0 = 0;      ///< first lattice plane in this slab
+  std::uint32_t zslabs = 0;  ///< planes stored
+  std::uint32_t nx = 0;
+  std::uint32_t ny = 0;
+  std::uint32_t nz = 0;      ///< total planes in the lattice
+  float displacement_tol = 0.25f;  ///< off-site threshold, lattice units
+};
+
+struct LatticeChunkView {
+  LatticeChunkHeader header;
+  std::span<const Atom> atoms;
+};
+
+LatticeChunkView parse_lattice_chunk(const repository::Chunk& chunk);
+
+enum class DefectKind : std::uint8_t { Vacancy, Interstitial, Displaced };
+
+/// Ground truth for one planted defect: the lattice cells it occupies.
+struct PlantedDefect {
+  DefectKind kind = DefectKind::Vacancy;
+  std::vector<std::array<int, 3>> cells;
+};
+
+struct LatticeSpec {
+  int nx = 24;
+  int ny = 24;
+  int nz = 48;
+  double thermal_sigma = 0.03;  ///< thermal displacement noise
+  int num_vacancy_clusters = 3;
+  int num_interstitials = 3;
+  int num_displaced_clusters = 2;
+  int max_cluster_cells = 4;  ///< cells per planted cluster (1..max)
+  int zslabs_per_chunk = 6;
+  double virtual_scale = 1.0;
+  std::uint64_t seed = 11;
+  std::string name = "lattice";
+};
+
+struct LatticeDataset {
+  repository::ChunkedDataset dataset;
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<PlantedDefect> defects;
+};
+
+LatticeDataset generate_lattice(const LatticeSpec& spec);
+
+}  // namespace fgp::datagen

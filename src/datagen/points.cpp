@@ -1,0 +1,129 @@
+#include "datagen/points.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fgp::datagen {
+
+PointsDataset generate_points(const PointsSpec& spec) {
+  FGP_CHECK(spec.num_points > 0);
+  FGP_CHECK(spec.dim > 0);
+  FGP_CHECK(spec.num_components > 0);
+  FGP_CHECK(spec.points_per_chunk > 0);
+
+  util::Rng rng(spec.seed);
+
+  PointsDataset out;
+  out.dim = spec.dim;
+  out.num_points = spec.num_points;
+
+  const std::size_t k = static_cast<std::size_t>(spec.num_components);
+  const std::size_t d = static_cast<std::size_t>(spec.dim);
+  out.true_centers.resize(k * d);
+  for (auto& c : out.true_centers)
+    c = rng.uniform(-spec.center_box, spec.center_box);
+
+  repository::DatasetMeta meta;
+  meta.name = spec.name;
+  meta.schema = "f64 point dim=" + std::to_string(spec.dim);
+  meta.seed = spec.seed;
+  out.dataset = repository::ChunkedDataset(meta);
+
+  std::uint64_t remaining = spec.num_points;
+  repository::ChunkId next_id = 0;
+  while (remaining > 0) {
+    const std::uint64_t take = std::min(remaining, spec.points_per_chunk);
+    std::vector<double> payload(take * d);
+    util::Rng crng = rng.fork(next_id + 1);
+    for (std::uint64_t p = 0; p < take; ++p) {
+      const std::size_t comp = crng.next_below(k);
+      for (std::size_t j = 0; j < d; ++j)
+        payload[p * d + j] = out.true_centers[comp * d + j] +
+                             spec.noise_sigma * crng.next_gaussian();
+    }
+    out.dataset.add_chunk(
+        repository::make_chunk(next_id, payload, spec.virtual_scale));
+    ++next_id;
+    remaining -= take;
+  }
+  return out;
+}
+
+LabeledPointsDataset generate_labeled_points(const PointsSpec& spec) {
+  FGP_CHECK(spec.num_points > 0);
+  FGP_CHECK(spec.dim > 0);
+  FGP_CHECK(spec.num_components > 0);
+  FGP_CHECK(spec.points_per_chunk > 0);
+
+  util::Rng rng(spec.seed);
+
+  LabeledPointsDataset out;
+  out.dim = spec.dim;
+  out.num_classes = spec.num_components;
+  out.num_points = spec.num_points;
+
+  const std::size_t k = static_cast<std::size_t>(spec.num_components);
+  const std::size_t d = static_cast<std::size_t>(spec.dim);
+  out.true_centers.resize(k * d);
+  for (auto& c : out.true_centers)
+    c = rng.uniform(-spec.center_box, spec.center_box);
+
+  repository::DatasetMeta meta;
+  meta.name = spec.name;
+  meta.schema = "f64 labeled point dim=" + std::to_string(spec.dim);
+  meta.seed = spec.seed;
+  out.dataset = repository::ChunkedDataset(meta);
+
+  const std::size_t row = d + 1;
+  std::uint64_t remaining = spec.num_points;
+  repository::ChunkId next_id = 0;
+  while (remaining > 0) {
+    const std::uint64_t take = std::min(remaining, spec.points_per_chunk);
+    std::vector<double> payload(take * row);
+    util::Rng crng = rng.fork(next_id + 1);
+    for (std::uint64_t p = 0; p < take; ++p) {
+      const std::size_t comp = crng.next_below(k);
+      payload[p * row] = static_cast<double>(comp);
+      for (std::size_t j = 0; j < d; ++j)
+        payload[p * row + 1 + j] = out.true_centers[comp * d + j] +
+                                   spec.noise_sigma * crng.next_gaussian();
+    }
+    out.dataset.add_chunk(
+        repository::make_chunk(next_id, payload, spec.virtual_scale));
+    ++next_id;
+    remaining -= take;
+  }
+  return out;
+}
+
+PointsSpec scaled_points_spec(double virtual_mb, double real_mb, int dim,
+                              std::uint64_t seed) {
+  FGP_CHECK(virtual_mb > 0 && real_mb > 0 && dim > 0);
+  PointsSpec spec;
+  spec.dim = dim;
+  spec.seed = seed;
+  const double bytes_per_point = static_cast<double>(dim) * sizeof(double);
+  spec.num_points =
+      static_cast<std::uint64_t>(real_mb * 1e6 / bytes_per_point);
+  // Chunk the dataset at a roughly constant *virtual* chunk size (~5.5 MB,
+  // the "manageable for the repository nodes" unit): bigger datasets get
+  // more chunks, exactly like a real repository, so per-chunk costs scale
+  // with dataset size the way the prediction model assumes. The count is
+  // rounded to a multiple of 16 so the evaluation grid's node counts
+  // divide it evenly — GB-scale datasets have hundreds of chunks and no
+  // material imbalance; ragged MB-scale chunking would fake one.
+  std::uint64_t chunks =
+      static_cast<std::uint64_t>(virtual_mb / 5.5 / 16.0 + 0.5) * 16;
+  chunks = std::clamp<std::uint64_t>(chunks, 16, 1024);
+  spec.num_points = std::max<std::uint64_t>(1, spec.num_points / chunks) *
+                    chunks;
+  spec.points_per_chunk = spec.num_points / chunks;
+  spec.virtual_scale = virtual_mb / real_mb;
+  return spec;
+}
+
+}  // namespace fgp::datagen

@@ -1,0 +1,60 @@
+// points.h — synthetic point sets for k-means, EM and k-NN.
+//
+// The paper's clustering experiments used 1.4 GB datasets of points in a
+// "high-dimensional space"; we generate Gaussian mixtures with known
+// (planted) component centres so application tests can assert that the
+// parallel algorithms actually recover structure, and we stamp a virtual
+// scale so the repository charges paper-scale disk/network time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repository/dataset.h"
+
+namespace fgp::datagen {
+
+struct PointsSpec {
+  std::uint64_t num_points = 10000;
+  int dim = 8;
+  int num_components = 4;    ///< planted mixture components
+  double center_box = 10.0;  ///< centres drawn uniformly in [-box, box]^dim
+  double noise_sigma = 0.6;  ///< per-coordinate Gaussian spread
+  std::uint64_t points_per_chunk = 1000;
+  double virtual_scale = 1.0;  ///< virtual bytes per real byte
+  std::uint64_t seed = 42;
+  std::string name = "points";
+};
+
+struct PointsDataset {
+  repository::ChunkedDataset dataset;
+  int dim = 0;
+  std::uint64_t num_points = 0;
+  /// Planted component centres, row-major [num_components x dim].
+  std::vector<double> true_centers;
+};
+
+/// Generates the mixture. Chunk payloads are row-major doubles
+/// (points_per_chunk x dim); the final chunk may be shorter.
+PointsDataset generate_points(const PointsSpec& spec);
+
+/// Convenience: a PointsSpec whose virtual size is `virtual_mb` megabytes
+/// while the real payload stays at `real_mb` megabytes.
+PointsSpec scaled_points_spec(double virtual_mb, double real_mb, int dim,
+                              std::uint64_t seed);
+
+/// Labeled variant for classification workloads (k-NN classifier, neural
+/// network): each row is [label, x_0 … x_{dim-1}] as doubles (dim+1 values
+/// per point), where the label is the planted mixture component the point
+/// was drawn from — the ground truth classifiers are tested against.
+struct LabeledPointsDataset {
+  repository::ChunkedDataset dataset;
+  int dim = 0;  ///< feature dimension (payload rows have dim+1 values)
+  int num_classes = 0;
+  std::uint64_t num_points = 0;
+  std::vector<double> true_centers;  ///< [num_classes x dim]
+};
+
+LabeledPointsDataset generate_labeled_points(const PointsSpec& spec);
+
+}  // namespace fgp::datagen

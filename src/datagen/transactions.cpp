@@ -1,0 +1,100 @@
+#include "datagen/transactions.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace fgp::datagen {
+
+std::vector<Transaction> parse_transactions(const repository::Chunk& chunk) {
+  const auto& payload = chunk.payload();
+  util::ByteReader r(payload);
+  const std::uint32_t count = r.get_u32();
+  std::vector<Transaction> out;
+  out.reserve(count);
+  std::size_t offset = sizeof(std::uint32_t);
+  for (std::uint32_t t = 0; t < count; ++t) {
+    const std::uint16_t len = r.get<std::uint16_t>();
+    offset += sizeof(std::uint16_t);
+    FGP_CHECK_MSG(r.remaining() >= static_cast<std::size_t>(len) * sizeof(Item),
+                  "transactions chunk " << chunk.id() << " truncated");
+    Transaction txn;
+    txn.items = {reinterpret_cast<const Item*>(payload.data() + offset), len};
+    out.push_back(txn);
+    for (std::uint16_t i = 0; i < len; ++i) r.get<Item>();
+    offset += static_cast<std::size_t>(len) * sizeof(Item);
+  }
+  FGP_CHECK_MSG(r.exhausted(),
+                "transactions chunk " << chunk.id() << " has trailing bytes");
+  return out;
+}
+
+TransactionsSpec default_market_baskets(std::uint64_t num_transactions,
+                                        std::uint64_t seed) {
+  TransactionsSpec spec;
+  spec.num_transactions = num_transactions;
+  spec.seed = seed;
+  spec.patterns = {
+      {{3, 17, 42}, 0.18},
+      {{17, 42}, 0.10},  // extra support on a sub-pattern
+      {{5, 99}, 0.22},
+      {{120, 121, 122, 123}, 0.12},
+  };
+  return spec;
+}
+
+TransactionsDataset generate_transactions(const TransactionsSpec& spec) {
+  FGP_CHECK(spec.num_transactions > 0);
+  FGP_CHECK(spec.num_items > 1);
+  FGP_CHECK(spec.transactions_per_chunk > 0);
+  for (const auto& p : spec.patterns) {
+    FGP_CHECK_MSG(std::is_sorted(p.items.begin(), p.items.end()) &&
+                      std::adjacent_find(p.items.begin(), p.items.end()) ==
+                          p.items.end(),
+                  "planted patterns must be strictly ascending");
+    FGP_CHECK(p.frequency > 0.0 && p.frequency <= 1.0);
+    for (const Item item : p.items) FGP_CHECK(item < spec.num_items);
+  }
+
+  util::Rng rng(spec.seed);
+  TransactionsDataset out;
+  out.patterns = spec.patterns;
+  out.num_transactions = spec.num_transactions;
+
+  repository::DatasetMeta meta;
+  meta.name = spec.name;
+  meta.schema = "transactions u16 items=" + std::to_string(spec.num_items);
+  meta.seed = spec.seed;
+  out.dataset = repository::ChunkedDataset(meta);
+
+  std::uint64_t remaining = spec.num_transactions;
+  repository::ChunkId next_id = 0;
+  while (remaining > 0) {
+    const std::uint64_t take =
+        std::min(remaining, spec.transactions_per_chunk);
+    util::Rng crng = rng.fork(next_id + 1);
+    util::ByteWriter w;
+    w.put_u32(static_cast<std::uint32_t>(take));
+    for (std::uint64_t t = 0; t < take; ++t) {
+      std::set<Item> items;
+      for (const auto& p : spec.patterns)
+        if (crng.next_double() < p.frequency)
+          items.insert(p.items.begin(), p.items.end());
+      for (int i = 0; i < spec.random_items_per_txn; ++i)
+        items.insert(static_cast<Item>(crng.next_below(spec.num_items)));
+      w.put<std::uint16_t>(static_cast<std::uint16_t>(items.size()));
+      for (const Item item : items) w.put<Item>(item);
+    }
+    out.dataset.add_chunk(
+        repository::Chunk(next_id, w.take(), spec.virtual_scale));
+    ++next_id;
+    remaining -= take;
+  }
+  return out;
+}
+
+}  // namespace fgp::datagen

@@ -1,0 +1,58 @@
+// transactions.h — synthetic market-basket data for apriori association
+// mining (paper §2.2 names apriori as a canonical generalized-reduction
+// application).
+//
+// Transactions draw random items plus a few *planted frequent itemsets*
+// that appear together in a configurable fraction of transactions, so
+// tests can assert that mining recovers exactly the planted structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repository/dataset.h"
+
+namespace fgp::datagen {
+
+using Item = std::uint16_t;
+using Itemset = std::vector<Item>;  ///< strictly ascending item ids
+
+/// A view over one transaction inside a chunk payload.
+struct Transaction {
+  std::span<const Item> items;  ///< ascending
+};
+
+/// Parses a transactions chunk: returns item spans into the payload.
+/// Layout: u32 txn_count, then per transaction u16 len + len u16 items.
+std::vector<Transaction> parse_transactions(const repository::Chunk& chunk);
+
+struct PlantedPattern {
+  Itemset items;
+  double frequency = 0.1;  ///< fraction of transactions containing it
+};
+
+struct TransactionsSpec {
+  std::uint64_t num_transactions = 20000;
+  Item num_items = 200;           ///< catalogue size
+  int random_items_per_txn = 6;   ///< noise items per transaction
+  std::vector<PlantedPattern> patterns;
+  std::uint64_t transactions_per_chunk = 1000;
+  double virtual_scale = 1.0;
+  std::uint64_t seed = 17;
+  std::string name = "transactions";
+};
+
+/// A spec with three overlapping planted patterns (sensible defaults).
+TransactionsSpec default_market_baskets(std::uint64_t num_transactions,
+                                        std::uint64_t seed);
+
+struct TransactionsDataset {
+  repository::ChunkedDataset dataset;
+  std::vector<PlantedPattern> patterns;
+  std::uint64_t num_transactions = 0;
+};
+
+TransactionsDataset generate_transactions(const TransactionsSpec& spec);
+
+}  // namespace fgp::datagen

@@ -1,0 +1,40 @@
+#include "freeride/cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fgp::freeride {
+
+void NodeCache::insert(repository::ChunkId id, double virtual_bytes) {
+  FGP_CHECK(virtual_bytes >= 0.0);
+  if (contains(id)) return;
+  ids_.push_back(id);
+  virtual_bytes_ += virtual_bytes;
+}
+
+bool NodeCache::contains(repository::ChunkId id) const {
+  return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
+}
+
+void NodeCache::clear() {
+  ids_.clear();
+  virtual_bytes_ = 0.0;
+}
+
+CacheSet::CacheSet(int compute_nodes) {
+  FGP_CHECK(compute_nodes > 0);
+  caches_.resize(static_cast<std::size_t>(compute_nodes));
+}
+
+NodeCache& CacheSet::node(int i) {
+  FGP_CHECK(i >= 0 && i < nodes());
+  return caches_[static_cast<std::size_t>(i)];
+}
+
+const NodeCache& CacheSet::node(int i) const {
+  FGP_CHECK(i >= 0 && i < nodes());
+  return caches_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace fgp::freeride

@@ -1,0 +1,49 @@
+// cache.h — the compute-node chunk cache.
+//
+// "If caching was performed on the initial iteration, each subsequent pass
+// retrieves data chunks from local disk, instead of receiving it via
+// network." Each compute node has its own cache; the runtime charges local
+// disk time for cached reads and (optionally) for the initial writes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "repository/chunk.h"
+
+namespace fgp::freeride {
+
+/// Per-node cache bookkeeping: which chunks are resident and their virtual
+/// byte volume (what local-disk time is charged against).
+class NodeCache {
+ public:
+  void insert(repository::ChunkId id, double virtual_bytes);
+  bool contains(repository::ChunkId id) const;
+
+  std::size_t chunk_count() const { return ids_.size(); }
+  double virtual_bytes() const { return virtual_bytes_; }
+  void clear();
+
+ private:
+  std::vector<repository::ChunkId> ids_;
+  double virtual_bytes_ = 0.0;
+};
+
+/// Caches for all compute nodes of one job.
+class CacheSet {
+ public:
+  explicit CacheSet(int compute_nodes);
+  NodeCache& node(int i);
+  const NodeCache& node(int i) const;
+  int nodes() const { return static_cast<int>(caches_.size()); }
+
+  /// True when every node already holds every chunk it will process.
+  bool warm() const { return warm_; }
+  void mark_warm() { warm_ = true; }
+
+ private:
+  std::vector<NodeCache> caches_;
+  bool warm_ = false;
+};
+
+}  // namespace fgp::freeride

@@ -1,0 +1,29 @@
+#include "freeride/config.h"
+
+#include "util/check.h"
+
+namespace fgp::freeride {
+
+void JobConfig::validate() const {
+  if (data_nodes <= 0)
+    throw util::ConfigError("data_nodes must be positive, got " +
+                            std::to_string(data_nodes));
+  if (compute_nodes <= 0)
+    throw util::ConfigError("compute_nodes must be positive, got " +
+                            std::to_string(compute_nodes));
+  if (compute_nodes < data_nodes)
+    throw util::ConfigError(
+        "FREERIDE-G requires compute_nodes >= data_nodes (M >= N); got M=" +
+        std::to_string(compute_nodes) + ", N=" + std::to_string(data_nodes));
+  if (threads_per_node <= 0)
+    throw util::ConfigError("threads_per_node must be positive, got " +
+                            std::to_string(threads_per_node));
+  if (max_passes <= 0)
+    throw util::ConfigError("max_passes must be positive");
+  if (straggler_count < 0 || straggler_count > compute_nodes)
+    throw util::ConfigError("straggler_count must be in [0, compute_nodes]");
+  if (straggler_slowdown < 1.0)
+    throw util::ConfigError("straggler_slowdown must be >= 1.0");
+}
+
+}  // namespace fgp::freeride

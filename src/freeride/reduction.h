@@ -1,0 +1,80 @@
+// reduction.h — the FREERIDE-G programming interface.
+//
+// "During each phase of these algorithms, the computation involves reading
+// the data instances in an arbitrary order, processing each data instance,
+// and updating elements of a reduction object using associative and
+// commutative operators." (paper §2.2)
+//
+// An application provides:
+//   * a ReductionObject — the replicated accumulator state,
+//   * process_chunk    — the local reduction,
+//   * merge            — the associative/commutative combine,
+//   * global_reduce    — the sequential global step (may update kernel
+//                        parameters, e.g. new k-means centres, and request
+//                        another pass for iterative algorithms).
+//
+// Kernels report the Work they actually perform so the virtual cluster can
+// charge time for it; they never measure wall-clock themselves.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "repository/chunk.h"
+#include "sim/machine.h"
+#include "util/serial.h"
+
+namespace fgp::freeride {
+
+/// Replicated accumulator updated by local reductions and combined by
+/// merge(). Must serialize to a flat byte buffer: the serialized size is
+/// the prediction model's reduction-object size "r".
+class ReductionObject {
+ public:
+  virtual ~ReductionObject() = default;
+  virtual void serialize(util::ByteWriter& w) const = 0;
+  virtual void deserialize(util::ByteReader& r) = 0;
+};
+
+/// An application kernel. One instance drives a whole job; per-node state
+/// lives exclusively in ReductionObjects. process_chunk is const so that
+/// independent nodes may run concurrently; kernel parameters change only
+/// in global_reduce (executed once per pass, on the master).
+class ReductionKernel {
+ public:
+  virtual ~ReductionKernel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fresh, empty per-node reduction object.
+  virtual std::unique_ptr<ReductionObject> create_object() const = 0;
+
+  /// Local reduction of one chunk into `obj`. Returns the work performed
+  /// on the chunk's *real* payload; the runtime scales it by the chunk's
+  /// virtual scale.
+  virtual sim::Work process_chunk(const repository::Chunk& chunk,
+                                  ReductionObject& obj) const = 0;
+
+  /// Merges `other` into `into` (associative and commutative). Returns the
+  /// work performed.
+  virtual sim::Work merge(ReductionObject& into,
+                          const ReductionObject& other) const = 0;
+
+  /// Sequential global reduction on the fully merged object. May update
+  /// kernel parameters; sets `more_passes` to request another pass over
+  /// the data (iterative algorithms). Returns the work performed.
+  virtual sim::Work global_reduce(ReductionObject& merged,
+                                  bool& more_passes) = 0;
+
+  /// Bytes re-broadcast to compute nodes after global_reduce (updated
+  /// centres, defect catalog, ...). Zero when nothing is broadcast.
+  virtual double broadcast_bytes() const { return 0.0; }
+
+  /// True when the reduction object's size tracks the local data volume
+  /// (the paper's "linear object size class"); the runtime then charges
+  /// gather bytes and merge work at the dataset's virtual scale so the
+  /// component ratios match paper-scale datasets.
+  virtual bool reduction_object_scales_with_data() const { return false; }
+};
+
+}  // namespace fgp::freeride

@@ -1,0 +1,345 @@
+#include "freeride/runtime.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fgp::freeride {
+
+namespace {
+
+using repository::PartitionMap;
+
+/// Per-data-node virtual byte and chunk-count totals for one partition.
+struct NodeVolume {
+  double virtual_bytes = 0.0;
+  std::uint64_t chunks = 0;
+};
+
+std::vector<NodeVolume> volumes(const repository::ChunkedDataset& ds,
+                                const PartitionMap& pm) {
+  std::vector<NodeVolume> v(static_cast<std::size_t>(pm.parts()));
+  for (int p = 0; p < pm.parts(); ++p) {
+    for (std::size_t ci : pm.chunks_of(p)) {
+      v[static_cast<std::size_t>(p)].virtual_bytes +=
+          ds.chunk(ci).virtual_bytes();
+      v[static_cast<std::size_t>(p)].chunks += 1;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
+  FGP_CHECK_MSG(setup.dataset != nullptr, "JobSetup.dataset is null");
+  setup.config.validate();
+  const auto& ds = *setup.dataset;
+  const JobConfig& cfg = setup.config;
+  const int n = cfg.data_nodes;
+  const int c = cfg.compute_nodes;
+  FGP_CHECK_MSG(n <= setup.data_cluster.max_nodes,
+                "data cluster " << setup.data_cluster.name << " has only "
+                                << setup.data_cluster.max_nodes << " nodes");
+  FGP_CHECK_MSG(c <= setup.compute_cluster.max_nodes,
+                "compute cluster " << setup.compute_cluster.name
+                                   << " has only "
+                                   << setup.compute_cluster.max_nodes
+                                   << " nodes");
+
+  // Data layout on the repository and destination assignment to compute
+  // nodes (the data server's "data distribution" role).
+  const PartitionMap data_part = PartitionMap::block(ds.chunk_count(), n);
+  const PartitionMap dest_part =
+      PartitionMap::round_robin(ds.chunk_count(), c);
+  const auto data_vol = volumes(ds, data_part);
+  const auto dest_vol = volumes(ds, dest_part);
+
+  const double dataset_scale =
+      ds.total_real_bytes() > 0
+          ? ds.total_virtual_bytes() / static_cast<double>(ds.total_real_bytes())
+          : 1.0;
+  const double obj_scale =
+      kernel.reduction_object_scales_with_data() ? dataset_scale : 1.0;
+
+  const sim::MachineSpec& data_machine = setup.data_cluster.machine;
+  const sim::MachineSpec& compute_machine = setup.compute_cluster.machine;
+  const sim::InterconnectSpec& ipc = setup.compute_cluster.interconnect;
+
+  RunResult result;
+  CacheSet caches(c);
+
+  // Decide how later passes of a multi-pass job will be served: local disk
+  // when the compute nodes can hold their share, otherwise a non-local
+  // cache site if the setup names one, otherwise re-retrieval.
+  CacheMode cache_mode = CacheMode::None;
+  if (cfg.enable_caching) {
+    double max_node_share = 0.0;
+    for (const auto& v : dest_vol)
+      max_node_share = std::max(max_node_share, v.virtual_bytes);
+    if (max_node_share <= cfg.local_cache_capacity_bytes) {
+      cache_mode = CacheMode::LocalDisk;
+    } else if (setup.cache_site && setup.cache_site->nodes > 0) {
+      FGP_CHECK_MSG(setup.cache_site->nodes <= setup.cache_site->cluster.max_nodes,
+                    "cache site wants more nodes than its cluster has");
+      cache_mode = CacheMode::NonLocalSite;
+    }
+  }
+  result.cache_mode = cache_mode;
+
+  // Chunk layout across the non-local cache site's nodes.
+  const int cache_nodes =
+      cache_mode == CacheMode::NonLocalSite ? setup.cache_site->nodes : 1;
+  const PartitionMap cache_part =
+      PartitionMap::block(ds.chunk_count(), cache_nodes);
+  const auto cache_vol = volumes(ds, cache_part);
+
+  bool more_passes = true;
+  while (more_passes && result.passes < cfg.max_passes) {
+    PassRecord rec;
+    const bool cached_pass = cache_mode != CacheMode::None && caches.warm();
+    rec.from_cache = cached_pass;
+
+    // --- Phase 1: data retrieval -------------------------------------
+    if (cached_pass && cache_mode == CacheMode::LocalDisk) {
+      // Each compute node reads its chunks back from local disk.
+      double t = 0.0;
+      for (int j = 0; j < c; ++j) {
+        const auto& cache = caches.node(j);
+        if (cache.chunk_count() == 0) continue;
+        t = std::max(t, compute_machine.disk.access_time(
+                            cache.virtual_bytes(), cache.chunk_count()));
+      }
+      rec.timing.disk = t;
+    } else if (cached_pass) {
+      // The non-local cache site's nodes read their partitions.
+      const auto& site = *setup.cache_site;
+      const double bw = site.cluster.per_node_retrieval_Bps(cache_nodes);
+      double t = 0.0;
+      for (int d = 0; d < cache_nodes; ++d) {
+        const auto& v = cache_vol[static_cast<std::size_t>(d)];
+        if (v.chunks == 0) continue;
+        t = std::max(t, site.cluster.machine.disk.startup_s +
+                            static_cast<double>(v.chunks) *
+                                site.cluster.machine.disk.seek_s +
+                            v.virtual_bytes / bw);
+      }
+      rec.timing.disk = t;
+    } else {
+      // Each data-server node reads its partition; the shared storage
+      // backplane caps aggregate throughput.
+      const double bw = setup.data_cluster.per_node_retrieval_Bps(n);
+      double t = 0.0;
+      for (int d = 0; d < n; ++d) {
+        const auto& v = data_vol[static_cast<std::size_t>(d)];
+        if (v.chunks == 0) continue;
+        const double td = data_machine.disk.startup_s +
+                          static_cast<double>(v.chunks) *
+                              data_machine.disk.seek_s +
+                          v.virtual_bytes / bw;
+        t = std::max(t, td);
+      }
+      rec.timing.disk = t;
+
+      if (cfg.verify_chunks && result.passes == 0) {
+        for (const auto& chunk : ds.chunks())
+          FGP_CHECK_MSG(chunk.verify(),
+                        "chunk " << chunk.id() << " failed checksum");
+      }
+    }
+
+    // --- Phase 2: data communication ---------------------------------
+    if (cached_pass && cache_mode == CacheMode::NonLocalSite) {
+      // Cache site -> compute nodes over the cache pipe.
+      const auto& site = *setup.cache_site;
+      double t = 0.0;
+      for (int d = 0; d < cache_nodes; ++d) {
+        const auto& v = cache_vol[static_cast<std::size_t>(d)];
+        if (v.chunks == 0) continue;
+        t = std::max(t, site.wan_to_compute.transfer_time(
+                            v.virtual_bytes, v.chunks, cache_nodes,
+                            site.cluster.machine.nic.bandwidth_Bps));
+      }
+      rec.timing.network = t;
+    } else if (!cached_pass) {
+      double t = 0.0;
+      for (int d = 0; d < n; ++d) {
+        const auto& v = data_vol[static_cast<std::size_t>(d)];
+        if (v.chunks == 0) continue;
+        t = std::max(t, setup.wan.transfer_time(v.virtual_bytes, v.chunks, n,
+                                                data_machine.nic.bandwidth_Bps));
+      }
+      rec.timing.network = t;
+
+      // Populate the cache during the first pass.
+      if (cache_mode == CacheMode::LocalDisk && !caches.warm()) {
+        double tw = 0.0;
+        for (int j = 0; j < c; ++j) {
+          for (std::size_t ci : dest_part.chunks_of(j))
+            caches.node(j).insert(ds.chunk(ci).id(),
+                                  ds.chunk(ci).virtual_bytes());
+          const auto& v = dest_vol[static_cast<std::size_t>(j)];
+          if (cfg.charge_cache_write && v.chunks > 0)
+            tw = std::max(tw, compute_machine.disk.access_time(v.virtual_bytes,
+                                                               v.chunks));
+        }
+        rec.timing.disk += tw;
+        caches.mark_warm();
+      } else if (cache_mode == CacheMode::NonLocalSite && !caches.warm()) {
+        // Forward the stream to the cache site and write it there.
+        const auto& site = *setup.cache_site;
+        double tx = 0.0, tw = 0.0;
+        const double write_bw =
+            site.cluster.per_node_retrieval_Bps(cache_nodes);
+        for (int d = 0; d < cache_nodes; ++d) {
+          const auto& v = cache_vol[static_cast<std::size_t>(d)];
+          if (v.chunks == 0) continue;
+          tx = std::max(tx, site.wan_to_compute.transfer_time(
+                                v.virtual_bytes, v.chunks, cache_nodes,
+                                compute_machine.nic.bandwidth_Bps));
+          if (cfg.charge_cache_write)
+            tw = std::max(tw, site.cluster.machine.disk.startup_s +
+                                  static_cast<double>(v.chunks) *
+                                      site.cluster.machine.disk.seek_s +
+                                  v.virtual_bytes / write_bw);
+        }
+        rec.timing.network += tx;
+        rec.timing.disk += tw;
+        caches.mark_warm();
+      }
+    }
+
+    // --- Phase 3a: parallel local reduction --------------------------
+    // Each compute node runs `threads` workers (cluster-of-SMPs support).
+    // Full replication gives every thread its own reduction object and
+    // really merges them; the locking strategies share the node object and
+    // pay a modeled per-update contention penalty instead.
+    const int threads = cfg.threads_per_node;
+    FGP_CHECK_MSG(threads <= compute_machine.cores,
+                  "threads_per_node=" << threads << " exceeds "
+                                      << compute_machine.name << " cores ("
+                                      << compute_machine.cores << ")");
+    const double lock_penalty =
+        cfg.smp_strategy == SmpStrategy::FullLocking            ? 0.12
+        : cfg.smp_strategy == SmpStrategy::CacheSensitiveLocking ? 0.025
+                                                                 : 0.0;
+
+    std::vector<std::unique_ptr<ReductionObject>> objects;
+    objects.reserve(static_cast<std::size_t>(c));
+    for (int j = 0; j < c; ++j) objects.push_back(kernel.create_object());
+
+    double t_local = 0.0;
+    for (int j = 0; j < c; ++j) {
+      double tj = 0.0;
+      if (threads == 1) {
+        for (std::size_t ci : dest_part.chunks_of(j)) {
+          const auto& chunk = ds.chunk(ci);
+          const sim::Work w = kernel.process_chunk(chunk, *objects[j]);
+          const sim::Work scaled = chunk.virtual_scale() * w;
+          tj += compute_machine.compute_time(scaled);
+          result.total_work += scaled;
+        }
+      } else if (cfg.smp_strategy == SmpStrategy::FullReplication) {
+        // One object per thread; chunks round-robin over threads.
+        std::vector<std::unique_ptr<ReductionObject>> thread_objects;
+        for (int th = 1; th < threads; ++th)
+          thread_objects.push_back(kernel.create_object());
+        std::vector<double> thread_time(static_cast<std::size_t>(threads));
+        const auto& node_chunks = dest_part.chunks_of(j);
+        for (std::size_t k = 0; k < node_chunks.size(); ++k) {
+          const int th = static_cast<int>(k % static_cast<std::size_t>(threads));
+          ReductionObject& obj =
+              th == 0 ? *objects[j]
+                      : *thread_objects[static_cast<std::size_t>(th - 1)];
+          const auto& chunk = ds.chunk(node_chunks[k]);
+          const sim::Work w = kernel.process_chunk(chunk, obj);
+          const sim::Work scaled = chunk.virtual_scale() * w;
+          thread_time[static_cast<std::size_t>(th)] +=
+              compute_machine.compute_time(scaled);
+          result.total_work += scaled;
+        }
+        for (double tt : thread_time) tj = std::max(tj, tt);
+        // Sequential intra-node combine of the thread replicas.
+        for (auto& extra : thread_objects) {
+          const sim::Work mw = kernel.merge(*objects[j], *extra);
+          const sim::Work scaled = obj_scale * mw;
+          tj += compute_machine.compute_time(scaled);
+          result.total_work += scaled;
+        }
+      } else {
+        // Locking strategies: one shared object, contention on updates.
+        std::vector<double> thread_time(static_cast<std::size_t>(threads));
+        const auto& node_chunks = dest_part.chunks_of(j);
+        for (std::size_t k = 0; k < node_chunks.size(); ++k) {
+          const auto& chunk = ds.chunk(node_chunks[k]);
+          const sim::Work w = kernel.process_chunk(chunk, *objects[j]);
+          const sim::Work scaled = chunk.virtual_scale() * w;
+          thread_time[k % static_cast<std::size_t>(threads)] +=
+              compute_machine.compute_time(scaled);
+          result.total_work += scaled;
+        }
+        for (double tt : thread_time) tj = std::max(tj, tt);
+        tj *= 1.0 + lock_penalty * static_cast<double>(threads - 1);
+      }
+      if (j < cfg.straggler_count) tj *= cfg.straggler_slowdown;
+      t_local = std::max(t_local, tj);
+    }
+    rec.timing.compute_local = t_local;
+
+    // --- Phase 3b: reduction-object gather + merge (serialized) ------
+    // Record the master's own object size too: the profile's "r" is the
+    // maximum reduction-object size regardless of who sent it.
+    {
+      util::ByteWriter w0;
+      objects[0]->serialize(w0);
+      rec.max_object_bytes = static_cast<double>(w0.size()) * obj_scale;
+    }
+    for (int j = 1; j < c; ++j) {
+      util::ByteWriter w;
+      objects[j]->serialize(w);
+      const double charged = static_cast<double>(w.size()) * obj_scale;
+      rec.max_object_bytes = std::max(rec.max_object_bytes, charged);
+      rec.timing.ro_comm += ipc.message_time(charged);
+
+      const sim::Work mw = kernel.merge(*objects[0], *objects[j]);
+      const sim::Work scaled_mw = obj_scale * mw;
+      rec.timing.global_red += compute_machine.compute_time(scaled_mw);
+      result.total_work += scaled_mw;
+    }
+
+    // --- Phase 3c: sequential global reduction + broadcast -----------
+    more_passes = false;
+    const sim::Work gw = kernel.global_reduce(*objects[0], more_passes);
+    const sim::Work scaled_gw = obj_scale * gw;
+    rec.timing.global_red += compute_machine.compute_time(scaled_gw);
+    result.total_work += scaled_gw;
+
+    // Parameter re-broadcast uses a binomial tree (ceil(log2(c)) rounds),
+    // like any reasonable collective implementation.
+    const double bb = kernel.broadcast_bytes();
+    if (bb > 0.0 && c > 1) {
+      int rounds = 0;
+      for (int reach = 1; reach < c; reach *= 2) ++rounds;
+      rec.timing.ro_comm += static_cast<double>(rounds) * ipc.message_time(bb);
+    }
+
+    rec.elapsed =
+        cfg.overlap_phases
+            ? std::max({rec.timing.disk, rec.timing.network,
+                        rec.timing.compute_local}) +
+                  rec.timing.ro_comm + rec.timing.global_red
+            : rec.timing.total();
+    result.timing.elapsed += rec.elapsed;
+    result.timing.total += rec.timing;
+    result.timing.max_object_bytes =
+        std::max(result.timing.max_object_bytes, rec.max_object_bytes);
+    result.timing.passes.push_back(rec);
+    ++result.passes;
+    result.result = std::move(objects[0]);
+  }
+
+  return result;
+}
+
+}  // namespace fgp::freeride

@@ -1,0 +1,72 @@
+// runtime.h — the FREERIDE-G execution engine on the virtual cluster.
+//
+// One run() call executes a complete job: per pass, the n data-server
+// nodes retrieve their chunk partitions (data retrieval), assign and send
+// every chunk to a compute node (data distribution + communication), the c
+// compute nodes run the real local reduction, reduction objects are
+// gathered and merged at the master, and the sequential global reduction
+// (plus optional parameter broadcast) closes the pass. Virtual time is
+// charged per phase from actual byte counts and kernel-reported work;
+// the computation itself is real, so results are testable against serial
+// references.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "freeride/cache.h"
+#include "freeride/config.h"
+#include "freeride/reduction.h"
+#include "freeride/timing.h"
+#include "repository/dataset.h"
+#include "repository/partition.h"
+#include "sim/cluster.h"
+#include "sim/network.h"
+
+namespace fgp::freeride {
+
+/// A non-local caching site: storage "at a location from which [data] can
+/// be accessed at a lower cost than the original repository" (paper §2.1,
+/// listed as a resource-selection role but not implemented there).
+struct CacheSiteSetup {
+  sim::ClusterSpec cluster;
+  int nodes = 0;
+  sim::WanSpec wan_to_compute;  ///< pipe between cache site and compute site
+};
+
+/// How a multi-pass job's later passes were actually served.
+enum class CacheMode { None, LocalDisk, NonLocalSite };
+
+/// Everything a job needs: the data, where it lives, where it runs, and
+/// the pipe in between.
+struct JobSetup {
+  const repository::ChunkedDataset* dataset = nullptr;
+  sim::ClusterSpec data_cluster;
+  sim::ClusterSpec compute_cluster;
+  sim::WanSpec wan;
+  JobConfig config;
+  /// Optional non-local cache site used when the compute nodes' local
+  /// cache capacity cannot hold their share of the dataset.
+  std::optional<CacheSiteSetup> cache_site;
+};
+
+/// Outcome of a job: the timing breakdown the prediction model consumes,
+/// the final reduction object (downcast to the kernel's concrete type to
+/// read results), and aggregate work for sanity checks.
+struct RunResult {
+  JobTiming timing;
+  int passes = 0;
+  std::unique_ptr<ReductionObject> result;
+  sim::Work total_work;
+  CacheMode cache_mode = CacheMode::None;
+};
+
+class Runtime {
+ public:
+  /// Runs `kernel` over `setup`. Throws util::ConfigError for invalid
+  /// configurations and util::Error for corrupted chunks (when
+  /// config.verify_chunks is set).
+  RunResult run(const JobSetup& setup, ReductionKernel& kernel) const;
+};
+
+}  // namespace fgp::freeride

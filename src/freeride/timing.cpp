@@ -1,0 +1,14 @@
+#include "freeride/timing.h"
+
+namespace fgp::freeride {
+
+TimingBreakdown& TimingBreakdown::operator+=(const TimingBreakdown& o) {
+  disk += o.disk;
+  network += o.network;
+  compute_local += o.compute_local;
+  ro_comm += o.ro_comm;
+  global_red += o.global_red;
+  return *this;
+}
+
+}  // namespace fgp::freeride

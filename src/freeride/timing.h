@@ -1,0 +1,47 @@
+// timing.h — the execution-time breakdown the prediction model consumes.
+//
+// T_exec = T_disk + T_network + T_compute, with T_compute further split
+// into the parallel local reduction, the serialized reduction-object
+// communication (T_ro) and the serialized global reduction (T_g) — exactly
+// the quantities the paper's profile records.
+#pragma once
+
+#include <vector>
+
+namespace fgp::freeride {
+
+/// Virtual-time cost of one pass (or a whole job, summed over passes).
+struct TimingBreakdown {
+  double disk = 0.0;           ///< t_d: data retrieval (repository or cache)
+  double network = 0.0;        ///< t_n: repository -> compute movement
+  double compute_local = 0.0;  ///< parallel local-reduction time
+  double ro_comm = 0.0;        ///< T_ro: gather + broadcast of objects
+  double global_red = 0.0;     ///< T_g: merges + global reduction at master
+
+  /// t_c as the paper defines it: everything in the processing stage.
+  double compute() const { return compute_local + ro_comm + global_red; }
+  double total() const { return disk + network + compute(); }
+
+  TimingBreakdown& operator+=(const TimingBreakdown& o);
+};
+
+/// Per-pass observability for tests and the profile collector.
+struct PassRecord {
+  TimingBreakdown timing;
+  double max_object_bytes = 0.0;  ///< largest charged reduction object (r)
+  bool from_cache = false;        ///< pass served from a cache (any kind)
+  /// Wall-clock of this pass: the component sum in the default additive
+  /// execution, or max(disk, network, local) + serialized parts when the
+  /// runtime pipelines phases (JobConfig::overlap_phases).
+  double elapsed = 0.0;
+};
+
+/// Everything a finished job reports.
+struct JobTiming {
+  TimingBreakdown total;
+  std::vector<PassRecord> passes;
+  double max_object_bytes = 0.0;  ///< max over passes
+  double elapsed = 0.0;           ///< sum of per-pass elapsed times
+};
+
+}  // namespace fgp::freeride

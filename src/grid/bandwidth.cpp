@@ -1,0 +1,61 @@
+#include "grid/bandwidth.h"
+
+#include "util/check.h"
+
+namespace fgp::grid {
+
+BandwidthEstimator::BandwidthEstimator(double alpha) : alpha_(alpha) {
+  FGP_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+void BandwidthEstimator::observe(const TransferObservation& obs) {
+  FGP_CHECK_MSG(obs.bytes > 0.0 && obs.duration_s > 0.0,
+                "transfer must have positive bytes and duration");
+  FGP_CHECK_MSG(obs.timestamp_s >= last_timestamp_,
+                "observations must be time-ordered");
+  const double throughput = obs.bytes / obs.duration_s;
+  ewma_ = count_ == 0 ? throughput
+                      : alpha_ * throughput + (1.0 - alpha_) * ewma_;
+  last_ = throughput;
+  sum_ += throughput;
+  last_timestamp_ = obs.timestamp_s;
+  ++count_;
+}
+
+double BandwidthEstimator::estimate_Bps() const {
+  FGP_CHECK_MSG(count_ > 0, "no observations yet");
+  return ewma_;
+}
+
+double BandwidthEstimator::last_Bps() const {
+  FGP_CHECK_MSG(count_ > 0, "no observations yet");
+  return last_;
+}
+
+double BandwidthEstimator::mean_Bps() const {
+  FGP_CHECK_MSG(count_ > 0, "no observations yet");
+  return sum_ / static_cast<double>(count_);
+}
+
+void LinkMonitor::observe(const std::string& repository,
+                          const std::string& compute,
+                          const TransferObservation& obs) {
+  auto [it, inserted] =
+      links_.try_emplace(key(repository, compute), alpha_);
+  it->second.observe(obs);
+}
+
+bool LinkMonitor::knows(const std::string& repository,
+                        const std::string& compute) const {
+  return links_.count(key(repository, compute)) > 0;
+}
+
+double LinkMonitor::estimate_Bps(const std::string& repository,
+                                 const std::string& compute) const {
+  const auto it = links_.find(key(repository, compute));
+  FGP_CHECK_MSG(it != links_.end(),
+                "no observations for link " << repository << "->" << compute);
+  return it->second.estimate_Bps();
+}
+
+}  // namespace fgp::grid

@@ -1,0 +1,75 @@
+// bandwidth.h — estimating the effective repository->compute bandwidth.
+//
+// The prediction model needs b̂, the bandwidth the data-movement task will
+// actually see. The paper points at wide-area transfer-prediction work
+// (Vazhkudai & Schopf; Dinda; Qiao et al.) and says "we can directly use
+// this work to determine b̂". This estimator is that plug-in point: it
+// watches completed transfers on a link and produces a smoothed
+// throughput estimate, robust to one-off outliers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgp::grid {
+
+/// One completed data movement on a link.
+struct TransferObservation {
+  double timestamp_s = 0.0;  ///< completion time (monotone per link)
+  double bytes = 0.0;
+  double duration_s = 0.0;
+};
+
+/// Exponentially-weighted throughput estimator for one link.
+class BandwidthEstimator {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit BandwidthEstimator(double alpha = 0.3);
+
+  /// Records a finished transfer. Observations must arrive in time order;
+  /// zero-duration or zero-byte transfers are rejected.
+  void observe(const TransferObservation& obs);
+
+  bool has_estimate() const { return count_ > 0; }
+  /// The smoothed estimate b̂ (bytes/s); throws when no data yet.
+  double estimate_Bps() const;
+  /// Throughput of the most recent transfer.
+  double last_Bps() const;
+  /// Unsmoothed mean over all history.
+  double mean_Bps() const;
+  std::size_t observations() const { return count_; }
+
+ private:
+  double alpha_;
+  double ewma_ = 0.0;
+  double last_ = 0.0;
+  double sum_ = 0.0;
+  double last_timestamp_ = -1.0;
+  std::size_t count_ = 0;
+};
+
+/// Per-link estimator registry for a grid: keyed by "repo->compute".
+class LinkMonitor {
+ public:
+  explicit LinkMonitor(double alpha = 0.3) : alpha_(alpha) {}
+
+  void observe(const std::string& repository, const std::string& compute,
+               const TransferObservation& obs);
+  /// True when the link has at least one observation.
+  bool knows(const std::string& repository, const std::string& compute) const;
+  /// b̂ for the link; throws when unknown.
+  double estimate_Bps(const std::string& repository,
+                      const std::string& compute) const;
+
+ private:
+  static std::string key(const std::string& repository,
+                         const std::string& compute) {
+    return repository + "->" + compute;
+  }
+  double alpha_;
+  std::map<std::string, BandwidthEstimator> links_;
+};
+
+}  // namespace fgp::grid

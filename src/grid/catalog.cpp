@@ -1,0 +1,91 @@
+#include "grid/catalog.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fgp::grid {
+
+void GridCatalog::register_compute_site(ComputeSite site) {
+  FGP_CHECK_MSG(!site.id.empty(), "compute site needs an id");
+  FGP_CHECK_MSG(site.available_nodes > 0, "compute site needs nodes");
+  FGP_CHECK_MSG(std::none_of(compute_sites_.begin(), compute_sites_.end(),
+                             [&](const auto& s) { return s.id == site.id; }),
+                "duplicate compute site " << site.id);
+  compute_sites_.push_back(std::move(site));
+}
+
+void GridCatalog::register_repository_site(RepositorySite site) {
+  FGP_CHECK_MSG(!site.id.empty(), "repository site needs an id");
+  FGP_CHECK_MSG(site.available_nodes > 0, "repository site needs nodes");
+  FGP_CHECK_MSG(
+      std::none_of(repository_sites_.begin(), repository_sites_.end(),
+                   [&](const auto& s) { return s.id == site.id; }),
+      "duplicate repository site " << site.id);
+  repository_sites_.push_back(std::move(site));
+}
+
+void GridCatalog::register_replica(Replica replica) {
+  const auto& repo = repository_site(replica.repository);  // validates id
+  FGP_CHECK_MSG(replica.storage_nodes > 0 &&
+                    replica.storage_nodes <= repo.available_nodes,
+                "replica of " << replica.dataset << " wants "
+                              << replica.storage_nodes << " nodes, site "
+                              << repo.id << " has " << repo.available_nodes);
+  replicas_.push_back(std::move(replica));
+}
+
+void GridCatalog::register_link(const SiteId& repository, const SiteId& compute,
+                                sim::WanSpec wan) {
+  repository_site(repository);  // validate
+  compute_site(compute);
+  links_.push_back({repository, compute, wan});
+}
+
+const ComputeSite& GridCatalog::compute_site(const SiteId& id) const {
+  for (const auto& s : compute_sites_)
+    if (s.id == id) return s;
+  throw util::Error("unknown compute site: " + id);
+}
+
+const RepositorySite& GridCatalog::repository_site(const SiteId& id) const {
+  for (const auto& s : repository_sites_)
+    if (s.id == id) return s;
+  throw util::Error("unknown repository site: " + id);
+}
+
+std::vector<Replica> GridCatalog::replicas_of(const std::string& dataset) const {
+  std::vector<Replica> out;
+  for (const auto& r : replicas_)
+    if (r.dataset == dataset) out.push_back(r);
+  return out;
+}
+
+sim::WanSpec GridCatalog::link(const SiteId& repository,
+                               const SiteId& compute) const {
+  for (const auto& l : links_)
+    if (l.repository == repository && l.compute == compute) return l.wan;
+  throw util::Error("no registered link " + repository + " -> " + compute);
+}
+
+std::vector<Candidate> GridCatalog::enumerate_candidates(
+    const std::string& dataset) const {
+  std::vector<Candidate> out;
+  for (const auto& replica : replicas_of(dataset)) {
+    for (const auto& site : compute_sites_) {
+      sim::WanSpec wan;
+      try {
+        wan = link(replica.repository, site.id);
+      } catch (const util::Error&) {
+        continue;  // unreachable pair
+      }
+      for (int c = 1; c <= site.available_nodes; c *= 2) {
+        if (c < replica.storage_nodes) continue;  // FREERIDE-G: M >= N
+        out.push_back({replica, site.id, c, wan});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fgp::grid

@@ -1,0 +1,36 @@
+#include "repository/chunk.h"
+
+namespace fgp::repository {
+
+Chunk::Chunk(ChunkId id, std::vector<std::uint8_t> payload,
+             double virtual_scale)
+    : id_(id), payload_(std::move(payload)), virtual_scale_(virtual_scale) {
+  FGP_CHECK_MSG(virtual_scale_ > 0.0, "virtual_scale must be positive");
+  virtual_bytes_ = static_cast<double>(payload_.size()) * virtual_scale_;
+  checksum_ = util::fnv1a(payload_.data(), payload_.size());
+}
+
+bool Chunk::verify() const {
+  return checksum_ == util::fnv1a(payload_.data(), payload_.size());
+}
+
+void Chunk::serialize(util::ByteWriter& w) const {
+  w.put_u64(id_);
+  w.put_f64(virtual_scale_);
+  w.put_u64(checksum_);
+  w.put_vector(payload_);
+}
+
+Chunk Chunk::deserialize(util::ByteReader& r) {
+  const ChunkId id = r.get_u64();
+  const double scale = r.get_f64();
+  const std::uint64_t stored_checksum = r.get_u64();
+  auto payload = r.get_vector<std::uint8_t>();
+  Chunk c(id, std::move(payload), scale);
+  if (c.checksum() != stored_checksum)
+    throw util::SerializationError("chunk " + std::to_string(id) +
+                                   ": checksum mismatch (corrupted payload)");
+  return c;
+}
+
+}  // namespace fgp::repository

@@ -1,0 +1,73 @@
+// chunk.h — the unit of storage, movement and processing.
+//
+// FREERIDE-G "expects data to be stored in chunks, whose size is manageable
+// for the repository nodes". A chunk owns a real byte payload (what the
+// kernels actually process) plus a virtual size: the number of bytes this
+// chunk *represents* at paper scale. The repository charges disk and
+// network time against virtual bytes, and the runtime scales kernel work
+// by the same factor, so MB-scale real payloads faithfully stand in for
+// the paper's GB-scale datasets (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+#include "util/serial.h"
+
+namespace fgp::repository {
+
+using ChunkId = std::uint64_t;
+
+class Chunk {
+ public:
+  Chunk() = default;
+  Chunk(ChunkId id, std::vector<std::uint8_t> payload, double virtual_scale);
+
+  ChunkId id() const { return id_; }
+  std::size_t real_bytes() const { return payload_.size(); }
+  double virtual_bytes() const { return virtual_bytes_; }
+  /// virtual_bytes / real_bytes; kernels' work is scaled by this.
+  double virtual_scale() const { return virtual_scale_; }
+  std::uint64_t checksum() const { return checksum_; }
+
+  const std::vector<std::uint8_t>& payload() const { return payload_; }
+
+  /// Typed view of the payload. Throws if the size is not a multiple of T.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::span<const T> as_span() const {
+    FGP_CHECK_MSG(payload_.size() % sizeof(T) == 0,
+                  "chunk " << id_ << " payload (" << payload_.size()
+                           << " bytes) not a whole number of elements");
+    return {reinterpret_cast<const T*>(payload_.data()),
+            payload_.size() / sizeof(T)};
+  }
+
+  /// Recomputes the FNV checksum and compares to the stored one.
+  bool verify() const;
+
+  void serialize(util::ByteWriter& w) const;
+  static Chunk deserialize(util::ByteReader& r);
+
+ private:
+  ChunkId id_ = 0;
+  std::vector<std::uint8_t> payload_;
+  double virtual_scale_ = 1.0;
+  double virtual_bytes_ = 0.0;
+  std::uint64_t checksum_ = 0;
+};
+
+/// Builds a chunk from a typed element array.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+Chunk make_chunk(ChunkId id, const std::vector<T>& elements,
+                 double virtual_scale = 1.0) {
+  std::vector<std::uint8_t> bytes(elements.size() * sizeof(T));
+  if (!elements.empty())
+    std::memcpy(bytes.data(), elements.data(), bytes.size());
+  return Chunk(id, std::move(bytes), virtual_scale);
+}
+
+}  // namespace fgp::repository

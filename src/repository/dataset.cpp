@@ -1,0 +1,17 @@
+#include "repository/dataset.h"
+
+namespace fgp::repository {
+
+void ChunkedDataset::add_chunk(Chunk c) {
+  total_virtual_bytes_ += c.virtual_bytes();
+  total_real_bytes_ += c.real_bytes();
+  chunks_.push_back(std::move(c));
+}
+
+bool ChunkedDataset::verify_all() const {
+  for (const auto& c : chunks_)
+    if (!c.verify()) return false;
+  return true;
+}
+
+}  // namespace fgp::repository

@@ -1,0 +1,48 @@
+// dataset.h — a chunked dataset: ordered chunks plus descriptive metadata.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repository/chunk.h"
+
+namespace fgp::repository {
+
+/// Metadata travelling with a dataset (and recorded into profiles: the
+/// prediction model's "s" is total_virtual_bytes()).
+struct DatasetMeta {
+  std::string name;
+  std::string schema;  ///< free-form element description, e.g. "f64 point dim=8"
+  std::uint64_t seed = 0;
+};
+
+class ChunkedDataset {
+ public:
+  ChunkedDataset() = default;
+  explicit ChunkedDataset(DatasetMeta meta) : meta_(std::move(meta)) {}
+
+  const DatasetMeta& meta() const { return meta_; }
+  DatasetMeta& meta() { return meta_; }
+
+  void add_chunk(Chunk c);
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+  const Chunk& chunk(std::size_t i) const { return chunks_.at(i); }
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  /// The prediction model's dataset size "s" (bytes at paper scale).
+  double total_virtual_bytes() const { return total_virtual_bytes_; }
+  std::size_t total_real_bytes() const { return total_real_bytes_; }
+
+  /// True when every chunk's checksum verifies.
+  bool verify_all() const;
+
+ private:
+  DatasetMeta meta_;
+  std::vector<Chunk> chunks_;
+  double total_virtual_bytes_ = 0.0;
+  std::size_t total_real_bytes_ = 0;
+};
+
+}  // namespace fgp::repository

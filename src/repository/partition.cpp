@@ -1,0 +1,74 @@
+#include "repository/partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fgp::repository {
+
+PartitionMap PartitionMap::block(std::size_t chunk_count, int parts) {
+  FGP_CHECK_MSG(parts > 0, "parts must be positive");
+  PartitionMap pm;
+  pm.owner_.resize(chunk_count);
+  pm.by_part_.resize(static_cast<std::size_t>(parts));
+  const std::size_t p = static_cast<std::size_t>(parts);
+  // Distribute remainders one-per-part so sizes differ by at most one.
+  const std::size_t base = chunk_count / p;
+  const std::size_t extra = chunk_count % p;
+  std::size_t next = 0;
+  for (std::size_t part = 0; part < p; ++part) {
+    const std::size_t take = base + (part < extra ? 1 : 0);
+    for (std::size_t j = 0; j < take; ++j) {
+      pm.owner_[next] = static_cast<int>(part);
+      pm.by_part_[part].push_back(next);
+      ++next;
+    }
+  }
+  FGP_CHECK(next == chunk_count);
+  return pm;
+}
+
+PartitionMap PartitionMap::round_robin(std::size_t chunk_count, int parts) {
+  FGP_CHECK_MSG(parts > 0, "parts must be positive");
+  PartitionMap pm;
+  pm.owner_.resize(chunk_count);
+  pm.by_part_.resize(static_cast<std::size_t>(parts));
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    const int part = static_cast<int>(i % static_cast<std::size_t>(parts));
+    pm.owner_[i] = part;
+    pm.by_part_[static_cast<std::size_t>(part)].push_back(i);
+  }
+  return pm;
+}
+
+int PartitionMap::owner_of(std::size_t chunk_index) const {
+  FGP_CHECK(chunk_index < owner_.size());
+  return owner_[chunk_index];
+}
+
+const std::vector<std::size_t>& PartitionMap::chunks_of(int part) const {
+  FGP_CHECK(part >= 0 && part < parts());
+  return by_part_[static_cast<std::size_t>(part)];
+}
+
+bool PartitionMap::covers_all() const {
+  std::vector<char> seen(owner_.size(), 0);
+  for (const auto& part : by_part_)
+    for (std::size_t c : part) {
+      if (c >= seen.size() || seen[c]) return false;
+      seen[c] = 1;
+    }
+  return std::all_of(seen.begin(), seen.end(), [](char s) { return s == 1; });
+}
+
+std::size_t PartitionMap::imbalance() const {
+  if (by_part_.empty()) return 0;
+  std::size_t lo = by_part_[0].size(), hi = by_part_[0].size();
+  for (const auto& part : by_part_) {
+    lo = std::min(lo, part.size());
+    hi = std::max(hi, part.size());
+  }
+  return hi - lo;
+}
+
+}  // namespace fgp::repository

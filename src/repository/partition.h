@@ -1,0 +1,40 @@
+// partition.h — how chunks are laid out across data-server nodes and how
+// they are distributed to compute nodes.
+//
+// The FREERIDE-G data server performs "data distribution: each data chunk
+// is assigned a destination — a specific processing node". We implement the
+// two policies the middleware needs: a *block* layout of chunks over the n
+// repository nodes (how the dataset is declustered on disk) and a
+// *round-robin* destination assignment over the c compute nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fgp::repository {
+
+/// Maps each chunk index to an owner in [0, parts). Block layout: first
+/// ceil(k/parts) chunks to owner 0, etc. (contiguity matters for disks).
+class PartitionMap {
+ public:
+  /// Block partition of `chunk_count` chunks over `parts` owners.
+  static PartitionMap block(std::size_t chunk_count, int parts);
+  /// Round-robin partition (chunk i -> i mod parts).
+  static PartitionMap round_robin(std::size_t chunk_count, int parts);
+
+  int owner_of(std::size_t chunk_index) const;
+  const std::vector<std::size_t>& chunks_of(int part) const;
+  int parts() const { return static_cast<int>(by_part_.size()); }
+  std::size_t chunk_count() const { return owner_.size(); }
+
+  /// Invariant checks used by tests: every chunk assigned exactly once.
+  bool covers_all() const;
+  /// Largest minus smallest per-part chunk count (load-imbalance measure).
+  std::size_t imbalance() const;
+
+ private:
+  std::vector<int> owner_;                      // chunk -> part
+  std::vector<std::vector<std::size_t>> by_part_;  // part -> chunks
+};
+
+}  // namespace fgp::repository

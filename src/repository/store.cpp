@@ -1,0 +1,96 @@
+#include "repository/store.h"
+
+#include <fstream>
+
+#include "util/check.h"
+
+namespace fgp::repository {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_file(const fs::path& p, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(p, std::ios::binary | std::ios::trunc);
+  FGP_CHECK_MSG(os.good(), "cannot open " << p << " for writing");
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  FGP_CHECK_MSG(os.good(), "short write to " << p);
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary | std::ios::ate);
+  if (!is.good())
+    throw util::SerializationError("cannot open " + p.string());
+  const auto size = static_cast<std::size_t>(is.tellg());
+  is.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!is.good())
+    throw util::SerializationError("short read from " + p.string());
+  return bytes;
+}
+
+}  // namespace
+
+DatasetStore::DatasetStore(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+fs::path DatasetStore::dir_for(const std::string& name) const {
+  FGP_CHECK_MSG(!name.empty() && name.find('/') == std::string::npos,
+                "dataset name must be a plain identifier: '" << name << "'");
+  return root_ / name;
+}
+
+void DatasetStore::save(const ChunkedDataset& ds) const {
+  const fs::path dir = dir_for(ds.meta().name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  util::ByteWriter manifest;
+  manifest.put_string(ds.meta().name);
+  manifest.put_string(ds.meta().schema);
+  manifest.put_u64(ds.meta().seed);
+  manifest.put_u64(ds.chunk_count());
+  write_file(dir / "manifest.bin", manifest.bytes());
+
+  for (std::size_t i = 0; i < ds.chunk_count(); ++i) {
+    util::ByteWriter w;
+    ds.chunk(i).serialize(w);
+    write_file(dir / ("chunk_" + std::to_string(i) + ".bin"), w.bytes());
+  }
+}
+
+ChunkedDataset DatasetStore::load(const std::string& name) const {
+  const fs::path dir = dir_for(name);
+  const auto manifest_bytes = read_file(dir / "manifest.bin");
+  util::ByteReader r(manifest_bytes);
+  DatasetMeta meta;
+  meta.name = r.get_string();
+  meta.schema = r.get_string();
+  meta.seed = r.get_u64();
+  const std::uint64_t count = r.get_u64();
+  if (meta.name != name)
+    throw util::SerializationError("manifest name mismatch: expected " + name +
+                                   ", found " + meta.name);
+
+  ChunkedDataset ds(meta);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto bytes = read_file(dir / ("chunk_" + std::to_string(i) + ".bin"));
+    util::ByteReader cr(bytes);
+    ds.add_chunk(Chunk::deserialize(cr));
+  }
+  return ds;
+}
+
+bool DatasetStore::exists(const std::string& name) const {
+  return fs::exists(dir_for(name) / "manifest.bin");
+}
+
+void DatasetStore::remove(const std::string& name) const {
+  fs::remove_all(dir_for(name));
+}
+
+}  // namespace fgp::repository

@@ -1,0 +1,40 @@
+// store.h — on-disk persistence for chunked datasets.
+//
+// A repository node's data server "reads data chunks in from repository
+// disk"; this store gives the virtual cluster a real file layout to read:
+// one file per chunk plus a manifest, under a directory per dataset.
+// Benches keep datasets in memory (the virtual disk time is modeled), but
+// the store is exercised by tests and by the quickstart example so the
+// repository is a complete subsystem, not a stub.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "repository/dataset.h"
+
+namespace fgp::repository {
+
+class DatasetStore {
+ public:
+  explicit DatasetStore(std::filesystem::path root);
+
+  /// Writes `ds` under root/<ds.meta().name>/ (manifest + chunk files).
+  /// Overwrites any existing copy.
+  void save(const ChunkedDataset& ds) const;
+
+  /// Loads a dataset by name. Verifies every chunk checksum; throws
+  /// SerializationError on corruption or a malformed manifest.
+  ChunkedDataset load(const std::string& name) const;
+
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name) const;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path dir_for(const std::string& name) const;
+  std::filesystem::path root_;
+};
+
+}  // namespace fgp::repository

@@ -1,0 +1,58 @@
+// cluster.h — a homogeneous cluster of virtual machines plus the shared
+// resources (storage backplane, intra-cluster interconnect) that create
+// the sub-linear scaling behaviours the prediction model has to cope with.
+#pragma once
+
+#include <string>
+
+#include "sim/machine.h"
+
+namespace fgp::sim {
+
+/// Intra-cluster interconnect parameters used for reduction-object
+/// communication (the paper's T_ro = w*r + l term). These are the ground
+/// truth the prediction framework's IPC probe has to recover.
+struct InterconnectSpec {
+  double bandwidth_Bps = 100e6;  ///< point-to-point bandwidth
+  double latency_s = 50e-6;      ///< per-message latency (the "l")
+
+  /// Time to move one `bytes`-sized message between two nodes.
+  double message_time(double bytes) const {
+    return latency_s + bytes / bandwidth_Bps;
+  }
+};
+
+/// A cluster: N identical machines, an interconnect, and an aggregate
+/// storage-backplane capacity. The aggregate cap models shared RAID /
+/// SAN hardware: total retrieval throughput cannot exceed it no matter how
+/// many data-server nodes participate. The paper observed exactly this
+/// (molecular defect detection "scales linearly when number of data nodes
+/// is 2 or 4, but only demonstrates a sub-linear speedup" beyond that).
+struct ClusterSpec {
+  std::string name = "cluster";
+  MachineSpec machine;
+  InterconnectSpec interconnect;
+  int max_nodes = 64;
+  /// Aggregate storage throughput across all nodes, bytes/s.
+  double storage_backplane_Bps = 120e6;
+
+  /// Per-node effective disk bandwidth when `active_nodes` nodes retrieve
+  /// concurrently: individual disks, capped by the shared backplane.
+  double per_node_retrieval_Bps(int active_nodes) const;
+
+  /// True when every non-ideality is zeroed (used by model-exactness tests).
+  bool is_ideal() const;
+};
+
+/// The paper's base cluster: 700 MHz Pentium machines on Myrinet.
+ClusterSpec cluster_pentium_myrinet(int max_nodes = 32);
+
+/// The paper's second cluster: 2.4 GHz Opteron 250 on InfiniBand.
+ClusterSpec cluster_opteron_infiniband(int max_nodes = 32);
+
+/// A frictionless cluster: no seeks, no latency, infinite backplane.
+/// Under this spec plus an ideal WAN, the paper's global-reduction
+/// predictor must be *exact* — a key property test.
+ClusterSpec cluster_ideal(int max_nodes = 64);
+
+}  // namespace fgp::sim

@@ -1,0 +1,91 @@
+// rng.h — deterministic random number generation.
+//
+// All synthetic datasets and placement decisions derive from explicit seeds
+// so that every experiment in bench/ is exactly reproducible run-to-run
+// (virtual time depends on actual work counts, which depend on the data).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace fgp::util {
+
+/// SplitMix64 — tiny, high-quality 64-bit PRNG; also used to seed streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the workhorse generator for dataset synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box–Muller (one value per call; cached pair).
+  double next_gaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = next_double();
+    double u2 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_ = mag * std::sin(6.283185307179586 * u2);
+    have_cached_ = true;
+    return mag * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Derive an independent child stream (for per-chunk generation).
+  Rng fork(std::uint64_t salt) {
+    SplitMix64 sm(next_u64() ^ (salt * 0x9e3779b97f4a7c15ull));
+    return Rng(sm.next());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace fgp::util

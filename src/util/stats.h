@@ -1,0 +1,46 @@
+// stats.h — small descriptive-statistics helpers used by the prediction
+// framework (scaling-factor averaging, error summaries) and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fgp::util {
+
+/// Streaming accumulator: count / mean / min / max / (population) stdev.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stdev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stdev(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// The paper's error metric: E = |exact - predicted| / exact.
+/// Precondition: exact > 0.
+double relative_error(double exact, double predicted);
+
+/// Simple least-squares fit of y = a + b*x. Returns {a, b}.
+/// Used by class auto-detection (log-space exponent fitting).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace fgp::util

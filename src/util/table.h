@@ -1,0 +1,33 @@
+// table.h — column-aligned text tables. Every bench binary prints the
+// corresponding paper figure as one of these tables, so the formatting
+// lives in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fgp::util {
+
+/// Collects rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must match the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string fmt(double v, int precision = 3);
+  /// Formats a fraction (0.0123) as a percentage string ("1.23%").
+  static std::string pct(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fgp::util

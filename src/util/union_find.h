@@ -1,0 +1,56 @@
+// union_find.h — disjoint-set forest with path halving and union by size.
+// Used by the feature-mining applications (vortex regions, defect clusters)
+// for local aggregation and the cross-node join in the global combine.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fgp::util {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    FGP_CHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Unites the sets of a and b; returns true when they were disjoint.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+  std::size_t element_count() const { return parent_.size(); }
+
+  std::size_t component_count() {
+    std::size_t roots = 0;
+    for (std::size_t i = 0; i < parent_.size(); ++i)
+      if (find(i) == i) ++roots;
+    return roots;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace fgp::util

@@ -1,0 +1,277 @@
+// Tests for the neural-network application: gradient-descent training on
+// the middleware, agreement with the serial reference, loss behaviour,
+// classification accuracy on planted mixtures, and the k-NN classifier
+// (both consume the labeled-points generator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/ann.h"
+#include "apps/knn_classify.h"
+#include "datagen/points.h"
+#include "helpers.h"
+
+namespace fgp::apps {
+namespace {
+
+using fgp::testing::ideal_setup;
+
+struct Fixture {
+  datagen::LabeledPointsDataset data;
+  std::vector<double> all_rows;
+
+  explicit Fixture(std::uint64_t seed = 42, std::uint64_t n = 1600,
+                   int dim = 4, int classes = 3) {
+    datagen::PointsSpec spec;
+    spec.num_points = n;
+    spec.dim = dim;
+    spec.num_components = classes;
+    spec.points_per_chunk = 200;
+    spec.center_box = 8.0;
+    spec.noise_sigma = 0.6;
+    spec.seed = seed;
+    data = datagen::generate_labeled_points(spec);
+    for (const auto& chunk : data.dataset.chunks()) {
+      const auto rows = chunk.as_span<double>();
+      all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+    }
+  }
+};
+
+AnnParams ann_params(const Fixture& f, int passes = 15) {
+  AnnParams p;
+  p.dim = f.data.dim;
+  p.classes = f.data.num_classes;
+  p.hidden = 12;
+  p.fixed_passes = passes;
+  return p;
+}
+
+// -------------------------------------------------------- labeled points
+
+TEST(LabeledPoints, RowsCarryValidLabels) {
+  Fixture f;
+  const std::size_t row = static_cast<std::size_t>(f.data.dim) + 1;
+  ASSERT_EQ(f.all_rows.size() % row, 0u);
+  for (std::size_t p = 0; p * row < f.all_rows.size(); ++p) {
+    const double label = f.all_rows[p * row];
+    EXPECT_EQ(label, std::floor(label));
+    EXPECT_GE(label, 0.0);
+    EXPECT_LT(label, f.data.num_classes);
+  }
+}
+
+TEST(LabeledPoints, LabelsMatchNearestPlantedCenter) {
+  Fixture f;
+  const std::size_t row = static_cast<std::size_t>(f.data.dim) + 1;
+  const std::size_t d = static_cast<std::size_t>(f.data.dim);
+  std::size_t agree = 0, total = 0;
+  for (std::size_t p = 0; p * row < f.all_rows.size(); ++p) {
+    const double* r = f.all_rows.data() + p * row;
+    double best = 1e300;
+    std::size_t best_c = 0;
+    for (int c = 0; c < f.data.num_classes; ++c) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff =
+            r[1 + j] - f.data.true_centers[static_cast<std::size_t>(c) * d + j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = static_cast<std::size_t>(c);
+      }
+    }
+    agree += static_cast<double>(best_c) == r[0];
+    ++total;
+  }
+  // Well-separated mixtures: nearly every point is closest to its own
+  // component's centre.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.95);
+}
+
+// -------------------------------------------------------------------- ann
+
+TEST(Ann, RejectsBadParams) {
+  AnnParams p;
+  p.classes = 1;
+  EXPECT_THROW(AnnKernel{p}, util::Error);
+}
+
+TEST(Ann, LossDecreasesOverTraining) {
+  Fixture f;
+  AnnKernel kernel(ann_params(f));
+  auto setup = ideal_setup(&f.data.dataset, 1, 2);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+  const auto& hist = kernel.loss_history();
+  ASSERT_GE(hist.size(), 10u);
+  EXPECT_LT(hist.back(), hist.front());
+  EXPECT_LT(hist.back(), 0.8 * hist.front());
+}
+
+TEST(Ann, MatchesSerialReference) {
+  Fixture f;
+  const auto params = ann_params(f, 8);
+  AnnKernel kernel(params);
+  auto setup = ideal_setup(&f.data.dataset, 2, 4);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+  const auto ref = ann_reference(f.all_rows, params);
+  ASSERT_EQ(kernel.loss_history().size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(kernel.loss_history()[i], ref[i], 1e-8 * std::abs(ref[i]) + 1e-10);
+}
+
+TEST(Ann, InvariantAcrossConfigs) {
+  Fixture f;
+  const auto params = ann_params(f, 6);
+  std::vector<double> baseline;
+  for (const auto& [n, c] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 4}, {4, 8}}) {
+    AnnKernel kernel(params);
+    auto setup = ideal_setup(&f.data.dataset, n, c);
+    freeride::Runtime runtime;
+    runtime.run(setup, kernel);
+    if (baseline.empty()) {
+      baseline = kernel.loss_history();
+    } else {
+      for (std::size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_NEAR(kernel.loss_history()[i], baseline[i],
+                    1e-8 * std::abs(baseline[i]));
+    }
+  }
+}
+
+TEST(Ann, LearnsToClassifyPlantedMixture) {
+  Fixture f(7, 2400, 4, 3);
+  auto params = ann_params(f, 40);
+  AnnKernel kernel(params);
+  auto setup = ideal_setup(&f.data.dataset, 1, 4);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+
+  const std::size_t row = static_cast<std::size_t>(f.data.dim) + 1;
+  std::size_t correct = 0, total = 0;
+  for (std::size_t p = 0; p * row < f.all_rows.size(); ++p) {
+    const double* r = f.all_rows.data() + p * row;
+    correct += kernel.predict(r + 1) == static_cast<std::int32_t>(r[0]);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(Ann, ObjectSerializationRoundTrip) {
+  AnnObject o(2, 3, 2);
+  o.grad_w1 = {1, 2, 3, 4, 5, 6};
+  o.grad_b2 = {7, 8};
+  o.loss = 4.5;
+  o.examples = 12;
+  util::ByteWriter w;
+  o.serialize(w);
+  AnnObject back;
+  util::ByteReader r(w.bytes());
+  back.deserialize(r);
+  EXPECT_EQ(back.grad_w1, o.grad_w1);
+  EXPECT_EQ(back.grad_b2, o.grad_b2);
+  EXPECT_EQ(back.examples, 12u);
+}
+
+TEST(Ann, ConstantObjectSize) {
+  Fixture f;
+  auto object_size = [&f](int c) {
+    AnnKernel kernel(ann_params(f, 1));
+    auto setup = ideal_setup(&f.data.dataset, 1, c);
+    freeride::Runtime runtime;
+    return runtime.run(setup, kernel).timing.max_object_bytes;
+  };
+  EXPECT_DOUBLE_EQ(object_size(1), object_size(8));
+}
+
+// ----------------------------------------------------------- knn classify
+
+TEST(KnnClassify, MatchesReferenceExactly) {
+  Fixture f;
+  KnnClassifyParams params;
+  params.k = 7;
+  params.dim = f.data.dim;
+  // Queries: the planted centres themselves plus an off-grid point.
+  params.queries = f.data.true_centers;
+  for (int j = 0; j < f.data.dim; ++j) params.queries.push_back(2.5 + j);
+
+  KnnClassifyKernel kernel(params);
+  auto setup = ideal_setup(&f.data.dataset, 2, 4);
+  freeride::Runtime runtime;
+  const auto result = runtime.run(setup, kernel);
+  const auto& obj = dynamic_cast<const KnnClassifyObject&>(*result.result);
+
+  const std::size_t m = params.queries.size() / static_cast<std::size_t>(f.data.dim);
+  ASSERT_EQ(obj.predicted.size(), m);
+  for (std::size_t q = 0; q < m; ++q) {
+    const auto ref = knn_classify_reference(
+        f.all_rows, f.data.dim,
+        params.queries.data() + q * static_cast<std::size_t>(f.data.dim),
+        params.k);
+    EXPECT_EQ(obj.predicted[q], ref) << "query " << q;
+  }
+}
+
+TEST(KnnClassify, CentersClassifyAsTheirOwnComponent) {
+  Fixture f;
+  KnnClassifyParams params;
+  params.k = 9;
+  params.dim = f.data.dim;
+  params.queries = f.data.true_centers;
+  KnnClassifyKernel kernel(params);
+  auto setup = ideal_setup(&f.data.dataset, 1, 2);
+  freeride::Runtime runtime;
+  const auto result = runtime.run(setup, kernel);
+  const auto& obj = dynamic_cast<const KnnClassifyObject&>(*result.result);
+  for (int c = 0; c < f.data.num_classes; ++c)
+    EXPECT_EQ(obj.predicted[static_cast<std::size_t>(c)], c);
+}
+
+TEST(KnnClassify, InvariantAcrossConfigs) {
+  Fixture f;
+  KnnClassifyParams params;
+  params.k = 5;
+  params.dim = f.data.dim;
+  params.queries = f.data.true_centers;
+  std::vector<std::int32_t> baseline;
+  for (const auto& [n, c] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 2}, {4, 8}}) {
+    KnnClassifyKernel kernel(params);
+    auto setup = ideal_setup(&f.data.dataset, n, c);
+    freeride::Runtime runtime;
+    const auto result = runtime.run(setup, kernel);
+    const auto& obj = dynamic_cast<const KnnClassifyObject&>(*result.result);
+    if (baseline.empty())
+      baseline = obj.predicted;
+    else
+      EXPECT_EQ(obj.predicted, baseline);
+  }
+}
+
+TEST(KnnClassify, ObjectSerializationRoundTrip) {
+  KnnClassifyObject o(2, 3);
+  o.insert(0, 1.0, 7);
+  o.insert(1, 2.0, 9);
+  o.predicted = {7, 9};
+  util::ByteWriter w;
+  o.serialize(w);
+  KnnClassifyObject back;
+  util::ByteReader r(w.bytes());
+  back.deserialize(r);
+  EXPECT_EQ(back.labels[0], 7);
+  EXPECT_EQ(back.predicted, o.predicted);
+}
+
+TEST(KnnClassify, RejectsBadParams) {
+  KnnClassifyParams p;
+  p.dim = 3;
+  p.queries = {1.0};  // not a multiple of dim
+  EXPECT_THROW(KnnClassifyKernel{p}, util::Error);
+}
+
+}  // namespace
+}  // namespace fgp::apps

@@ -1,0 +1,236 @@
+// Tests for apriori association mining: the transactions generator,
+// candidate generation, agreement with the exhaustive reference, planted
+// pattern recovery, and multi-pass behaviour on the middleware.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/apriori.h"
+#include "datagen/transactions.h"
+#include "helpers.h"
+
+namespace fgp::apps {
+namespace {
+
+using datagen::Item;
+using datagen::Itemset;
+using fgp::testing::ideal_setup;
+
+datagen::TransactionsDataset small_baskets(std::uint64_t seed = 17,
+                                           std::uint64_t txns = 4000) {
+  auto spec = datagen::default_market_baskets(txns, seed);
+  spec.transactions_per_chunk = 250;
+  return datagen::generate_transactions(spec);
+}
+
+AprioriParams default_params() {
+  AprioriParams p;
+  p.num_items = 200;
+  p.min_support = 0.08;
+  p.max_level = 4;
+  return p;
+}
+
+// ------------------------------------------------------------- generator
+
+TEST(Transactions, GeneratesRequestedCount) {
+  const auto data = small_baskets();
+  std::uint64_t total = 0;
+  for (const auto& chunk : data.dataset.chunks())
+    total += datagen::parse_transactions(chunk).size();
+  EXPECT_EQ(total, 4000u);
+}
+
+TEST(Transactions, ItemsAreSortedAndUnique) {
+  const auto data = small_baskets();
+  for (const auto& chunk : data.dataset.chunks()) {
+    for (const auto& txn : datagen::parse_transactions(chunk)) {
+      EXPECT_TRUE(std::is_sorted(txn.items.begin(), txn.items.end()));
+      EXPECT_EQ(std::adjacent_find(txn.items.begin(), txn.items.end()),
+                txn.items.end());
+    }
+  }
+}
+
+TEST(Transactions, PlantedPatternsAppearAtRoughlyTheirFrequency) {
+  const auto data = small_baskets();
+  for (const auto& pattern : data.patterns) {
+    std::uint64_t hits = 0, total = 0;
+    for (const auto& chunk : data.dataset.chunks()) {
+      for (const auto& txn : datagen::parse_transactions(chunk)) {
+        ++total;
+        hits += std::includes(txn.items.begin(), txn.items.end(),
+                              pattern.items.begin(), pattern.items.end());
+      }
+    }
+    const double observed =
+        static_cast<double>(hits) / static_cast<double>(total);
+    // Sub-patterns of other planted patterns gain support, so observed can
+    // only exceed the planted frequency (plus sampling noise).
+    EXPECT_GT(observed, pattern.frequency - 0.03);
+  }
+}
+
+TEST(Transactions, Deterministic) {
+  const auto a = small_baskets(5);
+  const auto b = small_baskets(5);
+  for (std::size_t i = 0; i < a.dataset.chunk_count(); ++i)
+    EXPECT_EQ(a.dataset.chunk(i).checksum(), b.dataset.chunk(i).checksum());
+}
+
+TEST(Transactions, MalformedChunkRejected) {
+  const auto chunk = repository::make_chunk<std::uint8_t>(0, {1, 2});
+  EXPECT_THROW(datagen::parse_transactions(chunk), util::Error);
+}
+
+// ------------------------------------------------ candidate generation
+
+TEST(Apriori, CandidateGenerationJoinsPrefixes) {
+  const std::vector<Itemset> frequent{{1, 2}, {1, 3}, {2, 3}, {2, 4}};
+  const auto candidates = apriori_generate_candidates(frequent);
+  // {1,2}+{1,3} -> {1,2,3} (all 2-subsets frequent);
+  // {2,3}+{2,4} -> {2,3,4} pruned because {3,4} is not frequent.
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (Itemset{1, 2, 3}));
+}
+
+TEST(Apriori, CandidateGenerationEmptyInput) {
+  EXPECT_TRUE(apriori_generate_candidates({}).empty());
+}
+
+TEST(Apriori, CandidateGenerationSingletons) {
+  const std::vector<Itemset> frequent{{1}, {5}, {9}};
+  const auto candidates = apriori_generate_candidates(frequent);
+  // All pairs join (prefix is empty): {1,5}, {1,9}, {5,9}.
+  EXPECT_EQ(candidates.size(), 3u);
+}
+
+// ----------------------------------------------------------- middleware
+
+TEST(Apriori, MatchesExhaustiveReference) {
+  const auto data = small_baskets();
+  const auto params = default_params();
+  AprioriKernel kernel(params);
+  auto setup = ideal_setup(&data.dataset, 2, 4);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+
+  auto mined = kernel.frequent_itemsets();
+  std::sort(mined.begin(), mined.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size())
+                return a.items.size() < b.items.size();
+              return a.items < b.items;
+            });
+  const auto ref =
+      apriori_reference(data, params.min_support, params.max_level);
+  ASSERT_EQ(mined.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(mined[i].items, ref[i].items);
+    EXPECT_EQ(mined[i].support, ref[i].support);
+  }
+}
+
+TEST(Apriori, RecoversPlantedPatterns) {
+  const auto data = small_baskets();
+  AprioriKernel kernel(default_params());
+  auto setup = ideal_setup(&data.dataset, 1, 2);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+
+  for (const auto& pattern : data.patterns) {
+    if (pattern.frequency < 0.09) continue;  // below mining threshold
+    const bool found = std::any_of(
+        kernel.frequent_itemsets().begin(), kernel.frequent_itemsets().end(),
+        [&](const FrequentItemset& f) { return f.items == pattern.items; });
+    EXPECT_TRUE(found) << "planted pattern not mined";
+  }
+}
+
+TEST(Apriori, RunsOnePassPerLevel) {
+  const auto data = small_baskets();
+  auto params = default_params();
+  params.max_level = 3;
+  AprioriKernel kernel(params);
+  auto setup = ideal_setup(&data.dataset, 1, 1);
+  freeride::Runtime runtime;
+  const auto result = runtime.run(setup, kernel);
+  // One pass per level actually mined; never more than max_level.
+  EXPECT_LE(result.passes, 3);
+  EXPECT_GE(result.passes, 2);  // planted pairs guarantee a level-2 pass
+}
+
+TEST(Apriori, InvariantAcrossConfigs) {
+  const auto data = small_baskets();
+  std::vector<FrequentItemset> baseline;
+  for (const auto& [n, c] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 4}, {4, 8}}) {
+    AprioriKernel kernel(default_params());
+    auto setup = ideal_setup(&data.dataset, n, c);
+    freeride::Runtime runtime;
+    runtime.run(setup, kernel);
+    if (baseline.empty()) {
+      baseline = kernel.frequent_itemsets();
+    } else {
+      ASSERT_EQ(kernel.frequent_itemsets().size(), baseline.size());
+      for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(kernel.frequent_itemsets()[i].items, baseline[i].items);
+        EXPECT_EQ(kernel.frequent_itemsets()[i].support,
+                  baseline[i].support);
+      }
+    }
+  }
+}
+
+TEST(Apriori, SupportMonotoneDownLevels) {
+  // A superset can never be more frequent than its subsets.
+  const auto data = small_baskets();
+  AprioriKernel kernel(default_params());
+  auto setup = ideal_setup(&data.dataset, 1, 2);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+  const auto& mined = kernel.frequent_itemsets();
+  for (const auto& f : mined) {
+    if (f.items.size() < 2) continue;
+    for (const auto& g : mined) {
+      if (g.items.size() != f.items.size() - 1) continue;
+      if (std::includes(f.items.begin(), f.items.end(), g.items.begin(),
+                        g.items.end())) {
+        EXPECT_LE(f.support, g.support);
+      }
+    }
+  }
+}
+
+TEST(Apriori, ObjectSerializationRoundTrip) {
+  AprioriObject o(3);
+  o.counts = {5, 10, 15};
+  o.transactions = 100;
+  util::ByteWriter w;
+  o.serialize(w);
+  AprioriObject back;
+  util::ByteReader r(w.bytes());
+  back.deserialize(r);
+  EXPECT_EQ(back.counts, o.counts);
+  EXPECT_EQ(back.transactions, 100u);
+}
+
+TEST(Apriori, RejectsBadParams) {
+  AprioriParams p;
+  p.num_items = 0;
+  EXPECT_THROW(AprioriKernel{p}, util::Error);
+  p.num_items = 10;
+  p.min_support = 0.0;
+  EXPECT_THROW(AprioriKernel{p}, util::Error);
+}
+
+TEST(Apriori, BroadcastTracksCandidateSet) {
+  AprioriParams p;
+  p.num_items = 50;
+  AprioriKernel kernel(p);
+  // 50 singleton candidates, each 2 bytes + 2-byte length.
+  EXPECT_DOUBLE_EQ(kernel.broadcast_bytes(), 50.0 * 4.0);
+}
+
+}  // namespace
+}  // namespace fgp::apps

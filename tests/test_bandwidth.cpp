@@ -1,0 +1,76 @@
+// Tests for the bandwidth-estimation service (the model's b̂ source).
+#include <gtest/gtest.h>
+
+#include "grid/bandwidth.h"
+#include "util/check.h"
+
+namespace fgp::grid {
+namespace {
+
+TEST(Bandwidth, RejectsBadAlpha) {
+  EXPECT_THROW(BandwidthEstimator{0.0}, util::Error);
+  EXPECT_THROW(BandwidthEstimator{1.5}, util::Error);
+  EXPECT_NO_THROW(BandwidthEstimator{1.0});
+}
+
+TEST(Bandwidth, NoDataThrows) {
+  BandwidthEstimator est;
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_THROW(est.estimate_Bps(), util::Error);
+  EXPECT_THROW(est.last_Bps(), util::Error);
+}
+
+TEST(Bandwidth, SingleObservationIsItsOwnEstimate) {
+  BandwidthEstimator est(0.3);
+  est.observe({1.0, 100e6, 10.0});  // 10 MB/s
+  EXPECT_DOUBLE_EQ(est.estimate_Bps(), 10e6);
+  EXPECT_DOUBLE_EQ(est.last_Bps(), 10e6);
+  EXPECT_DOUBLE_EQ(est.mean_Bps(), 10e6);
+  EXPECT_EQ(est.observations(), 1u);
+}
+
+TEST(Bandwidth, EwmaSmoothsAnOutlier) {
+  BandwidthEstimator est(0.2);
+  for (int i = 0; i < 10; ++i)
+    est.observe({static_cast<double>(i), 100e6, 10.0});  // steady 10 MB/s
+  est.observe({11.0, 100e6, 100.0});  // one 1 MB/s outlier
+  // The estimate moves, but stays far closer to 10 MB/s than to 1 MB/s.
+  EXPECT_GT(est.estimate_Bps(), 7e6);
+  EXPECT_LT(est.estimate_Bps(), 10e6);
+  EXPECT_DOUBLE_EQ(est.last_Bps(), 1e6);
+}
+
+TEST(Bandwidth, TracksALevelShift) {
+  BandwidthEstimator est(0.5);
+  for (int i = 0; i < 5; ++i)
+    est.observe({static_cast<double>(i), 100e6, 10.0});  // 10 MB/s
+  for (int i = 5; i < 15; ++i)
+    est.observe({static_cast<double>(i), 100e6, 50.0});  // drops to 2 MB/s
+  EXPECT_NEAR(est.estimate_Bps(), 2e6, 0.1e6);
+}
+
+TEST(Bandwidth, RejectsMalformedObservations) {
+  BandwidthEstimator est;
+  EXPECT_THROW(est.observe({0.0, 0.0, 1.0}), util::Error);
+  EXPECT_THROW(est.observe({0.0, 1.0, 0.0}), util::Error);
+  est.observe({5.0, 1e6, 1.0});
+  EXPECT_THROW(est.observe({4.0, 1e6, 1.0}), util::Error);  // out of order
+}
+
+TEST(LinkMonitorTest, PerLinkIsolation) {
+  LinkMonitor monitor;
+  monitor.observe("repo-a", "hpc", {0.0, 100e6, 10.0});
+  monitor.observe("repo-b", "hpc", {0.0, 100e6, 2.0});
+  EXPECT_TRUE(monitor.knows("repo-a", "hpc"));
+  EXPECT_FALSE(monitor.knows("hpc", "repo-a"));  // direction matters
+  EXPECT_DOUBLE_EQ(monitor.estimate_Bps("repo-a", "hpc"), 10e6);
+  EXPECT_DOUBLE_EQ(monitor.estimate_Bps("repo-b", "hpc"), 50e6);
+}
+
+TEST(LinkMonitorTest, UnknownLinkThrows) {
+  LinkMonitor monitor;
+  EXPECT_THROW(monitor.estimate_Bps("a", "b"), util::Error);
+}
+
+}  // namespace
+}  // namespace fgp::grid

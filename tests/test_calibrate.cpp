@@ -1,0 +1,92 @@
+// Tests for machine calibration: exact recovery from synthetic samples,
+// degeneracy detection, residual reporting, and a smoke test of the real
+// wall-clock measurement path.
+#include <gtest/gtest.h>
+
+#include "apps/kmeans.h"
+#include "core/calibrate.h"
+#include "datagen/points.h"
+
+namespace fgp::core {
+namespace {
+
+CalibrationSample sample_for(double flops, double bytes, double F, double B) {
+  CalibrationSample s;
+  s.work = {flops, bytes};
+  s.seconds = flops / F + bytes / B;
+  return s;
+}
+
+TEST(Calibrate, RecoversExactRatesFromCleanSamples) {
+  const double F = 2.4e9, B = 3.0e9;
+  const std::vector<CalibrationSample> samples{
+      sample_for(1e9, 1e8, F, B),   // compute-heavy
+      sample_for(1e8, 1e9, F, B),   // memory-heavy
+      sample_for(5e8, 5e8, F, B),   // balanced
+  };
+  const auto result = calibrate_machine(samples);
+  EXPECT_NEAR(result.cpu_flops, F, F * 1e-9);
+  EXPECT_NEAR(result.mem_Bps, B, B * 1e-9);
+  EXPECT_LT(result.max_residual_fraction, 1e-9);
+}
+
+TEST(Calibrate, ReportsResidualForNoisySamples) {
+  const double F = 1e9, B = 1e9;
+  std::vector<CalibrationSample> samples{
+      sample_for(1e9, 1e8, F, B),
+      sample_for(1e8, 1e9, F, B),
+      sample_for(5e8, 5e8, F, B),
+  };
+  samples[2].seconds *= 1.2;  // 20% measurement noise on one point
+  const auto result = calibrate_machine(samples);
+  EXPECT_GT(result.max_residual_fraction, 0.02);
+  // Rates still land in the right decade.
+  EXPECT_NEAR(result.cpu_flops, F, F * 0.5);
+  EXPECT_NEAR(result.mem_Bps, B, B * 0.5);
+}
+
+TEST(Calibrate, RejectsIdenticalMixes) {
+  const std::vector<CalibrationSample> samples{
+      sample_for(1e9, 1e9, 1e9, 1e9),
+      sample_for(2e9, 2e9, 1e9, 1e9),  // same 1:1 mix, just scaled
+  };
+  EXPECT_THROW(calibrate_machine(samples), util::Error);
+}
+
+TEST(Calibrate, RejectsTooFewOrDegenerateSamples) {
+  const std::vector<CalibrationSample> one{sample_for(1e9, 1e8, 1e9, 1e9)};
+  EXPECT_THROW(calibrate_machine(one), util::Error);
+
+  std::vector<CalibrationSample> bad{sample_for(1e9, 1e8, 1e9, 1e9),
+                                     sample_for(1e8, 1e9, 1e9, 1e9)};
+  bad[0].seconds = 0.0;
+  EXPECT_THROW(calibrate_machine(bad), util::Error);
+}
+
+TEST(Calibrate, MeasuresRealKernelWallClock) {
+  datagen::PointsSpec spec;
+  spec.num_points = 20000;
+  spec.dim = 8;
+  spec.points_per_chunk = 20000;
+  const auto data = datagen::generate_points(spec);
+
+  apps::KMeansParams params;
+  params.k = 8;
+  params.dim = 8;
+  params.initial_centers =
+      apps::initial_centers_from_dataset(data.dataset, 8, 8);
+  apps::KMeansKernel kernel(params);
+
+  const auto sample =
+      measure_kernel_sample(kernel, data.dataset.chunk(0), 4);
+  EXPECT_GT(sample.seconds, 0.0);
+  EXPECT_GT(sample.work.flops, 0.0);
+  EXPECT_GT(sample.work.bytes, 0.0);
+  // Implied host rate is physically plausible (MFLOPs to TFLOPs).
+  const double implied = sample.work.flops / sample.seconds;
+  EXPECT_GT(implied, 1e6);
+  EXPECT_LT(implied, 1e13);
+}
+
+}  // namespace
+}  // namespace fgp::core

@@ -1,0 +1,249 @@
+// Tests for the synthetic dataset generators: reproducibility, structural
+// invariants, and parseability of the chunk formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/flowfield.h"
+#include "datagen/lattice.h"
+#include "datagen/points.h"
+
+namespace fgp::datagen {
+namespace {
+
+// ----------------------------------------------------------------- points
+
+TEST(Points, GeneratesRequestedShape) {
+  PointsSpec spec;
+  spec.num_points = 2500;
+  spec.dim = 4;
+  spec.points_per_chunk = 1000;
+  const auto out = generate_points(spec);
+  EXPECT_EQ(out.num_points, 2500u);
+  EXPECT_EQ(out.dataset.chunk_count(), 3u);  // 1000 + 1000 + 500
+  std::size_t total = 0;
+  for (const auto& c : out.dataset.chunks())
+    total += c.as_span<double>().size() / 4;
+  EXPECT_EQ(total, 2500u);
+}
+
+TEST(Points, DeterministicForSameSeed) {
+  PointsSpec spec;
+  spec.seed = 77;
+  const auto a = generate_points(spec);
+  const auto b = generate_points(spec);
+  ASSERT_EQ(a.dataset.chunk_count(), b.dataset.chunk_count());
+  for (std::size_t i = 0; i < a.dataset.chunk_count(); ++i)
+    EXPECT_EQ(a.dataset.chunk(i).checksum(), b.dataset.chunk(i).checksum());
+  EXPECT_EQ(a.true_centers, b.true_centers);
+}
+
+TEST(Points, DifferentSeedsDiffer) {
+  PointsSpec spec;
+  spec.seed = 1;
+  const auto a = generate_points(spec);
+  spec.seed = 2;
+  const auto b = generate_points(spec);
+  EXPECT_NE(a.dataset.chunk(0).checksum(), b.dataset.chunk(0).checksum());
+}
+
+TEST(Points, TrueCentersHaveRightShape) {
+  PointsSpec spec;
+  spec.num_components = 5;
+  spec.dim = 3;
+  const auto out = generate_points(spec);
+  EXPECT_EQ(out.true_centers.size(), 15u);
+}
+
+TEST(Points, PointsClusterAroundPlantedCenters) {
+  PointsSpec spec;
+  spec.num_points = 4000;
+  spec.dim = 2;
+  spec.num_components = 2;
+  spec.center_box = 20.0;
+  spec.noise_sigma = 0.5;
+  spec.seed = 5;
+  const auto out = generate_points(spec);
+  // Every point must be close to one of the two planted centres.
+  for (const auto& chunk : out.dataset.chunks()) {
+    const auto pts = chunk.as_span<double>();
+    for (std::size_t p = 0; p + 1 < pts.size(); p += 2) {
+      double best = 1e300;
+      for (int c = 0; c < 2; ++c) {
+        const double dx = pts[p] - out.true_centers[2 * c];
+        const double dy = pts[p + 1] - out.true_centers[2 * c + 1];
+        best = std::min(best, dx * dx + dy * dy);
+      }
+      EXPECT_LT(best, 25.0);  // 10 sigma
+    }
+  }
+}
+
+TEST(Points, ScaledSpecMatchesVirtualSize) {
+  const auto spec = scaled_points_spec(1400.0, 4.0, 8, 42);
+  const auto out = generate_points(spec);
+  EXPECT_NEAR(out.dataset.total_virtual_bytes(), 1400e6,
+              1400e6 * 0.01);  // within 1%
+  EXPECT_LT(out.dataset.total_real_bytes(), 5e6);
+}
+
+// -------------------------------------------------------------- flowfield
+
+TEST(Flow, ChunksCoverAllRowsExactlyOnce) {
+  FlowSpec spec;
+  spec.height = 100;
+  spec.rows_per_chunk = 16;
+  const auto out = generate_flowfield(spec);
+  std::set<std::uint32_t> owned;
+  for (const auto& chunk : out.dataset.chunks()) {
+    const auto view = parse_field_chunk(chunk);
+    for (std::uint32_t r = 0; r < view.header.rows; ++r) {
+      const auto [it, inserted] = owned.insert(view.header.row0 + r);
+      EXPECT_TRUE(inserted) << "row owned twice";
+    }
+  }
+  EXPECT_EQ(owned.size(), 100u);
+}
+
+TEST(Flow, HaloRowsMatchNeighbourChunks) {
+  FlowSpec spec;
+  spec.height = 64;
+  spec.rows_per_chunk = 16;
+  spec.seed = 3;
+  const auto out = generate_flowfield(spec);
+  // The halo row below chunk k's band equals the first owned row of
+  // chunk k+1, bit for bit.
+  for (std::size_t k = 0; k + 1 < out.dataset.chunk_count(); ++k) {
+    const auto a = parse_field_chunk(out.dataset.chunk(k));
+    const auto b = parse_field_chunk(out.dataset.chunk(k + 1));
+    const std::uint32_t shared_row = b.header.row0;
+    for (std::uint32_t x = 0; x < a.header.width; ++x) {
+      EXPECT_EQ(a.at(shared_row, x).u, b.at(shared_row, x).u);
+      EXPECT_EQ(a.at(shared_row, x).v, b.at(shared_row, x).v);
+    }
+  }
+}
+
+TEST(Flow, PlantedVorticesStayInBounds) {
+  FlowSpec spec;
+  const auto out = generate_flowfield(spec);
+  EXPECT_EQ(out.vortices.size(), static_cast<std::size_t>(spec.num_vortices));
+  for (const auto& v : out.vortices) {
+    EXPECT_GE(v.cx, 0.0);
+    EXPECT_LT(v.cx, spec.width);
+    EXPECT_GE(v.cy, 0.0);
+    EXPECT_LT(v.cy, spec.height);
+    EXPECT_GE(v.core_radius, spec.min_radius);
+    EXPECT_LE(v.core_radius, spec.max_radius);
+  }
+}
+
+TEST(Flow, Deterministic) {
+  FlowSpec spec;
+  spec.seed = 9;
+  const auto a = generate_flowfield(spec);
+  const auto b = generate_flowfield(spec);
+  for (std::size_t i = 0; i < a.dataset.chunk_count(); ++i)
+    EXPECT_EQ(a.dataset.chunk(i).checksum(), b.dataset.chunk(i).checksum());
+}
+
+TEST(Flow, MalformedChunkRejected) {
+  const auto chunk = repository::make_chunk<std::uint8_t>(0, {1, 2, 3});
+  EXPECT_THROW(parse_field_chunk(chunk), util::Error);
+}
+
+// ---------------------------------------------------------------- lattice
+
+TEST(Lattice, SlabsCoverAllPlanes) {
+  LatticeSpec spec;
+  spec.nz = 50;
+  spec.zslabs_per_chunk = 8;
+  const auto out = generate_lattice(spec);
+  std::set<std::uint32_t> planes;
+  for (const auto& chunk : out.dataset.chunks()) {
+    const auto view = parse_lattice_chunk(chunk);
+    for (std::uint32_t z = 0; z < view.header.zslabs; ++z)
+      EXPECT_TRUE(planes.insert(view.header.z0 + z).second);
+  }
+  EXPECT_EQ(planes.size(), 50u);
+}
+
+TEST(Lattice, AtomCountReflectsPlantedDefects) {
+  LatticeSpec spec;
+  spec.num_vacancy_clusters = 2;
+  spec.num_interstitials = 2;
+  spec.num_displaced_clusters = 0;
+  spec.seed = 21;
+  const auto out = generate_lattice(spec);
+  std::size_t atoms = 0;
+  for (const auto& chunk : out.dataset.chunks())
+    atoms += parse_lattice_chunk(chunk).atoms.size();
+  std::size_t vacancy_cells = 0, interstitial_cells = 0;
+  for (const auto& d : out.defects) {
+    if (d.kind == DefectKind::Vacancy) vacancy_cells += d.cells.size();
+    if (d.kind == DefectKind::Interstitial)
+      interstitial_cells += d.cells.size();
+  }
+  const std::size_t sites = static_cast<std::size_t>(spec.nx) * spec.ny *
+                            spec.nz;
+  EXPECT_EQ(atoms, sites - vacancy_cells + interstitial_cells);
+}
+
+TEST(Lattice, PlantedDefectsAreSeparated) {
+  LatticeSpec spec;
+  spec.seed = 33;
+  const auto out = generate_lattice(spec);
+  // No two planted defects may own adjacent cells (halo reservation).
+  std::set<std::array<int, 3>> all;
+  for (const auto& d : out.defects)
+    for (const auto& c : d.cells) EXPECT_TRUE(all.insert(c).second);
+  for (std::size_t i = 0; i < out.defects.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.defects.size(); ++j) {
+      for (const auto& a : out.defects[i].cells) {
+        for (const auto& b : out.defects[j].cells) {
+          const int dist = std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]) +
+                           std::abs(a[2] - b[2]);
+          EXPECT_GT(dist, 1) << "planted defects touch";
+        }
+      }
+    }
+  }
+}
+
+TEST(Lattice, ThermalNoiseStaysUnderTolerance) {
+  LatticeSpec spec;
+  spec.num_vacancy_clusters = 0;
+  spec.num_interstitials = 0;
+  spec.num_displaced_clusters = 0;
+  spec.thermal_sigma = 0.02;
+  const auto out = generate_lattice(spec);
+  for (const auto& chunk : out.dataset.chunks()) {
+    const auto view = parse_lattice_chunk(chunk);
+    for (const auto& a : view.atoms) {
+      const double dx = a.x - std::lround(a.x);
+      const double dy = a.y - std::lround(a.y);
+      const double dz = a.z - std::lround(a.z);
+      EXPECT_LT(dx * dx + dy * dy + dz * dz,
+                view.header.displacement_tol * view.header.displacement_tol);
+    }
+  }
+}
+
+TEST(Lattice, Deterministic) {
+  LatticeSpec spec;
+  spec.seed = 44;
+  const auto a = generate_lattice(spec);
+  const auto b = generate_lattice(spec);
+  ASSERT_EQ(a.dataset.chunk_count(), b.dataset.chunk_count());
+  for (std::size_t i = 0; i < a.dataset.chunk_count(); ++i)
+    EXPECT_EQ(a.dataset.chunk(i).checksum(), b.dataset.chunk(i).checksum());
+}
+
+TEST(Lattice, MalformedChunkRejected) {
+  const auto chunk = repository::make_chunk<std::uint8_t>(0, {1});
+  EXPECT_THROW(parse_lattice_chunk(chunk), util::Error);
+}
+
+}  // namespace
+}  // namespace fgp::datagen

@@ -1,0 +1,215 @@
+// Tests for the EM clustering application: log-likelihood monotonicity,
+// agreement with the serial reference, label shipping, and the
+// linear-object-size behaviour the prediction model relies on.
+#include <gtest/gtest.h>
+
+#include "apps/em.h"
+#include "datagen/points.h"
+#include "helpers.h"
+
+namespace fgp::apps {
+namespace {
+
+using fgp::testing::ideal_setup;
+
+struct Fixture {
+  datagen::PointsDataset data;
+  std::vector<double> all_points;
+
+  explicit Fixture(std::uint64_t seed = 42, std::uint64_t n = 2000, int dim = 3,
+                   int comps = 3) {
+    datagen::PointsSpec spec;
+    spec.num_points = n;
+    spec.dim = dim;
+    spec.num_components = comps;
+    spec.points_per_chunk = 200;
+    spec.seed = seed;
+    data = datagen::generate_points(spec);
+    for (const auto& chunk : data.dataset.chunks()) {
+      const auto pts = chunk.as_span<double>();
+      all_points.insert(all_points.end(), pts.begin(), pts.end());
+    }
+  }
+};
+
+EMParams make_params(const Fixture& f, int g, int fixed_passes = 0) {
+  EMParams p;
+  p.g = g;
+  p.dim = f.data.dim;
+  p.initial_means.assign(
+      f.all_points.begin(),
+      f.all_points.begin() + static_cast<std::ptrdiff_t>(g * f.data.dim));
+  p.fixed_passes = fixed_passes;
+  return p;
+}
+
+TEST(EM, ObjectSerializationRoundTrip) {
+  EMObject o(2, 2);
+  o.resp = {1.5, 2.5};
+  o.sum_x = {1, 2, 3, 4};
+  o.sum_x2 = {5, 6, 7, 8};
+  o.loglik = -42.0;
+  o.points = 10;
+  o.labels[3] = {0, 1, 1, 0};
+  util::ByteWriter w;
+  o.serialize(w);
+  EMObject back;
+  util::ByteReader r(w.bytes());
+  back.deserialize(r);
+  EXPECT_EQ(back.resp, o.resp);
+  EXPECT_EQ(back.sum_x2, o.sum_x2);
+  EXPECT_EQ(back.labels, o.labels);
+  EXPECT_EQ(back.points, 10u);
+}
+
+TEST(EM, RejectsBadParams) {
+  EMParams p;
+  p.g = 2;
+  p.dim = 2;
+  p.initial_means = {1.0};
+  EXPECT_THROW(EMKernel{p}, util::Error);
+}
+
+TEST(EM, LogLikelihoodMonotone) {
+  Fixture f;
+  EMKernel kernel(make_params(f, 3, 8));
+  auto setup = ideal_setup(&f.data.dataset, 1, 2);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+  const auto& hist = kernel.loglik_history();
+  ASSERT_GE(hist.size(), 2u);
+  // EM guarantees monotone non-decreasing log-likelihood.
+  for (std::size_t i = 1; i < hist.size(); ++i)
+    EXPECT_GE(hist[i], hist[i - 1] - 1e-6 * std::abs(hist[i - 1]));
+}
+
+TEST(EM, MatchesSerialReference) {
+  Fixture f;
+  const auto params = make_params(f, 3, 6);
+  EMKernel kernel(params);
+  auto setup = ideal_setup(&f.data.dataset, 2, 4);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+
+  const auto ref_hist =
+      em_reference(f.all_points, f.data.dim, 3, params.initial_means,
+                   params.initial_variance, -1.0, 6);
+  ASSERT_EQ(kernel.loglik_history().size(), ref_hist.size());
+  for (std::size_t i = 0; i < ref_hist.size(); ++i)
+    EXPECT_NEAR(kernel.loglik_history()[i], ref_hist[i],
+                1e-6 * std::abs(ref_hist[i]));
+}
+
+TEST(EM, ResultInvariantAcrossConfigs) {
+  Fixture f;
+  const auto params = make_params(f, 3, 5);
+  std::vector<double> baseline;
+  for (const auto& [n, c] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 3}, {4, 8}}) {
+    EMKernel kernel(params);
+    auto setup = ideal_setup(&f.data.dataset, n, c);
+    freeride::Runtime runtime;
+    runtime.run(setup, kernel);
+    if (baseline.empty()) {
+      baseline = kernel.means();
+    } else {
+      ASSERT_EQ(kernel.means().size(), baseline.size());
+      for (std::size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_NEAR(kernel.means()[i], baseline[i],
+                    1e-7 * std::max(1.0, std::abs(baseline[i])));
+    }
+  }
+}
+
+TEST(EM, LabelsCoverEveryPoint) {
+  Fixture f;
+  EMKernel kernel(make_params(f, 3, 2));
+  auto setup = ideal_setup(&f.data.dataset, 1, 4);
+  freeride::Runtime runtime;
+  const auto result = runtime.run(setup, kernel);
+  const auto& obj = dynamic_cast<const EMObject&>(*result.result);
+  std::size_t labelled = 0;
+  for (const auto& [chunk_id, lbls] : obj.labels) labelled += lbls.size();
+  EXPECT_EQ(labelled, 2000u);
+  EXPECT_EQ(obj.points, 2000u);
+}
+
+TEST(EM, LabelChangeFractionDecaysAsItConverges) {
+  Fixture f;
+  EMKernel kernel(make_params(f, 3, 12));
+  auto setup = ideal_setup(&f.data.dataset, 1, 1);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+  // After many passes assignments are essentially frozen.
+  EXPECT_LT(kernel.label_change_fraction(), 0.02);
+}
+
+TEST(EM, ObjectSizeTracksLocalData) {
+  Fixture f;
+  // With more compute nodes, each node's object holds fewer labels.
+  auto object_size = [&f](int c) {
+    EMKernel kernel(make_params(f, 3, 1));
+    auto setup = ideal_setup(&f.data.dataset, 1, c);
+    freeride::Runtime runtime;
+    return runtime.run(setup, kernel).timing.max_object_bytes;
+  };
+  const double at_1 = object_size(1);
+  const double at_4 = object_size(4);
+  EXPECT_GT(at_1, 2.5 * at_4);
+  EXPECT_TRUE(EMKernel(make_params(f, 3)).reduction_object_scales_with_data());
+}
+
+TEST(EM, ConvergesUnderTolerance) {
+  Fixture f;
+  auto params = make_params(f, 3);
+  params.tol = 1e-4;
+  EMKernel kernel(params);
+  auto setup = ideal_setup(&f.data.dataset, 1, 1);
+  setup.config.max_passes = 60;
+  freeride::Runtime runtime;
+  const auto result = runtime.run(setup, kernel);
+  EXPECT_LT(result.passes, 60);
+}
+
+TEST(EM, RecoversPlantedComponents) {
+  Fixture f(11, 6000, 2, 2);
+  EMKernel kernel(make_params(f, 2, 30));
+  auto setup = ideal_setup(&f.data.dataset, 1, 2);
+  freeride::Runtime runtime;
+  runtime.run(setup, kernel);
+  for (int c = 0; c < 2; ++c) {
+    double best = 1e300;
+    for (int r = 0; r < 2; ++r) {
+      double d2 = 0.0;
+      for (int j = 0; j < 2; ++j) {
+        const double diff =
+            f.data.true_centers[2 * c + j] - kernel.means()[2 * r + j];
+        d2 += diff * diff;
+      }
+      best = std::min(best, d2);
+    }
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(EM, DuplicateChunkInObjectThrows) {
+  Fixture f;
+  EMKernel kernel(make_params(f, 2));
+  auto obj = kernel.create_object();
+  kernel.process_chunk(f.data.dataset.chunk(0), *obj);
+  EXPECT_THROW(kernel.process_chunk(f.data.dataset.chunk(0), *obj),
+               util::Error);
+}
+
+TEST(EM, MergeRejectsOverlappingLabelSets) {
+  Fixture f;
+  EMKernel kernel(make_params(f, 2));
+  auto a = kernel.create_object();
+  auto b = kernel.create_object();
+  kernel.process_chunk(f.data.dataset.chunk(0), *a);
+  kernel.process_chunk(f.data.dataset.chunk(0), *b);
+  EXPECT_THROW(kernel.merge(*a, *b), util::Error);
+}
+
+}  // namespace
+}  // namespace fgp::apps

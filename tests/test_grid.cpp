@@ -1,0 +1,111 @@
+// Tests for the grid information service: site registration, replica
+// bookkeeping, link lookup, and candidate enumeration.
+#include <gtest/gtest.h>
+
+#include "grid/catalog.h"
+#include "sim/cluster.h"
+#include "util/check.h"
+
+namespace fgp::grid {
+namespace {
+
+GridCatalog two_site_catalog() {
+  GridCatalog cat;
+  cat.register_repository_site(
+      {"repo-east", sim::cluster_pentium_myrinet(), 8});
+  cat.register_repository_site(
+      {"repo-west", sim::cluster_pentium_myrinet(), 4});
+  cat.register_compute_site(
+      {"hpc-a", sim::cluster_pentium_myrinet(), 16});
+  cat.register_compute_site(
+      {"hpc-b", sim::cluster_opteron_infiniband(), 8});
+  cat.register_link("repo-east", "hpc-a", sim::wan_mbps(100));
+  cat.register_link("repo-east", "hpc-b", sim::wan_mbps(20));
+  cat.register_link("repo-west", "hpc-a", sim::wan_mbps(50));
+  // repo-west -> hpc-b deliberately unreachable.
+  cat.register_replica({"genome", "repo-east", 4});
+  cat.register_replica({"genome", "repo-west", 2});
+  return cat;
+}
+
+TEST(Catalog, RegisteredSitesAreFindable) {
+  const auto cat = two_site_catalog();
+  EXPECT_EQ(cat.compute_site("hpc-a").available_nodes, 16);
+  EXPECT_EQ(cat.repository_site("repo-west").available_nodes, 4);
+  EXPECT_EQ(cat.compute_site_count(), 2u);
+  EXPECT_EQ(cat.repository_site_count(), 2u);
+}
+
+TEST(Catalog, UnknownSiteThrows) {
+  const auto cat = two_site_catalog();
+  EXPECT_THROW(cat.compute_site("nope"), util::Error);
+  EXPECT_THROW(cat.repository_site("nope"), util::Error);
+}
+
+TEST(Catalog, DuplicateSiteThrows) {
+  auto cat = two_site_catalog();
+  EXPECT_THROW(cat.register_compute_site(
+                   {"hpc-a", sim::cluster_ideal(), 4}),
+               util::Error);
+}
+
+TEST(Catalog, ReplicaValidation) {
+  auto cat = two_site_catalog();
+  // Unknown repository.
+  EXPECT_THROW(cat.register_replica({"x", "nope", 1}), util::Error);
+  // More storage nodes than the site offers.
+  EXPECT_THROW(cat.register_replica({"x", "repo-west", 5}), util::Error);
+}
+
+TEST(Catalog, ReplicasOfFiltersByDataset) {
+  const auto cat = two_site_catalog();
+  EXPECT_EQ(cat.replicas_of("genome").size(), 2u);
+  EXPECT_TRUE(cat.replicas_of("unknown").empty());
+}
+
+TEST(Catalog, LinkLookup) {
+  const auto cat = two_site_catalog();
+  EXPECT_DOUBLE_EQ(cat.link("repo-east", "hpc-b").per_link_Bps,
+                   20e6 / 8.0);
+  EXPECT_THROW(cat.link("repo-west", "hpc-b"), util::Error);
+}
+
+TEST(Catalog, CandidatesRespectComputeGeDataRule) {
+  const auto cat = two_site_catalog();
+  const auto cands = cat.enumerate_candidates("genome");
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands)
+    EXPECT_GE(c.compute_nodes, c.replica.storage_nodes);
+}
+
+TEST(Catalog, CandidatesSkipUnreachablePairs) {
+  const auto cat = two_site_catalog();
+  for (const auto& c : cat.enumerate_candidates("genome"))
+    EXPECT_FALSE(c.replica.repository == "repo-west" &&
+                 c.compute_site == "hpc-b");
+}
+
+TEST(Catalog, CandidateCountMatchesEnumeration) {
+  const auto cat = two_site_catalog();
+  // repo-east (4 storage nodes):
+  //   hpc-a: c in {4, 8, 16} -> 3;  hpc-b: c in {4, 8} -> 2.
+  // repo-west (2 storage nodes):
+  //   hpc-a: c in {2, 4, 8, 16} -> 4;  hpc-b unreachable.
+  EXPECT_EQ(cat.enumerate_candidates("genome").size(), 9u);
+}
+
+TEST(Catalog, CandidatesCarryTheRightWan) {
+  const auto cat = two_site_catalog();
+  for (const auto& c : cat.enumerate_candidates("genome")) {
+    const auto expected = cat.link(c.replica.repository, c.compute_site);
+    EXPECT_DOUBLE_EQ(c.wan.per_link_Bps, expected.per_link_Bps);
+  }
+}
+
+TEST(Catalog, EmptyCatalogYieldsNoCandidates) {
+  GridCatalog cat;
+  EXPECT_TRUE(cat.enumerate_candidates("anything").empty());
+}
+
+}  // namespace
+}  // namespace fgp::grid

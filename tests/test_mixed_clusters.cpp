@@ -1,0 +1,107 @@
+// Tests for jobs whose data repository and compute site live on
+// *different* cluster types (the normal grid situation): phase accounting
+// uses the right machine for each role, and profiles collected on such
+// asymmetric setups still predict correctly.
+#include <gtest/gtest.h>
+
+#include "core/ipc_probe.h"
+#include "core/predictor.h"
+#include "core/profile.h"
+#include "freeride/runtime.h"
+#include "helpers.h"
+#include "util/stats.h"
+
+namespace fgp::freeride {
+namespace {
+
+using fgp::testing::SumKernel;
+using fgp::testing::SumKernelParams;
+using fgp::testing::expected_sum;
+using fgp::testing::make_sum_dataset;
+
+JobSetup asymmetric_setup(const repository::ChunkedDataset* ds, int n, int c) {
+  JobSetup setup;
+  setup.dataset = ds;
+  setup.data_cluster = sim::cluster_pentium_myrinet();    // slow disks
+  setup.compute_cluster = sim::cluster_opteron_infiniband();  // fast CPUs
+  setup.wan = sim::wan_mbps(200.0);
+  setup.config.data_nodes = n;
+  setup.config.compute_nodes = c;
+  return setup;
+}
+
+TEST(MixedClusters, ResultsCorrect) {
+  const auto ds = make_sum_dataset(16, 64);
+  auto setup = asymmetric_setup(&ds, 2, 4);
+  SumKernel kernel;
+  const auto result = Runtime().run(setup, kernel);
+  const auto& obj = dynamic_cast<const fgp::testing::SumObject&>(*result.result);
+  EXPECT_DOUBLE_EQ(obj.sum, expected_sum(16, 64));
+}
+
+TEST(MixedClusters, DiskUsesRepositoryMachineComputeUsesComputeMachine) {
+  const auto ds = make_sum_dataset(16, 64, 1000.0);
+  SumKernelParams p;
+  p.flops_per_element = 100.0;
+
+  // Asymmetric: pentium repo + opteron compute.
+  auto mixed = asymmetric_setup(&ds, 1, 1);
+  // Swapped: opteron repo + pentium compute.
+  auto swapped = asymmetric_setup(&ds, 1, 1);
+  std::swap(swapped.data_cluster, swapped.compute_cluster);
+
+  SumKernel k1(p), k2(p);
+  const auto t_mixed = Runtime().run(mixed, k1).timing.total;
+  const auto t_swapped = Runtime().run(swapped, k2).timing.total;
+
+  // Pentium disks (50 MB/s) are slower than Opteron's (100 MB/s), and
+  // Pentium CPUs (0.7 Gflop/s) slower than Opteron's (2.4): each phase
+  // must track its own cluster.
+  EXPECT_GT(t_mixed.disk, t_swapped.disk);
+  EXPECT_LT(t_mixed.compute_local, t_swapped.compute_local);
+}
+
+TEST(MixedClusters, GatherUsesComputeClusterInterconnect) {
+  const auto ds = make_sum_dataset(16, 64);
+  SumKernelParams p;
+  p.constant_ballast = 64 * 1024;
+  auto mixed = asymmetric_setup(&ds, 1, 4);
+  auto swapped = asymmetric_setup(&ds, 1, 4);
+  std::swap(swapped.data_cluster, swapped.compute_cluster);
+  SumKernel k1(p), k2(p);
+  const double ro_opteron = Runtime().run(mixed, k1).timing.total.ro_comm;
+  const double ro_pentium = Runtime().run(swapped, k2).timing.total.ro_comm;
+  // Opteron interconnect (1 ms, 300 MB/s) beats the Pentium one (4 ms,
+  // 100 MB/s), so gathers on the Opteron compute side are cheaper.
+  EXPECT_LT(ro_opteron, ro_pentium);
+}
+
+TEST(MixedClusters, PredictionStillWorksFromAsymmetricProfile) {
+  const auto ds = make_sum_dataset(32, 64, 1000.0);
+  SumKernelParams p;
+  p.constant_ballast = 4096;
+  auto profile_setup = asymmetric_setup(&ds, 1, 1);
+  SumKernel profile_kernel(p);
+  const core::Profile profile =
+      core::ProfileCollector::collect(profile_setup, profile_kernel);
+  EXPECT_EQ(profile.config.data_cluster, "pentium-myrinet");
+  EXPECT_EQ(profile.config.compute_cluster, "opteron-infiniband");
+
+  core::PredictorOptions opts;
+  opts.model = core::PredictionModel::GlobalReduction;
+  opts.ipc = core::measure_ipc(profile_setup.compute_cluster);
+  const core::Predictor predictor(profile, opts);
+
+  auto target_setup = asymmetric_setup(&ds, 4, 8);
+  SumKernel target_kernel(p);
+  const auto actual = Runtime().run(target_setup, target_kernel);
+  core::ProfileConfig target = profile.config;
+  target.data_nodes = 4;
+  target.compute_nodes = 8;
+  const double predicted = predictor.predict(target).total();
+  EXPECT_LT(util::relative_error(actual.timing.total.total(), predicted),
+            0.06);
+}
+
+}  // namespace
+}  // namespace fgp::freeride

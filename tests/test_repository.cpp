@@ -1,0 +1,233 @@
+// Tests for the ADR-like chunked repository: chunks, datasets, partition
+// maps, and on-disk persistence (including corruption handling).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "repository/chunk.h"
+#include "repository/dataset.h"
+#include "repository/partition.h"
+#include "repository/store.h"
+
+namespace fgp::repository {
+namespace {
+
+std::filesystem::path temp_root() {
+  auto p = std::filesystem::temp_directory_path() /
+           ("fgp_store_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(p);
+  return p;
+}
+
+// ------------------------------------------------------------------ chunk
+
+TEST(Chunk, BuildsFromTypedElements) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const Chunk c = make_chunk(7, xs, 2.0);
+  EXPECT_EQ(c.id(), 7u);
+  EXPECT_EQ(c.real_bytes(), 24u);
+  EXPECT_DOUBLE_EQ(c.virtual_bytes(), 48.0);
+  EXPECT_DOUBLE_EQ(c.virtual_scale(), 2.0);
+  const auto view = c.as_span<double>();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_DOUBLE_EQ(view[1], 2.0);
+}
+
+TEST(Chunk, ChecksumVerifies) {
+  const Chunk c = make_chunk<std::uint32_t>(0, {1, 2, 3});
+  EXPECT_TRUE(c.verify());
+}
+
+TEST(Chunk, SerializationRoundTrip) {
+  const Chunk c = make_chunk<double>(3, {4.5, -1.0}, 100.0);
+  util::ByteWriter w;
+  c.serialize(w);
+  util::ByteReader r(w.bytes());
+  const Chunk back = Chunk::deserialize(r);
+  EXPECT_EQ(back.id(), 3u);
+  EXPECT_DOUBLE_EQ(back.virtual_scale(), 100.0);
+  EXPECT_EQ(back.payload(), c.payload());
+  EXPECT_TRUE(back.verify());
+}
+
+TEST(Chunk, CorruptedPayloadFailsDeserialize) {
+  const Chunk c = make_chunk<double>(1, {1.0, 2.0});
+  util::ByteWriter w;
+  c.serialize(w);
+  auto bytes = w.take();
+  bytes.back() ^= 0xFF;  // flip payload bits
+  util::ByteReader r(bytes);
+  EXPECT_THROW(Chunk::deserialize(r), util::SerializationError);
+}
+
+TEST(Chunk, RaggedSpanThrows) {
+  const Chunk c = make_chunk<std::uint8_t>(0, {1, 2, 3, 4, 5});
+  EXPECT_THROW(c.as_span<double>(), util::Error);
+}
+
+TEST(Chunk, NonPositiveScaleThrows) {
+  EXPECT_THROW(Chunk(0, {}, 0.0), util::Error);
+  EXPECT_THROW(Chunk(0, {}, -1.0), util::Error);
+}
+
+// ---------------------------------------------------------------- dataset
+
+TEST(Dataset, AccumulatesTotals) {
+  ChunkedDataset ds(DatasetMeta{"d", "f64", 0});
+  ds.add_chunk(make_chunk<double>(0, {1, 2, 3, 4}, 10.0));
+  ds.add_chunk(make_chunk<double>(1, {5, 6}, 10.0));
+  EXPECT_EQ(ds.chunk_count(), 2u);
+  EXPECT_EQ(ds.total_real_bytes(), 48u);
+  EXPECT_DOUBLE_EQ(ds.total_virtual_bytes(), 480.0);
+  EXPECT_TRUE(ds.verify_all());
+}
+
+TEST(Dataset, MetaRoundTrips) {
+  ChunkedDataset ds(DatasetMeta{"name", "schema", 42});
+  EXPECT_EQ(ds.meta().name, "name");
+  EXPECT_EQ(ds.meta().seed, 42u);
+}
+
+// -------------------------------------------------------------- partition
+
+TEST(Partition, BlockCoversAllChunksOnce) {
+  const auto pm = PartitionMap::block(17, 4);
+  EXPECT_TRUE(pm.covers_all());
+  EXPECT_EQ(pm.parts(), 4);
+  EXPECT_EQ(pm.chunk_count(), 17u);
+}
+
+TEST(Partition, BlockIsContiguous) {
+  const auto pm = PartitionMap::block(10, 2);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(pm.owner_of(i), 0);
+  for (std::size_t i = 5; i < 10; ++i) EXPECT_EQ(pm.owner_of(i), 1);
+}
+
+TEST(Partition, BlockBalancedWithinOne) {
+  const auto pm = PartitionMap::block(17, 4);
+  EXPECT_LE(pm.imbalance(), 1u);
+}
+
+TEST(Partition, RoundRobinInterleaves) {
+  const auto pm = PartitionMap::round_robin(8, 3);
+  EXPECT_EQ(pm.owner_of(0), 0);
+  EXPECT_EQ(pm.owner_of(1), 1);
+  EXPECT_EQ(pm.owner_of(2), 2);
+  EXPECT_EQ(pm.owner_of(3), 0);
+  EXPECT_TRUE(pm.covers_all());
+}
+
+TEST(Partition, MorePartsThanChunksLeavesSomeEmpty) {
+  const auto pm = PartitionMap::block(3, 8);
+  EXPECT_TRUE(pm.covers_all());
+  int empty = 0;
+  for (int p = 0; p < pm.parts(); ++p) empty += pm.chunks_of(p).empty();
+  EXPECT_EQ(empty, 5);
+}
+
+TEST(Partition, ZeroPartsThrow) {
+  EXPECT_THROW(PartitionMap::block(4, 0), util::Error);
+  EXPECT_THROW(PartitionMap::round_robin(4, -1), util::Error);
+}
+
+TEST(Partition, OutOfRangeLookupsThrow) {
+  const auto pm = PartitionMap::block(4, 2);
+  EXPECT_THROW(pm.owner_of(4), util::Error);
+  EXPECT_THROW(pm.chunks_of(2), util::Error);
+}
+
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(PartitionPropertyTest, BothPoliciesCoverAllAndBalance) {
+  const auto [chunks, parts] = GetParam();
+  for (const auto& pm : {PartitionMap::block(chunks, parts),
+                         PartitionMap::round_robin(chunks, parts)}) {
+    EXPECT_TRUE(pm.covers_all());
+    EXPECT_LE(pm.imbalance(), 1u);
+    std::size_t total = 0;
+    for (int p = 0; p < pm.parts(); ++p) total += pm.chunks_of(p).size();
+    EXPECT_EQ(total, chunks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 7, 16, 64, 100),
+                       ::testing::Values(1, 2, 3, 8, 16)));
+
+// ------------------------------------------------------------------ store
+
+TEST(Store, SaveLoadRoundTrip) {
+  DatasetStore store(temp_root());
+  ChunkedDataset ds(DatasetMeta{"roundtrip", "f64", 7});
+  ds.add_chunk(make_chunk<double>(0, {1, 2, 3}, 5.0));
+  ds.add_chunk(make_chunk<double>(1, {4, 5}, 5.0));
+  store.save(ds);
+  EXPECT_TRUE(store.exists("roundtrip"));
+
+  const ChunkedDataset back = store.load("roundtrip");
+  EXPECT_EQ(back.meta().name, "roundtrip");
+  EXPECT_EQ(back.meta().seed, 7u);
+  EXPECT_EQ(back.chunk_count(), 2u);
+  EXPECT_DOUBLE_EQ(back.total_virtual_bytes(), ds.total_virtual_bytes());
+  EXPECT_EQ(back.chunk(1).payload(), ds.chunk(1).payload());
+  store.remove("roundtrip");
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, MissingDatasetThrows) {
+  DatasetStore store(temp_root());
+  EXPECT_FALSE(store.exists("nope"));
+  EXPECT_THROW(store.load("nope"), util::SerializationError);
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, CorruptedChunkFileDetected) {
+  DatasetStore store(temp_root());
+  ChunkedDataset ds(DatasetMeta{"corrupt", "f64", 0});
+  ds.add_chunk(make_chunk<double>(0, {9, 8, 7}));
+  store.save(ds);
+
+  // Flip a byte in the stored payload.
+  const auto path = store.root() / "corrupt" / "chunk_0.bin";
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-1, std::ios::end);
+  char last;
+  f.seekg(-1, std::ios::end);
+  f.get(last);
+  f.seekp(-1, std::ios::end);
+  f.put(static_cast<char>(last ^ 0x1));
+  f.close();
+
+  EXPECT_THROW(store.load("corrupt"), util::SerializationError);
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, RejectsPathTraversalNames) {
+  DatasetStore store(temp_root());
+  EXPECT_THROW(store.load("../etc"), util::Error);
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, OverwriteReplacesOldChunks) {
+  DatasetStore store(temp_root());
+  ChunkedDataset big(DatasetMeta{"ow", "f64", 0});
+  big.add_chunk(make_chunk<double>(0, {1}));
+  big.add_chunk(make_chunk<double>(1, {2}));
+  store.save(big);
+  ChunkedDataset small(DatasetMeta{"ow", "f64", 0});
+  small.add_chunk(make_chunk<double>(0, {3}));
+  store.save(small);
+  const auto back = store.load("ow");
+  EXPECT_EQ(back.chunk_count(), 1u);
+  EXPECT_DOUBLE_EQ(back.chunk(0).as_span<double>()[0], 3.0);
+  std::filesystem::remove_all(store.root());
+}
+
+}  // namespace
+}  // namespace fgp::repository

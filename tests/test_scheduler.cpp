@@ -1,0 +1,211 @@
+// Tests for the prediction-driven grid scheduler: queueing correctness
+// (capacity never exceeded, no starts before submit), policy behaviour,
+// and the value of the model vs model-blind policies.
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "helpers.h"
+
+namespace fgp::core {
+namespace {
+
+grid::GridCatalog one_site_catalog(int compute_nodes = 8) {
+  grid::GridCatalog cat;
+  cat.register_repository_site(
+      {"repo", sim::cluster_pentium_myrinet(), 2});
+  cat.register_compute_site(
+      {"hpc", sim::cluster_pentium_myrinet(), compute_nodes});
+  cat.register_link("repo", "hpc", sim::wan_mbps(100));
+  cat.register_replica({"data", "repo", 2});
+  return cat;
+}
+
+/// A synthetic profile: compute-dominated so predictions scale ~1/ĉ.
+Profile synthetic_profile(double compute_s = 100.0) {
+  Profile p;
+  p.app = "synthetic";
+  p.config.data_nodes = 2;
+  p.config.compute_nodes = 2;
+  p.config.dataset_bytes = 1e9;
+  p.config.bandwidth_Bps = 100e6 / 8.0;
+  p.config.compute_cluster = "pentium-myrinet";
+  p.config.data_cluster = "pentium-myrinet";
+  p.t_disk = 1.0;
+  p.t_network = 1.0;
+  p.t_compute = compute_s;
+  p.passes = 1;
+  p.object_bytes = 1024.0;
+  return p;
+}
+
+JobRequest job(const std::string& id, double submit, double compute_s = 100.0) {
+  JobRequest j;
+  j.id = id;
+  j.dataset = "data";
+  j.dataset_bytes = 1e9;
+  j.profile = synthetic_profile(compute_s);
+  j.classes = {RoSizeClass::Constant, GlobalReductionClass::LinearConstant};
+  j.submit_time_s = submit;
+  return j;
+}
+
+/// Ground truth: execution behaves exactly like the prediction (so
+/// scheduling quality differences come from the policy alone).
+GridScheduler::ActualRunner faithful_runner(const grid::GridCatalog& cat) {
+  return [&cat](const JobRequest& j, const grid::Candidate& c) {
+    PredictorOptions opts;
+    opts.classes = j.classes;
+    opts.ipc = measure_ipc(cat.compute_site(c.compute_site).cluster);
+    ProfileConfig target;
+    target.data_nodes = c.replica.storage_nodes;
+    target.compute_nodes = c.compute_nodes;
+    target.dataset_bytes = j.dataset_bytes;
+    target.bandwidth_Bps = c.wan.per_link_Bps;
+    return Predictor(j.profile, opts).predict(target).total();
+  };
+}
+
+/// Invariant: at no instant does any site's committed usage exceed its
+/// capacity, and no job starts before its submission.
+void check_invariants(const grid::GridCatalog& cat,
+                      const std::vector<Placement>& placements,
+                      const std::vector<JobRequest>& jobs) {
+  for (std::size_t i = 0; i < placements.size(); ++i)
+    EXPECT_GE(placements[i].start_s, jobs[i].submit_time_s) << jobs[i].id;
+  for (const auto& p : placements) {
+    int used = 0;
+    for (const auto& q : placements) {
+      if (q.candidate.compute_site != p.candidate.compute_site) continue;
+      if (q.start_s <= p.start_s && p.start_s < q.finish_s)
+        used += q.candidate.compute_nodes;
+    }
+    EXPECT_LE(used,
+              cat.compute_site(p.candidate.compute_site).available_nodes)
+        << "capacity exceeded at t=" << p.start_s;
+  }
+}
+
+TEST(Scheduler, RequiresCatalog) {
+  EXPECT_THROW(GridScheduler(nullptr, SchedulingPolicy::PredictedBest),
+               util::Error);
+}
+
+TEST(Scheduler, SingleJobStartsImmediately) {
+  const auto cat = one_site_catalog();
+  GridScheduler sched(&cat, SchedulingPolicy::PredictedBest);
+  const std::vector<JobRequest> jobs{job("j1", 10.0)};
+  const auto placements = sched.schedule(jobs, faithful_runner(cat));
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_DOUBLE_EQ(placements[0].start_s, 10.0);
+  EXPECT_GT(placements[0].finish_s, 10.0);
+  EXPECT_DOUBLE_EQ(placements[0].predicted_exec_s,
+                   placements[0].actual_exec_s);
+  check_invariants(cat, placements, jobs);
+}
+
+TEST(Scheduler, PredictedBestPicksTheBiggestFreeAllocation) {
+  // Compute-dominated job: more nodes is strictly better when free.
+  const auto cat = one_site_catalog(8);
+  GridScheduler sched(&cat, SchedulingPolicy::PredictedBest);
+  const std::vector<JobRequest> jobs{job("j1", 0.0)};
+  const auto placements = sched.schedule(jobs, faithful_runner(cat));
+  EXPECT_EQ(placements[0].candidate.compute_nodes, 8);
+}
+
+TEST(Scheduler, QueueingDelaysSecondFullSizeJob) {
+  const auto cat = one_site_catalog(8);
+  GridScheduler sched(&cat, SchedulingPolicy::MaxNodes);
+  const std::vector<JobRequest> jobs{job("j1", 0.0), job("j2", 0.0)};
+  const auto placements = sched.schedule(jobs, faithful_runner(cat));
+  ASSERT_EQ(placements.size(), 2u);
+  // MaxNodes grabs all 8 nodes twice: the second job must wait.
+  EXPECT_DOUBLE_EQ(placements[1].start_s, placements[0].finish_s);
+  check_invariants(cat, placements, jobs);
+}
+
+TEST(Scheduler, PredictedBestPacksSmallerAllocationsUnderLoad) {
+  // Two simultaneous jobs on an 8-node site: the model realizes two 4-node
+  // runs complete earlier than two queued 8-node runs when the job scales
+  // sub-linearly past 4 nodes... with perfectly linear scaling the halves
+  // tie; use a disk-heavy profile so 8 nodes barely helps compute.
+  const auto cat = one_site_catalog(8);
+  std::vector<JobRequest> jobs{job("a", 0.0), job("b", 0.0)};
+  // Disk/network dominated: scaling compute nodes does almost nothing.
+  for (auto& j : jobs) {
+    j.profile.t_disk = 50.0;
+    j.profile.t_compute = 10.0;
+  }
+  GridScheduler best(&cat, SchedulingPolicy::PredictedBest);
+  const auto p_best = best.schedule(jobs, faithful_runner(cat));
+  GridScheduler greedy(&cat, SchedulingPolicy::MaxNodes);
+  const auto p_greedy = greedy.schedule(jobs, faithful_runner(cat));
+  EXPECT_LE(best.makespan(), greedy.makespan());
+  check_invariants(cat, p_best, jobs);
+  check_invariants(cat, p_greedy, jobs);
+}
+
+TEST(Scheduler, PredictedBestBeatsRoundRobinOnMixedLoad) {
+  const auto cat = one_site_catalog(8);
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 6; ++i)
+    jobs.push_back(job("j" + std::to_string(i),
+                       static_cast<double>(i) * 5.0,
+                       i % 2 == 0 ? 200.0 : 40.0));
+  GridScheduler best(&cat, SchedulingPolicy::PredictedBest);
+  const auto p_best = best.schedule(jobs, faithful_runner(cat));
+  const double best_turnaround = best.mean_turnaround();
+  GridScheduler rr(&cat, SchedulingPolicy::RoundRobin);
+  const auto p_rr = rr.schedule(jobs, faithful_runner(cat));
+  EXPECT_LE(best_turnaround, rr.mean_turnaround());
+  check_invariants(cat, p_best, jobs);
+  check_invariants(cat, p_rr, jobs);
+}
+
+TEST(Scheduler, ForeignClustersNeedScalers) {
+  grid::GridCatalog cat;
+  cat.register_repository_site({"repo", sim::cluster_pentium_myrinet(), 2});
+  cat.register_compute_site(
+      {"foreign", sim::cluster_opteron_infiniband(), 8});
+  cat.register_link("repo", "foreign", sim::wan_mbps(100));
+  cat.register_replica({"data", "repo", 2});
+
+  const std::vector<JobRequest> jobs{job("j1", 0.0)};
+  GridScheduler no_scalers(&cat, SchedulingPolicy::PredictedBest);
+  EXPECT_THROW(no_scalers.schedule(jobs, faithful_runner(cat)), util::Error);
+
+  std::map<std::string, ScalingFactors> scalers;
+  scalers["opteron-infiniband"] = {0.5, 0.8, 0.3};
+  GridScheduler with(&cat, SchedulingPolicy::PredictedBest, scalers);
+  auto runner = [](const JobRequest&, const grid::Candidate&) { return 7.0; };
+  const auto placements = with.schedule(jobs, runner);
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_DOUBLE_EQ(placements[0].actual_exec_s, 7.0);
+}
+
+TEST(Scheduler, MetricsMatchPlacements) {
+  const auto cat = one_site_catalog(8);
+  GridScheduler sched(&cat, SchedulingPolicy::PredictedBest);
+  const std::vector<JobRequest> jobs{job("a", 0.0), job("b", 3.0)};
+  const auto placements = sched.schedule(jobs, faithful_runner(cat));
+  double expected_makespan = 0.0, turnaround = 0.0;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    expected_makespan = std::max(expected_makespan, placements[i].finish_s);
+    turnaround += placements[i].finish_s - jobs[i].submit_time_s;
+  }
+  EXPECT_DOUBLE_EQ(sched.makespan(), expected_makespan);
+  EXPECT_DOUBLE_EQ(sched.mean_turnaround(), turnaround / 2.0);
+}
+
+TEST(Scheduler, ReschedulingResetsState) {
+  const auto cat = one_site_catalog(8);
+  GridScheduler sched(&cat, SchedulingPolicy::MaxNodes);
+  const std::vector<JobRequest> jobs{job("a", 0.0)};
+  const auto first = sched.schedule(jobs, faithful_runner(cat));
+  const auto second = sched.schedule(jobs, faithful_runner(cat));
+  // Same stream, fresh reservations: identical placement both times.
+  EXPECT_DOUBLE_EQ(first[0].start_s, second[0].start_s);
+  EXPECT_DOUBLE_EQ(first[0].finish_s, second[0].finish_s);
+}
+
+}  // namespace
+}  // namespace fgp::core

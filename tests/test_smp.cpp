@@ -1,0 +1,194 @@
+// Tests for the cluster-of-SMPs support: intra-node threading, the three
+// shared-memory strategies, and the thread-aware prediction model.
+#include <gtest/gtest.h>
+
+#include "apps/kmeans.h"
+#include "core/ipc_probe.h"
+#include "core/predictor.h"
+#include "core/profile.h"
+#include "datagen/points.h"
+#include "freeride/runtime.h"
+#include "helpers.h"
+#include "util/stats.h"
+
+namespace fgp::freeride {
+namespace {
+
+using fgp::testing::SumKernel;
+using fgp::testing::SumKernelParams;
+using fgp::testing::expected_sum;
+using fgp::testing::ideal_setup;
+using fgp::testing::make_sum_dataset;
+
+JobSetup smp_setup(const repository::ChunkedDataset* ds, int n, int c,
+                   int threads, SmpStrategy strategy) {
+  auto setup = ideal_setup(ds, n, c);
+  setup.config.threads_per_node = threads;
+  setup.config.smp_strategy = strategy;
+  return setup;
+}
+
+TEST(Smp, ConfigValidatesThreadCount) {
+  JobConfig cfg;
+  cfg.threads_per_node = 0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg.threads_per_node = 4;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Smp, RejectsMoreThreadsThanCores) {
+  const auto ds = make_sum_dataset(8, 32);
+  auto setup = ideal_setup(&ds, 1, 1);
+  setup.compute_cluster.machine.cores = 2;
+  setup.config.threads_per_node = 4;
+  SumKernel kernel;
+  Runtime runtime;
+  EXPECT_THROW(runtime.run(setup, kernel), util::Error);
+}
+
+class SmpStrategySweep : public ::testing::TestWithParam<
+                             std::tuple<SmpStrategy, int>> {};
+
+TEST_P(SmpStrategySweep, ResultIdenticalUnderEveryStrategy) {
+  const auto [strategy, threads] = GetParam();
+  const auto ds = make_sum_dataset(24, 64);
+  auto setup = smp_setup(&ds, 2, 4, threads, strategy);
+  SumKernel kernel;
+  Runtime runtime;
+  const auto result = runtime.run(setup, kernel);
+  const auto& obj =
+      dynamic_cast<const fgp::testing::SumObject&>(*result.result);
+  EXPECT_DOUBLE_EQ(obj.sum, expected_sum(24, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, SmpStrategySweep,
+    ::testing::Combine(::testing::Values(SmpStrategy::FullReplication,
+                                         SmpStrategy::FullLocking,
+                                         SmpStrategy::CacheSensitiveLocking),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(Smp, ThreadsShrinkLocalComputeTime) {
+  const auto ds = make_sum_dataset(32, 128);
+  Runtime runtime;
+  double prev = 1e300;
+  for (int t : {1, 2, 4, 8}) {
+    auto setup =
+        smp_setup(&ds, 1, 2, t, SmpStrategy::FullReplication);
+    SumKernel kernel;
+    const auto timing = runtime.run(setup, kernel).timing.total;
+    EXPECT_LT(timing.compute_local, prev) << t << " threads";
+    prev = timing.compute_local;
+  }
+}
+
+TEST(Smp, ReplicationNearlyPerfectOnIdealCluster) {
+  const auto ds = make_sum_dataset(32, 128);
+  Runtime runtime;
+  auto time_with = [&](int t) {
+    auto setup = smp_setup(&ds, 1, 2, t, SmpStrategy::FullReplication);
+    SumKernel kernel;
+    return runtime.run(setup, kernel).timing.total.compute_local;
+  };
+  // 32 chunks over 2 nodes over 4 threads divide evenly; merges are free
+  // for the SumKernel, so the speedup is exactly 4.
+  EXPECT_NEAR(time_with(1) / time_with(4), 4.0, 1e-9);
+}
+
+TEST(Smp, LockingPaysContention) {
+  const auto ds = make_sum_dataset(32, 128);
+  Runtime runtime;
+  auto time_with = [&](SmpStrategy s) {
+    auto setup = smp_setup(&ds, 1, 2, 4, s);
+    SumKernel kernel;
+    return runtime.run(setup, kernel).timing.total.compute_local;
+  };
+  const double replication = time_with(SmpStrategy::FullReplication);
+  const double cache_sensitive = time_with(SmpStrategy::CacheSensitiveLocking);
+  const double full_locking = time_with(SmpStrategy::FullLocking);
+  EXPECT_LT(replication, cache_sensitive);
+  EXPECT_LT(cache_sensitive, full_locking);
+}
+
+TEST(Smp, ReplicationChargesIntraNodeCombine) {
+  // With non-zero merge work, replication must cost more than the raw
+  // per-thread split.
+  const auto ds = make_sum_dataset(32, 128);
+  SumKernelParams params;
+  params.merge_flops = 1e6;
+  Runtime runtime;
+  auto setup1 = smp_setup(&ds, 1, 1, 1, SmpStrategy::FullReplication);
+  auto setup4 = smp_setup(&ds, 1, 1, 4, SmpStrategy::FullReplication);
+  SumKernel k1(params), k4(params);
+  const double t1 = runtime.run(setup1, k1).timing.total.compute_local;
+  const double t4 = runtime.run(setup4, k4).timing.total.compute_local;
+  EXPECT_GT(t4, t1 / 4.0);  // combine overhead breaks perfect speedup
+}
+
+TEST(Smp, PredictorScalesWithThreads) {
+  // Profile single-threaded; predict a multi-threaded configuration on the
+  // frictionless grid: the thread-aware model must be exact.
+  const auto ds = make_sum_dataset(32, 128);
+  auto profile_setup = smp_setup(&ds, 1, 2, 1, SmpStrategy::FullReplication);
+  profile_setup.wan = sim::wan_ideal(50.0);
+  SumKernel profile_kernel;
+  const core::Profile profile =
+      core::ProfileCollector::collect(profile_setup, profile_kernel);
+  EXPECT_EQ(profile.config.threads_per_node, 1);
+
+  core::PredictorOptions opts;
+  opts.model = core::PredictionModel::GlobalReduction;
+  opts.ipc = core::measure_ipc(profile_setup.compute_cluster);
+  const core::Predictor predictor(profile, opts);
+
+  auto target_setup = smp_setup(&ds, 1, 4, 4, SmpStrategy::FullReplication);
+  target_setup.wan = sim::wan_ideal(50.0);
+  SumKernel target_kernel;
+  const auto actual = freeride::Runtime().run(target_setup, target_kernel);
+
+  core::ProfileConfig target = profile.config;
+  target.compute_nodes = 4;
+  target.threads_per_node = 4;
+  const auto predicted = predictor.predict(target);
+  EXPECT_NEAR(predicted.compute, actual.timing.total.compute(),
+              1e-9 * std::max(1.0, actual.timing.total.compute()));
+}
+
+TEST(Smp, KMeansCorrectUnderThreads) {
+  datagen::PointsSpec spec;
+  spec.num_points = 2000;
+  spec.dim = 3;
+  spec.points_per_chunk = 125;
+  spec.seed = 9;
+  const auto data = datagen::generate_points(spec);
+
+  apps::KMeansParams params;
+  params.k = 3;
+  params.dim = 3;
+  params.initial_centers =
+      apps::initial_centers_from_dataset(data.dataset, 3, 3);
+  params.fixed_passes = 5;
+
+  std::vector<double> baseline;
+  for (const auto strategy :
+       {SmpStrategy::FullReplication, SmpStrategy::FullLocking}) {
+    apps::KMeansKernel kernel(params);
+    auto setup = smp_setup(&data.dataset, 1, 2, 4, strategy);
+    Runtime runtime;
+    runtime.run(setup, kernel);
+    if (baseline.empty()) {
+      baseline = kernel.centers();
+    } else {
+      for (std::size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_NEAR(kernel.centers()[i], baseline[i], 1e-8);
+    }
+  }
+}
+
+TEST(Smp, OpteronIsDualCore) {
+  EXPECT_EQ(sim::opteron250().cores, 2);
+  EXPECT_EQ(sim::pentium700().cores, 1);
+}
+
+}  // namespace
+}  // namespace fgp::freeride
