@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_caching.dir/abl01_caching.cpp.o"
+  "CMakeFiles/abl01_caching.dir/abl01_caching.cpp.o.d"
+  "abl01_caching"
+  "abl01_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_class_autodetect.dir/abl02_class_autodetect.cpp.o"
+  "CMakeFiles/abl02_class_autodetect.dir/abl02_class_autodetect.cpp.o.d"
+  "abl02_class_autodetect"
+  "abl02_class_autodetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_class_autodetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

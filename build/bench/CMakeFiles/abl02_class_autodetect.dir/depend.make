@@ -1,0 +1,2 @@
+# Empty dependencies file for abl02_class_autodetect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_resource_selection.dir/abl03_resource_selection.cpp.o"
+  "CMakeFiles/abl03_resource_selection.dir/abl03_resource_selection.cpp.o.d"
+  "abl03_resource_selection"
+  "abl03_resource_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_resource_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

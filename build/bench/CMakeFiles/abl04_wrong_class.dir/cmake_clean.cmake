@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_wrong_class.dir/abl04_wrong_class.cpp.o"
+  "CMakeFiles/abl04_wrong_class.dir/abl04_wrong_class.cpp.o.d"
+  "abl04_wrong_class"
+  "abl04_wrong_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_wrong_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_stragglers.dir/abl05_stragglers.cpp.o"
+  "CMakeFiles/abl05_stragglers.dir/abl05_stragglers.cpp.o.d"
+  "abl05_stragglers"
+  "abl05_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext01_smp.dir/ext01_smp.cpp.o"
+  "CMakeFiles/ext01_smp.dir/ext01_smp.cpp.o.d"
+  "ext01_smp"
+  "ext01_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext01_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

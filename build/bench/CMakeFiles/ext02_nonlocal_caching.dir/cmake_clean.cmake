@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext02_nonlocal_caching.dir/ext02_nonlocal_caching.cpp.o"
+  "CMakeFiles/ext02_nonlocal_caching.dir/ext02_nonlocal_caching.cpp.o.d"
+  "ext02_nonlocal_caching"
+  "ext02_nonlocal_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext02_nonlocal_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext02_nonlocal_caching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext02_nonlocal_caching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext03_overlap.dir/ext03_overlap.cpp.o"
+  "CMakeFiles/ext03_overlap.dir/ext03_overlap.cpp.o.d"
+  "ext03_overlap"
+  "ext03_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext03_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext04_new_apps.dir/ext04_new_apps.cpp.o"
+  "CMakeFiles/ext04_new_apps.dir/ext04_new_apps.cpp.o.d"
+  "ext04_new_apps"
+  "ext04_new_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext04_new_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext05_scheduler.dir/ext05_scheduler.cpp.o"
+  "CMakeFiles/ext05_scheduler.dir/ext05_scheduler.cpp.o.d"
+  "ext05_scheduler"
+  "ext05_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext05_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

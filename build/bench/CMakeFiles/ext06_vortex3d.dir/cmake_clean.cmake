@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext06_vortex3d.dir/ext06_vortex3d.cpp.o"
+  "CMakeFiles/ext06_vortex3d.dir/ext06_vortex3d.cpp.o.d"
+  "ext06_vortex3d"
+  "ext06_vortex3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext06_vortex3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext06_vortex3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_kmeans_parallel.dir/fig02_kmeans_parallel.cpp.o"
+  "CMakeFiles/fig02_kmeans_parallel.dir/fig02_kmeans_parallel.cpp.o.d"
+  "fig02_kmeans_parallel"
+  "fig02_kmeans_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_kmeans_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_vortex_parallel.dir/fig03_vortex_parallel.cpp.o"
+  "CMakeFiles/fig03_vortex_parallel.dir/fig03_vortex_parallel.cpp.o.d"
+  "fig03_vortex_parallel"
+  "fig03_vortex_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_vortex_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_defect_parallel.dir/fig04_defect_parallel.cpp.o"
+  "CMakeFiles/fig04_defect_parallel.dir/fig04_defect_parallel.cpp.o.d"
+  "fig04_defect_parallel"
+  "fig04_defect_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_defect_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

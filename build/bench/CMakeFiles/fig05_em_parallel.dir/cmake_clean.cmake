@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_em_parallel.dir/fig05_em_parallel.cpp.o"
+  "CMakeFiles/fig05_em_parallel.dir/fig05_em_parallel.cpp.o.d"
+  "fig05_em_parallel"
+  "fig05_em_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_em_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_knn_parallel.dir/fig06_knn_parallel.cpp.o"
+  "CMakeFiles/fig06_knn_parallel.dir/fig06_knn_parallel.cpp.o.d"
+  "fig06_knn_parallel"
+  "fig06_knn_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_knn_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

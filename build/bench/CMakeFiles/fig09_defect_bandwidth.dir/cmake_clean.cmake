@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_defect_bandwidth.dir/fig09_defect_bandwidth.cpp.o"
+  "CMakeFiles/fig09_defect_bandwidth.dir/fig09_defect_bandwidth.cpp.o.d"
+  "fig09_defect_bandwidth"
+  "fig09_defect_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_defect_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_em_bandwidth.dir/fig10_em_bandwidth.cpp.o"
+  "CMakeFiles/fig10_em_bandwidth.dir/fig10_em_bandwidth.cpp.o.d"
+  "fig10_em_bandwidth"
+  "fig10_em_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_em_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

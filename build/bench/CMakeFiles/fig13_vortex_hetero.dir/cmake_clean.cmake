@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vortex_hetero.dir/fig13_vortex_hetero.cpp.o"
+  "CMakeFiles/fig13_vortex_hetero.dir/fig13_vortex_hetero.cpp.o.d"
+  "fig13_vortex_hetero"
+  "fig13_vortex_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vortex_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

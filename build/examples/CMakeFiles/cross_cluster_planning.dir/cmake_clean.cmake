@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_cluster_planning.dir/cross_cluster_planning.cpp.o"
+  "CMakeFiles/cross_cluster_planning.dir/cross_cluster_planning.cpp.o.d"
+  "cross_cluster_planning"
+  "cross_cluster_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_cluster_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

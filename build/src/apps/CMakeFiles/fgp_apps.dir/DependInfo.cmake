@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ann.cpp" "src/apps/CMakeFiles/fgp_apps.dir/ann.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/ann.cpp.o.d"
+  "/root/repo/src/apps/apriori.cpp" "src/apps/CMakeFiles/fgp_apps.dir/apriori.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/apriori.cpp.o.d"
+  "/root/repo/src/apps/defect.cpp" "src/apps/CMakeFiles/fgp_apps.dir/defect.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/defect.cpp.o.d"
+  "/root/repo/src/apps/em.cpp" "src/apps/CMakeFiles/fgp_apps.dir/em.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/em.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/fgp_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/knn.cpp" "src/apps/CMakeFiles/fgp_apps.dir/knn.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/knn.cpp.o.d"
+  "/root/repo/src/apps/knn_classify.cpp" "src/apps/CMakeFiles/fgp_apps.dir/knn_classify.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/knn_classify.cpp.o.d"
+  "/root/repo/src/apps/vortex.cpp" "src/apps/CMakeFiles/fgp_apps.dir/vortex.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/vortex.cpp.o.d"
+  "/root/repo/src/apps/vortex3d.cpp" "src/apps/CMakeFiles/fgp_apps.dir/vortex3d.cpp.o" "gcc" "src/apps/CMakeFiles/fgp_apps.dir/vortex3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/freeride/CMakeFiles/fgp_freeride.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fgp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/fgp_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

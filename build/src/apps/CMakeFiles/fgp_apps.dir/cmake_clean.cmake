@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_apps.dir/ann.cpp.o"
+  "CMakeFiles/fgp_apps.dir/ann.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/apriori.cpp.o"
+  "CMakeFiles/fgp_apps.dir/apriori.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/defect.cpp.o"
+  "CMakeFiles/fgp_apps.dir/defect.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/em.cpp.o"
+  "CMakeFiles/fgp_apps.dir/em.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/fgp_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/knn.cpp.o"
+  "CMakeFiles/fgp_apps.dir/knn.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/knn_classify.cpp.o"
+  "CMakeFiles/fgp_apps.dir/knn_classify.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/vortex.cpp.o"
+  "CMakeFiles/fgp_apps.dir/vortex.cpp.o.d"
+  "CMakeFiles/fgp_apps.dir/vortex3d.cpp.o"
+  "CMakeFiles/fgp_apps.dir/vortex3d.cpp.o.d"
+  "libfgp_apps.a"
+  "libfgp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

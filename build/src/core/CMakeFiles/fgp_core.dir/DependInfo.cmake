@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_planner.cpp" "src/core/CMakeFiles/fgp_core.dir/cache_planner.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/cache_planner.cpp.o.d"
+  "/root/repo/src/core/calibrate.cpp" "src/core/CMakeFiles/fgp_core.dir/calibrate.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/calibrate.cpp.o.d"
+  "/root/repo/src/core/classes.cpp" "src/core/CMakeFiles/fgp_core.dir/classes.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/classes.cpp.o.d"
+  "/root/repo/src/core/hetero.cpp" "src/core/CMakeFiles/fgp_core.dir/hetero.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/hetero.cpp.o.d"
+  "/root/repo/src/core/ipc_probe.cpp" "src/core/CMakeFiles/fgp_core.dir/ipc_probe.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/ipc_probe.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/fgp_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/fgp_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/fgp_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/core/CMakeFiles/fgp_core.dir/selector.cpp.o" "gcc" "src/core/CMakeFiles/fgp_core.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/freeride/CMakeFiles/fgp_freeride.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/fgp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/fgp_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

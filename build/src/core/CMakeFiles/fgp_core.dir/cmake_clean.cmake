@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_core.dir/cache_planner.cpp.o"
+  "CMakeFiles/fgp_core.dir/cache_planner.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/calibrate.cpp.o"
+  "CMakeFiles/fgp_core.dir/calibrate.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/classes.cpp.o"
+  "CMakeFiles/fgp_core.dir/classes.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/hetero.cpp.o"
+  "CMakeFiles/fgp_core.dir/hetero.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/ipc_probe.cpp.o"
+  "CMakeFiles/fgp_core.dir/ipc_probe.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/predictor.cpp.o"
+  "CMakeFiles/fgp_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/profile.cpp.o"
+  "CMakeFiles/fgp_core.dir/profile.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/scheduler.cpp.o"
+  "CMakeFiles/fgp_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/fgp_core.dir/selector.cpp.o"
+  "CMakeFiles/fgp_core.dir/selector.cpp.o.d"
+  "libfgp_core.a"
+  "libfgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

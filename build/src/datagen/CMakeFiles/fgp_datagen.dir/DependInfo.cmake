@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/flowfield.cpp" "src/datagen/CMakeFiles/fgp_datagen.dir/flowfield.cpp.o" "gcc" "src/datagen/CMakeFiles/fgp_datagen.dir/flowfield.cpp.o.d"
+  "/root/repo/src/datagen/flowfield3d.cpp" "src/datagen/CMakeFiles/fgp_datagen.dir/flowfield3d.cpp.o" "gcc" "src/datagen/CMakeFiles/fgp_datagen.dir/flowfield3d.cpp.o.d"
+  "/root/repo/src/datagen/lattice.cpp" "src/datagen/CMakeFiles/fgp_datagen.dir/lattice.cpp.o" "gcc" "src/datagen/CMakeFiles/fgp_datagen.dir/lattice.cpp.o.d"
+  "/root/repo/src/datagen/points.cpp" "src/datagen/CMakeFiles/fgp_datagen.dir/points.cpp.o" "gcc" "src/datagen/CMakeFiles/fgp_datagen.dir/points.cpp.o.d"
+  "/root/repo/src/datagen/transactions.cpp" "src/datagen/CMakeFiles/fgp_datagen.dir/transactions.cpp.o" "gcc" "src/datagen/CMakeFiles/fgp_datagen.dir/transactions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/fgp_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

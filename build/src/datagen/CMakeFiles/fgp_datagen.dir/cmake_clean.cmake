@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_datagen.dir/flowfield.cpp.o"
+  "CMakeFiles/fgp_datagen.dir/flowfield.cpp.o.d"
+  "CMakeFiles/fgp_datagen.dir/flowfield3d.cpp.o"
+  "CMakeFiles/fgp_datagen.dir/flowfield3d.cpp.o.d"
+  "CMakeFiles/fgp_datagen.dir/lattice.cpp.o"
+  "CMakeFiles/fgp_datagen.dir/lattice.cpp.o.d"
+  "CMakeFiles/fgp_datagen.dir/points.cpp.o"
+  "CMakeFiles/fgp_datagen.dir/points.cpp.o.d"
+  "CMakeFiles/fgp_datagen.dir/transactions.cpp.o"
+  "CMakeFiles/fgp_datagen.dir/transactions.cpp.o.d"
+  "libfgp_datagen.a"
+  "libfgp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/freeride/cache.cpp" "src/freeride/CMakeFiles/fgp_freeride.dir/cache.cpp.o" "gcc" "src/freeride/CMakeFiles/fgp_freeride.dir/cache.cpp.o.d"
+  "/root/repo/src/freeride/config.cpp" "src/freeride/CMakeFiles/fgp_freeride.dir/config.cpp.o" "gcc" "src/freeride/CMakeFiles/fgp_freeride.dir/config.cpp.o.d"
+  "/root/repo/src/freeride/runtime.cpp" "src/freeride/CMakeFiles/fgp_freeride.dir/runtime.cpp.o" "gcc" "src/freeride/CMakeFiles/fgp_freeride.dir/runtime.cpp.o.d"
+  "/root/repo/src/freeride/timing.cpp" "src/freeride/CMakeFiles/fgp_freeride.dir/timing.cpp.o" "gcc" "src/freeride/CMakeFiles/fgp_freeride.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/fgp_repository.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_freeride.dir/cache.cpp.o"
+  "CMakeFiles/fgp_freeride.dir/cache.cpp.o.d"
+  "CMakeFiles/fgp_freeride.dir/config.cpp.o"
+  "CMakeFiles/fgp_freeride.dir/config.cpp.o.d"
+  "CMakeFiles/fgp_freeride.dir/runtime.cpp.o"
+  "CMakeFiles/fgp_freeride.dir/runtime.cpp.o.d"
+  "CMakeFiles/fgp_freeride.dir/timing.cpp.o"
+  "CMakeFiles/fgp_freeride.dir/timing.cpp.o.d"
+  "libfgp_freeride.a"
+  "libfgp_freeride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_freeride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

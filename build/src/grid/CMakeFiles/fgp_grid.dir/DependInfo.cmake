@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/bandwidth.cpp" "src/grid/CMakeFiles/fgp_grid.dir/bandwidth.cpp.o" "gcc" "src/grid/CMakeFiles/fgp_grid.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/grid/catalog.cpp" "src/grid/CMakeFiles/fgp_grid.dir/catalog.cpp.o" "gcc" "src/grid/CMakeFiles/fgp_grid.dir/catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_grid.dir/bandwidth.cpp.o"
+  "CMakeFiles/fgp_grid.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/fgp_grid.dir/catalog.cpp.o"
+  "CMakeFiles/fgp_grid.dir/catalog.cpp.o.d"
+  "libfgp_grid.a"
+  "libfgp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repository/chunk.cpp" "src/repository/CMakeFiles/fgp_repository.dir/chunk.cpp.o" "gcc" "src/repository/CMakeFiles/fgp_repository.dir/chunk.cpp.o.d"
+  "/root/repo/src/repository/dataset.cpp" "src/repository/CMakeFiles/fgp_repository.dir/dataset.cpp.o" "gcc" "src/repository/CMakeFiles/fgp_repository.dir/dataset.cpp.o.d"
+  "/root/repo/src/repository/partition.cpp" "src/repository/CMakeFiles/fgp_repository.dir/partition.cpp.o" "gcc" "src/repository/CMakeFiles/fgp_repository.dir/partition.cpp.o.d"
+  "/root/repo/src/repository/store.cpp" "src/repository/CMakeFiles/fgp_repository.dir/store.cpp.o" "gcc" "src/repository/CMakeFiles/fgp_repository.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_repository.dir/chunk.cpp.o"
+  "CMakeFiles/fgp_repository.dir/chunk.cpp.o.d"
+  "CMakeFiles/fgp_repository.dir/dataset.cpp.o"
+  "CMakeFiles/fgp_repository.dir/dataset.cpp.o.d"
+  "CMakeFiles/fgp_repository.dir/partition.cpp.o"
+  "CMakeFiles/fgp_repository.dir/partition.cpp.o.d"
+  "CMakeFiles/fgp_repository.dir/store.cpp.o"
+  "CMakeFiles/fgp_repository.dir/store.cpp.o.d"
+  "libfgp_repository.a"
+  "libfgp_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_sim.dir/cluster.cpp.o"
+  "CMakeFiles/fgp_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/fgp_sim.dir/machine.cpp.o"
+  "CMakeFiles/fgp_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/fgp_sim.dir/network.cpp.o"
+  "CMakeFiles/fgp_sim.dir/network.cpp.o.d"
+  "libfgp_sim.a"
+  "libfgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

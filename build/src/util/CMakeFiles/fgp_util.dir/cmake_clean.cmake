@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_util.dir/serial.cpp.o"
+  "CMakeFiles/fgp_util.dir/serial.cpp.o.d"
+  "CMakeFiles/fgp_util.dir/stats.cpp.o"
+  "CMakeFiles/fgp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fgp_util.dir/table.cpp.o"
+  "CMakeFiles/fgp_util.dir/table.cpp.o.d"
+  "CMakeFiles/fgp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fgp_util.dir/thread_pool.cpp.o.d"
+  "libfgp_util.a"
+  "libfgp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

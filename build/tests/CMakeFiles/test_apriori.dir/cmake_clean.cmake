@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apriori.dir/test_apriori.cpp.o"
+  "CMakeFiles/test_apriori.dir/test_apriori.cpp.o.d"
+  "test_apriori"
+  "test_apriori.pdb"
+  "test_apriori[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apriori.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caching.dir/test_caching.cpp.o"
+  "CMakeFiles/test_caching.dir/test_caching.cpp.o.d"
+  "test_caching"
+  "test_caching.pdb"
+  "test_caching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_datagen.cpp" "tests/CMakeFiles/test_datagen.dir/test_datagen.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/test_datagen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fgp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/fgp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/freeride/CMakeFiles/fgp_freeride.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fgp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/fgp_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

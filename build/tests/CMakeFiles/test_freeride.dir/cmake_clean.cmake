@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freeride.dir/test_freeride.cpp.o"
+  "CMakeFiles/test_freeride.dir/test_freeride.cpp.o.d"
+  "test_freeride"
+  "test_freeride.pdb"
+  "test_freeride[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freeride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

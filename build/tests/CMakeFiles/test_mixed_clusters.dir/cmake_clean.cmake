@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_clusters.dir/test_mixed_clusters.cpp.o"
+  "CMakeFiles/test_mixed_clusters.dir/test_mixed_clusters.cpp.o.d"
+  "test_mixed_clusters"
+  "test_mixed_clusters.pdb"
+  "test_mixed_clusters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

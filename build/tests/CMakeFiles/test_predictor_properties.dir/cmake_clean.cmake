@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_properties.dir/test_predictor_properties.cpp.o"
+  "CMakeFiles/test_predictor_properties.dir/test_predictor_properties.cpp.o.d"
+  "test_predictor_properties"
+  "test_predictor_properties.pdb"
+  "test_predictor_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

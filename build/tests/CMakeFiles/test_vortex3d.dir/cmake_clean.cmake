@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vortex3d.dir/test_vortex3d.cpp.o"
+  "CMakeFiles/test_vortex3d.dir/test_vortex3d.cpp.o.d"
+  "test_vortex3d"
+  "test_vortex3d.pdb"
+  "test_vortex3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vortex3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

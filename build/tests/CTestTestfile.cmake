@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_repository[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_freeride[1]_include.cmake")
+include("/root/repo/build/tests/test_datagen[1]_include.cmake")
+include("/root/repo/build/tests/test_kmeans[1]_include.cmake")
+include("/root/repo/build/tests/test_em[1]_include.cmake")
+include("/root/repo/build/tests/test_knn[1]_include.cmake")
+include("/root/repo/build/tests/test_vortex[1]_include.cmake")
+include("/root/repo/build/tests/test_defect[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_smp[1]_include.cmake")
+include("/root/repo/build/tests/test_caching[1]_include.cmake")
+include("/root/repo/build/tests/test_bandwidth[1]_include.cmake")
+include("/root/repo/build/tests/test_apriori[1]_include.cmake")
+include("/root/repo/build/tests/test_ann[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_calibrate[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_vortex3d[1]_include.cmake")
+include("/root/repo/build/tests/test_mixed_clusters[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpred.dir/fgpred.cpp.o"
+  "CMakeFiles/fgpred.dir/fgpred.cpp.o.d"
+  "fgpred"
+  "fgpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
