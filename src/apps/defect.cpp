@@ -234,7 +234,7 @@ void DefectObject::serialize(util::ByteWriter& w) const {
 void DefectObject::deserialize(util::ByteReader& r) {
   structures.clear();
   categorized.clear();
-  const std::uint64_t ns = r.get_u64();
+  const std::uint64_t ns = r.get_count();
   structures.reserve(ns);
   for (std::uint64_t i = 0; i < ns; ++i) {
     DefectStruct s;
@@ -242,7 +242,7 @@ void DefectObject::deserialize(util::ByteReader& r) {
     s.cells = r.get_vector<std::int32_t>();
     structures.push_back(std::move(s));
   }
-  const std::uint64_t nc = r.get_u64();
+  const std::uint64_t nc = r.get_count();
   categorized.reserve(nc);
   for (std::uint64_t i = 0; i < nc; ++i) {
     CategorizedDefect cd;

@@ -79,7 +79,7 @@ void VortexObject::serialize(util::ByteWriter& w) const {
 void VortexObject::deserialize(util::ByteReader& r) {
   fragments.clear();
   vortices.clear();
-  const std::uint64_t nf = r.get_u64();
+  const std::uint64_t nf = r.get_count();
   fragments.reserve(nf);
   for (std::uint64_t i = 0; i < nf; ++i) {
     RegionFragment f;
@@ -90,7 +90,7 @@ void VortexObject::deserialize(util::ByteReader& r) {
     f.boundary = r.get_vector<BoundaryCell>();
     fragments.push_back(std::move(f));
   }
-  const std::uint64_t nv = r.get_u64();
+  const std::uint64_t nv = r.get_count();
   vortices.reserve(nv);
   for (std::uint64_t i = 0; i < nv; ++i) {
     Vortex v;

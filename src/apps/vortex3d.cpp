@@ -207,7 +207,7 @@ void Vortex3dObject::serialize(util::ByteWriter& w) const {
 void Vortex3dObject::deserialize(util::ByteReader& r) {
   fragments.clear();
   vortices.clear();
-  const std::uint64_t nf = r.get_u64();
+  const std::uint64_t nf = r.get_count();
   fragments.reserve(nf);
   for (std::uint64_t i = 0; i < nf; ++i) {
     RegionFragment3d f;
@@ -219,7 +219,7 @@ void Vortex3dObject::deserialize(util::ByteReader& r) {
     f.boundary = r.get_vector<BoundaryCell3d>();
     fragments.push_back(std::move(f));
   }
-  const std::uint64_t nv = r.get_u64();
+  const std::uint64_t nv = r.get_count();
   vortices.reserve(nv);
   for (std::uint64_t i = 0; i < nv; ++i) {
     Vortex3d v;

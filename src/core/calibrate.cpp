@@ -1,9 +1,9 @@
 #include "core/calibrate.h"
 
-#include <chrono>
 #include <cmath>
 
 #include "util/check.h"
+#include "util/wallclock.h"
 
 namespace fgp::core {
 
@@ -47,14 +47,12 @@ CalibrationSample measure_kernel_sample(freeride::ReductionKernel& kernel,
                                         int repeats) {
   FGP_CHECK(repeats >= 1);
   CalibrationSample sample;
-  const auto begin = std::chrono::steady_clock::now();
+  const util::Stopwatch stopwatch;
   for (int i = 0; i < repeats; ++i) {
     auto obj = kernel.create_object();
     sample.work += kernel.process_chunk(chunk, *obj);
   }
-  const auto end = std::chrono::steady_clock::now();
-  sample.seconds =
-      std::chrono::duration<double>(end - begin).count();
+  sample.seconds = stopwatch.seconds();
   FGP_CHECK_MSG(sample.seconds > 0.0, "clock resolution too coarse");
   return sample;
 }

@@ -1,9 +1,11 @@
 #include "freeride/runtime.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace fgp::freeride {
 
@@ -69,6 +71,12 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
 
   RunResult result;
   CacheSet caches(c);
+
+  // Host thread pool for the local-reduction phase. One pool serves every
+  // pass; nodes are independent, so any pool size yields identical results.
+  std::optional<util::ThreadPool> pool;
+  if (pool_threads_ > 1 && c > 1)
+    pool.emplace(std::min(pool_threads_, static_cast<std::size_t>(c)));
 
   // Decide how later passes of a multi-pass job will be served: local disk
   // when the compute nodes can hold their share, otherwise a non-local
@@ -229,16 +237,24 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
     objects.reserve(static_cast<std::size_t>(c));
     for (int j = 0; j < c; ++j) objects.push_back(kernel.create_object());
 
-    double t_local = 0.0;
-    for (int j = 0; j < c; ++j) {
+    // Each node's local reduction writes only its own objects[j] and
+    // per-node slots, and process_chunk is const on the kernel, so the
+    // host pool may run nodes concurrently. Times and work are reduced in
+    // node order afterwards to keep every result bit-identical regardless
+    // of pool size.
+    std::vector<double> node_time(static_cast<std::size_t>(c), 0.0);
+    std::vector<sim::Work> node_work(static_cast<std::size_t>(c));
+    const auto reduce_node = [&](std::size_t uj) {
+      const int j = static_cast<int>(uj);
       double tj = 0.0;
+      sim::Work wj;
       if (threads == 1) {
         for (std::size_t ci : dest_part.chunks_of(j)) {
           const auto& chunk = ds.chunk(ci);
           const sim::Work w = kernel.process_chunk(chunk, *objects[j]);
           const sim::Work scaled = chunk.virtual_scale() * w;
           tj += compute_machine.compute_time(scaled);
-          result.total_work += scaled;
+          wj += scaled;
         }
       } else if (cfg.smp_strategy == SmpStrategy::FullReplication) {
         // One object per thread; chunks round-robin over threads.
@@ -257,7 +273,7 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
           const sim::Work scaled = chunk.virtual_scale() * w;
           thread_time[static_cast<std::size_t>(th)] +=
               compute_machine.compute_time(scaled);
-          result.total_work += scaled;
+          wj += scaled;
         }
         for (double tt : thread_time) tj = std::max(tj, tt);
         // Sequential intra-node combine of the thread replicas.
@@ -265,7 +281,7 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
           const sim::Work mw = kernel.merge(*objects[j], *extra);
           const sim::Work scaled = obj_scale * mw;
           tj += compute_machine.compute_time(scaled);
-          result.total_work += scaled;
+          wj += scaled;
         }
       } else {
         // Locking strategies: one shared object, contention on updates.
@@ -277,13 +293,26 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
           const sim::Work scaled = chunk.virtual_scale() * w;
           thread_time[k % static_cast<std::size_t>(threads)] +=
               compute_machine.compute_time(scaled);
-          result.total_work += scaled;
+          wj += scaled;
         }
         for (double tt : thread_time) tj = std::max(tj, tt);
         tj *= 1.0 + lock_penalty * static_cast<double>(threads - 1);
       }
       if (j < cfg.straggler_count) tj *= cfg.straggler_slowdown;
-      t_local = std::max(t_local, tj);
+      node_time[uj] = tj;
+      node_work[uj] = wj;
+    };
+    if (pool) {
+      pool->parallel_for(static_cast<std::size_t>(c), reduce_node);
+    } else {
+      for (int j = 0; j < c; ++j) reduce_node(static_cast<std::size_t>(j));
+    }
+
+    double t_local = 0.0;
+    for (int j = 0; j < c; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      result.total_work += node_work[uj];
+      t_local = std::max(t_local, node_time[uj]);
     }
     rec.timing.compute_local = t_local;
 

@@ -63,10 +63,24 @@ struct RunResult {
 
 class Runtime {
  public:
+  /// A serial runtime: every simulated node runs inline on the caller.
+  Runtime() = default;
+
+  /// pool_threads > 1 runs independent compute nodes' local reductions on
+  /// a host thread pool (util::ThreadPool). Virtual time, reduction
+  /// objects and predictions are bit-identical for every pool size — the
+  /// pool only shortens host wall-clock time; tests/test_determinism.cpp
+  /// enforces this at 1, 2 and 8 threads.
+  explicit Runtime(std::size_t pool_threads)
+      : pool_threads_(pool_threads == 0 ? 1 : pool_threads) {}
+
   /// Runs `kernel` over `setup`. Throws util::ConfigError for invalid
   /// configurations and util::Error for corrupted chunks (when
   /// config.verify_chunks is set).
   RunResult run(const JobSetup& setup, ReductionKernel& kernel) const;
+
+ private:
+  std::size_t pool_threads_ = 1;
 };
 
 }  // namespace fgp::freeride

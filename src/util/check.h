@@ -6,6 +6,8 @@
 // use FGP_ASSERT which aborts.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +41,13 @@ namespace detail {
   if (!msg.empty()) os << " — " << msg;
   throw Error(os.str());
 }
+
+[[noreturn]] inline void assert_failure(const char* expr, const char* file,
+                                        int line, const char* msg) {
+  std::fprintf(stderr, "fgpred internal invariant violated: %s at %s:%d%s%s\n",
+               expr, file, line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
 }  // namespace detail
 
 }  // namespace fgp::util
@@ -59,4 +68,20 @@ namespace detail {
       ::fgp::util::detail::throw_check_failure(#expr, __FILE__, __LINE__,     \
                                                fgp_os_.str());                \
     }                                                                         \
+  } while (false)
+
+/// Internal invariant that no caller input can violate; aborts (never
+/// throws) because a failure is a bug in fgpred itself. Enabled in every
+/// build type — the virtual cluster is cheap enough to check always.
+#define FGP_ASSERT(expr)                                                      \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::fgp::util::detail::assert_failure(#expr, __FILE__, __LINE__, "");     \
+  } while (false)
+
+/// FGP_ASSERT with a static context message (plain C string).
+#define FGP_ASSERT_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::fgp::util::detail::assert_failure(#expr, __FILE__, __LINE__, msg);    \
   } while (false)

@@ -107,6 +107,17 @@ class ByteReader {
     return v;
   }
 
+  /// Reads a container count and validates it against the bytes left:
+  /// each element occupies at least `min_elem_bytes` on the wire, so any
+  /// larger count is hostile. Deserializers must use this (not get_u64)
+  /// before count-driven allocation, so a corrupted length prefix throws
+  /// SerializationError instead of reaching the allocator.
+  std::uint64_t get_count(std::size_t min_elem_bytes = 1) {
+    const std::uint64_t n = get_u64();
+    require_count(n, min_elem_bytes);
+    return n;
+  }
+
   std::size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }
 

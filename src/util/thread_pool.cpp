@@ -37,11 +37,27 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
   std::vector<std::future<void>> futures;
   futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  for (auto& f : futures) f.get();
+  std::exception_ptr first;
+  try {
+    for (std::size_t i = 0; i < n; ++i)
+      futures.push_back(submit([&fn, i] { fn(i); }));
+  } catch (...) {
+    first = std::current_exception();
+  }
+  // Wait for *every* submitted task before rethrowing: tasks capture `fn`
+  // by reference, so returning while any still run would let the caller
+  // destroy it under a worker. The lowest-index failure wins.
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 void ThreadPool::worker_loop() {

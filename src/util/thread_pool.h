@@ -26,8 +26,9 @@ class ThreadPool {
   /// Enqueues a task; the returned future rethrows any task exception.
   std::future<void> submit(std::function<void()> task);
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from tasks are rethrown (first one wins).
+  /// Runs fn(i) for i in [0, n) across the pool and waits for *all* tasks
+  /// to finish, even when some throw; the lowest-index task's exception is
+  /// then rethrown ("first one wins"). n == 0 is a no-op.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }

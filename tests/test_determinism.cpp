@@ -1,0 +1,174 @@
+// Determinism regression: the virtual cluster must be bit-deterministic
+// regardless of how much *host* parallelism executes it, or measured
+// profiles become noisy and the paper's prediction model stops being
+// falsifiable. Runs k-means and vortex end-to-end with the runtime's host
+// pool at 1, 2 and 8 threads and asserts that the final reduction
+// objects, every virtual-time component, and the resulting predictions
+// are bit-identical (not merely approximately equal).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "apps/vortex.h"
+#include "core/ipc_probe.h"
+#include "core/predictor.h"
+#include "core/profile.h"
+#include "datagen/flowfield.h"
+#include "datagen/points.h"
+#include "helpers.h"
+#include "util/serial.h"
+
+namespace fgp {
+namespace {
+
+constexpr std::size_t kPoolSizes[] = {1, 2, 8};
+
+/// Everything one end-to-end run produces, reduced to raw bytes so
+/// equality means bit-identity (doubles compared via memcmp, so NaN or
+/// signed-zero drift would also be caught).
+struct RunFingerprint {
+  std::vector<std::uint8_t> object_bytes;
+  std::vector<double> doubles;
+
+  void add(double v) { doubles.push_back(v); }
+
+  bool bit_identical_to(const RunFingerprint& o) const {
+    if (object_bytes != o.object_bytes) return false;
+    if (doubles.size() != o.doubles.size()) return false;
+    return doubles.empty() ||
+           std::memcmp(doubles.data(), o.doubles.data(),
+                       doubles.size() * sizeof(double)) == 0;
+  }
+};
+
+RunFingerprint fingerprint(const freeride::JobSetup& setup,
+                           const std::string& app,
+                           const freeride::RunResult& result) {
+  RunFingerprint fp;
+  util::ByteWriter w;
+  result.result->serialize(w);
+  fp.object_bytes = w.take();
+
+  fp.add(result.timing.elapsed);
+  fp.add(result.timing.max_object_bytes);
+  fp.add(result.timing.total.disk);
+  fp.add(result.timing.total.network);
+  fp.add(result.timing.total.compute_local);
+  fp.add(result.timing.total.ro_comm);
+  fp.add(result.timing.total.global_red);
+  fp.add(result.total_work.flops);
+  fp.add(result.total_work.bytes);
+  for (const auto& pass : result.timing.passes) {
+    fp.add(pass.elapsed);
+    fp.add(pass.max_object_bytes);
+  }
+
+  // Predictions inherit determinism from the profile; pin them too so a
+  // nondeterministic collector or predictor cannot slip through.
+  const core::Profile profile =
+      core::ProfileCollector::from_result(setup, app, result);
+  core::PredictorOptions opts;
+  opts.ipc = core::measure_ipc(setup.compute_cluster);
+  core::ProfileConfig target = profile.config;
+  target.data_nodes = 8;
+  target.compute_nodes = 16;
+  const core::PredictedTime predicted =
+      core::Predictor(profile, opts).predict(target);
+  fp.add(predicted.disk);
+  fp.add(predicted.network);
+  fp.add(predicted.compute);
+  return fp;
+}
+
+TEST(Determinism, KMeansBitIdenticalAcrossPoolSizes) {
+  datagen::PointsSpec spec;
+  spec.num_points = 4000;
+  spec.dim = 4;
+  spec.num_components = 3;
+  spec.points_per_chunk = 200;
+  spec.seed = 42;
+  const auto data = datagen::generate_points(spec);
+
+  std::vector<RunFingerprint> runs;
+  for (const std::size_t pool : kPoolSizes) {
+    apps::KMeansParams params;
+    params.k = 3;
+    params.dim = spec.dim;
+    params.initial_centers =
+        apps::initial_centers_from_dataset(data.dataset, 3, spec.dim);
+    apps::KMeansKernel kernel(params);
+
+    auto setup = testing::pentium_setup(&data.dataset, 4, 8);
+    const auto result = freeride::Runtime(pool).run(setup, kernel);
+    EXPECT_GT(result.passes, 1) << "want a genuinely iterative run";
+    runs.push_back(fingerprint(setup, kernel.name(), result));
+  }
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_TRUE(runs[0].bit_identical_to(runs[1])) << "pool=1 vs pool=2";
+  EXPECT_TRUE(runs[0].bit_identical_to(runs[2])) << "pool=1 vs pool=8";
+}
+
+TEST(Determinism, VortexBitIdenticalAcrossPoolSizes) {
+  datagen::FlowSpec spec;
+  spec.width = 96;
+  spec.height = 96;
+  spec.num_vortices = 4;
+  spec.rows_per_chunk = 8;
+  spec.seed = 7;
+  const auto flow = datagen::generate_flowfield(spec);
+
+  std::vector<RunFingerprint> runs;
+  for (const std::size_t pool : kPoolSizes) {
+    apps::VortexKernel kernel(apps::VortexParams{});
+
+    auto setup = testing::pentium_setup(&flow.dataset, 3, 6);
+    const auto result = freeride::Runtime(pool).run(setup, kernel);
+    runs.push_back(fingerprint(setup, kernel.name(), result));
+  }
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_TRUE(runs[0].bit_identical_to(runs[1])) << "pool=1 vs pool=2";
+  EXPECT_TRUE(runs[0].bit_identical_to(runs[2])) << "pool=1 vs pool=8";
+}
+
+TEST(Determinism, SmpStrategiesStayDeterministicUnderHostPool) {
+  // The simulated SMP strategies reorder nothing observable: every
+  // (strategy, pool size) pair must agree with the serial baseline of the
+  // same strategy bit-for-bit.
+  const auto data = [] {
+    datagen::PointsSpec spec;
+    spec.num_points = 1500;
+    spec.dim = 4;
+    spec.points_per_chunk = 125;
+    return datagen::generate_points(spec);
+  }();
+
+  for (const auto strategy :
+       {freeride::SmpStrategy::FullReplication,
+        freeride::SmpStrategy::FullLocking,
+        freeride::SmpStrategy::CacheSensitiveLocking}) {
+    std::vector<RunFingerprint> runs;
+    for (const std::size_t pool : kPoolSizes) {
+      apps::KMeansParams params;
+      params.k = 3;
+      params.dim = 4;
+      params.initial_centers =
+          apps::initial_centers_from_dataset(data.dataset, 3, 4);
+      params.fixed_passes = 3;
+      apps::KMeansKernel kernel(params);
+
+      auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+      setup.compute_cluster.machine.cores = 4;
+      setup.config.threads_per_node = 4;
+      setup.config.smp_strategy = strategy;
+      const auto result = freeride::Runtime(pool).run(setup, kernel);
+      runs.push_back(fingerprint(setup, "kmeans", result));
+    }
+    EXPECT_TRUE(runs[0].bit_identical_to(runs[1]));
+    EXPECT_TRUE(runs[0].bit_identical_to(runs[2]));
+  }
+}
+
+}  // namespace
+}  // namespace fgp

@@ -1,0 +1,96 @@
+// Focused ThreadPool tests: exception propagation order, degenerate
+// sizes, and shutdown semantics with work still queued. test_util covers
+// the happy paths; these are the cases TSan and the determinism invariant
+// care about.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace fgp::util {
+namespace {
+
+TEST(ThreadPool, ParallelForZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ZeroThreadsDefaultsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWins) {
+  // Every task throws; the lowest-index task's exception must be the one
+  // rethrown regardless of completion order.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(16, [](std::size_t i) {
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ThreadPool, ParallelForSingleFailureStillRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(32, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 7) throw std::runtime_error("7");
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "7");
+  }
+  // No task may still be running (or skipped) once parallel_for returns.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  {
+    ThreadPool pool(1);
+    // Block the single worker so the remaining submissions stay queued,
+    // then destroy the pool while they are still in the queue.
+    auto gate = pool.submit([&] {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+    for (int i = 0; i < 8; ++i)
+      pool.submit([&] { completed.fetch_add(1); });
+    {
+      std::lock_guard lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    gate.get();
+  }  // ~ThreadPool: stop was requested with tasks possibly still queued
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, SubmittedFutureRethrowsTypedError) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { FGP_CHECK_MSG(false, "typed failure"); });
+  EXPECT_THROW(fut.get(), Error);
+}
+
+}  // namespace
+}  // namespace fgp::util

@@ -1,0 +1,372 @@
+// fgplint — project-invariant lint that clang-tidy cannot express.
+//
+// The prediction model is only falsifiable if every run of the virtual
+// cluster is bit-deterministic, so the repo bans the ambient sources of
+// nondeterminism at the source level and enforces the error-handling and
+// hygiene conventions mechanically. Registered as a ctest ("fgplint"), so
+// every preset (release / asan-ubsan / tsan) runs it.
+//
+// Rules (comments and string literals are stripped before matching):
+//   wall-clock      std::chrono clocks, C time functions and <ctime> are
+//                   forbidden in src/ outside src/util/ — virtual time
+//                   must come from the phase engine; real-time access goes
+//                   through util::Stopwatch (src/util/wallclock.h).
+//   unseeded-rng    std::rand, srand, std::random_device are forbidden in
+//                   src/ — all randomness derives from explicit seeds
+//                   (util::Rng), or experiments stop being reproducible.
+//   naked-new       `new` / `delete` expressions are forbidden everywhere;
+//                   use std::make_unique / containers (`= delete` for
+//                   special member functions is of course allowed).
+//   header-hygiene  every .h must contain #pragma once.
+//   check-convention  assert()/<cassert>/abort() are forbidden outside
+//                   src/util/: input-dependent preconditions use
+//                   FGP_CHECK, internal invariants use FGP_ASSERT (both
+//                   from util/check.h); recoverable errors throw
+//                   fgp::util::Error subclasses, never raw std exceptions.
+//   formatting      no tabs, no trailing whitespace, no CRLF, newline at
+//                   end of file (the mechanical subset of .clang-format,
+//                   enforced even where clang-format is not installed).
+//
+// A line ending in a `fgplint: allow` comment is exempt from all rules.
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blanks comments, string literals (including raw strings) and character
+/// literals, preserving newlines so line numbers survive.
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out = in;
+  enum class State { Code, LineComment, BlockComment, Str, Chr, RawStr };
+  State state = State::Code;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_word_char(in[i - 1]))) {
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < in.size() && in[p] != '(') delim += in[p++];
+          raw_delim = ")" + delim + "\"";
+          state = State::RawStr;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::Str;
+          out[i] = ' ';
+        } else if (c == '\'' && (i == 0 || !is_word_char(in[i - 1]))) {
+          // Word-char guard keeps digit separators (1'000'000) in code.
+          state = State::Chr;
+          out[i] = ' ';
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n')
+          state = State::Code;
+        else
+          out[i] = ' ';
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::RawStr:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// True when `token` occurs in `line` delimited by non-word characters.
+bool has_word(std::string_view line, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// True when `name` occurs as a word immediately followed by '('.
+bool has_call(std::string_view line, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    std::size_t end = pos + name.size();
+    while (end < line.size() && line[end] == ' ') ++end;
+    if (left_ok && end < line.size() && line[end] == '(') return true;
+    pos += 1;
+  }
+  return false;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+struct FileReport {
+  std::vector<Finding> findings;
+};
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  void lint_file(const fs::path& path) {
+    const std::string rel =
+        fs::relative(path, root_).generic_string();
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      add(rel, 0, "io", "cannot read file");
+      return;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string raw = ss.str();
+    const std::string stripped = strip_comments_and_strings(raw);
+    const auto raw_lines = split_lines(raw);
+    const auto code_lines = split_lines(stripped);
+
+    const bool in_src = starts_with(rel, "src/");
+    const bool in_util = starts_with(rel, "src/util/");
+    const bool is_header = path.extension() == ".h";
+
+    if (is_header && raw.find("#pragma once") == std::string::npos)
+      add(rel, 1, "header-hygiene", "header is missing #pragma once");
+    if (!raw.empty() && raw.back() != '\n')
+      add(rel, raw_lines.size(), "formatting", "no newline at end of file");
+
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      const std::string& rline = raw_lines[i];
+      const std::string& cline = i < code_lines.size() ? code_lines[i] : rline;
+      const std::size_t ln = i + 1;
+      if (rline.find("fgplint: allow") != std::string::npos) continue;
+
+      check_formatting(rel, ln, rline);
+      if (in_src && !in_util) check_wall_clock(rel, ln, cline);
+      if (in_src) check_rng(rel, ln, cline);
+      if (!in_util) check_check_convention(rel, ln, cline, in_src);
+      check_naked_new(rel, ln, cline);
+    }
+  }
+
+  int report() const {
+    for (const auto& f : findings_)
+      std::cerr << f.file << ':' << f.line << ": [" << f.rule << "] "
+                << f.message << '\n';
+    if (findings_.empty()) {
+      std::cout << "fgplint: " << files_ << " files clean\n";
+      return 0;
+    }
+    std::cerr << "fgplint: " << findings_.size() << " finding(s) in "
+              << files_ << " files\n";
+    return 1;
+  }
+
+  void count_file() { ++files_; }
+
+ private:
+  void add(std::string file, std::size_t line, std::string rule,
+           std::string message) {
+    findings_.push_back(
+        {std::move(file), line, std::move(rule), std::move(message)});
+  }
+
+  void check_formatting(const std::string& rel, std::size_t ln,
+                        const std::string& rline) {
+    if (rline.find('\t') != std::string::npos)
+      add(rel, ln, "formatting", "tab character (use spaces)");
+    if (!rline.empty() && rline.back() == '\r')
+      add(rel, ln, "formatting", "CRLF line ending");
+    else if (!rline.empty() &&
+             std::isspace(static_cast<unsigned char>(rline.back())) != 0)
+      add(rel, ln, "formatting", "trailing whitespace");
+  }
+
+  void check_wall_clock(const std::string& rel, std::size_t ln,
+                        const std::string& cline) {
+    static const char* tokens[] = {"system_clock", "steady_clock",
+                                   "high_resolution_clock", "clock_gettime",
+                                   "gettimeofday", "timespec_get"};
+    for (const char* t : tokens)
+      if (has_word(cline, t))
+        add(rel, ln, "wall-clock",
+            std::string(t) +
+                " outside src/util/ — virtual time must come from the "
+                "phase engine; wrap real timing in util::Stopwatch");
+    static const char* calls[] = {"time", "localtime", "gmtime", "clock"};
+    for (const char* cfn : calls)
+      if (has_call(cline, cfn))
+        add(rel, ln, "wall-clock",
+            std::string(cfn) + "() outside src/util/ — use util::Stopwatch");
+    if (cline.find("#include <ctime>") != std::string::npos ||
+        cline.find("#include <time.h>") != std::string::npos)
+      add(rel, ln, "wall-clock", "<ctime> include outside src/util/");
+  }
+
+  void check_rng(const std::string& rel, std::size_t ln,
+                 const std::string& cline) {
+    if (has_word(cline, "random_device") || has_call(cline, "rand") ||
+        has_call(cline, "srand"))
+      add(rel, ln, "unseeded-rng",
+          "unseeded randomness in src/ — derive all randomness from "
+          "explicit seeds via util::Rng");
+  }
+
+  void check_check_convention(const std::string& rel, std::size_t ln,
+                              const std::string& cline, bool in_src) {
+    if (has_call(cline, "assert"))
+      add(rel, ln, "check-convention",
+          "assert() — use FGP_CHECK (input precondition) or FGP_ASSERT "
+          "(internal invariant) from util/check.h");
+    if (cline.find("#include <cassert>") != std::string::npos ||
+        cline.find("#include <assert.h>") != std::string::npos)
+      add(rel, ln, "check-convention", "<cassert> include — use util/check.h");
+    if (in_src && has_call(cline, "abort"))
+      add(rel, ln, "check-convention",
+          "abort() outside src/util/ — use FGP_ASSERT from util/check.h");
+    if (in_src && cline.find("throw std::") != std::string::npos)
+      add(rel, ln, "check-convention",
+          "raw std exception — throw a fgp::util::Error subclass");
+  }
+
+  void check_naked_new(const std::string& rel, std::size_t ln,
+                       const std::string& cline) {
+    if (has_word(cline, "new"))
+      add(rel, ln, "naked-new",
+          "naked new — use std::make_unique/std::make_shared or a "
+          "container");
+    std::size_t pos = 0;
+    while ((pos = cline.find("delete", pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !is_word_char(cline[pos - 1]);
+      const std::size_t end = pos + 6;
+      const bool right_ok = end >= cline.size() || !is_word_char(cline[end]);
+      if (left_ok && right_ok) {
+        // `= delete` (deleted special member functions) is idiomatic.
+        std::size_t p = pos;
+        while (p > 0 && cline[p - 1] == ' ') --p;
+        if (p == 0 || cline[p - 1] != '=')
+          add(rel, ln, "naked-new",
+              "naked delete — owning raw pointers are forbidden");
+      }
+      pos += 6;
+    }
+  }
+
+  fs::path root_;
+  std::vector<Finding> findings_;
+  std::size_t files_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::current_path();
+  if (!fs::exists(root / "src")) {
+    std::cerr << "fgplint: " << root.string()
+              << " does not look like the fgpred repo root (no src/)\n";
+    return 2;
+  }
+
+  Linter linter(root);
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) {
+    linter.count_file();
+    linter.lint_file(f);
+  }
+  return linter.report();
+}
