@@ -1,0 +1,352 @@
+// host_perf.cpp — host wall-clock microbenchmark for the blocked kernel
+// fast paths, tracked in BENCH_kernels.json at the repo root.
+//
+// For each of the paper's five applications this runner times one full
+// sweep of process_chunk over a synthetic dataset twice: once through the
+// kernel's current blocked implementation ("fast") and once through a
+// verbatim copy of the seed's naive scalar loop ("naive", quarantined in
+// naive_kernels.cpp so the compiler sees the same runtime shapes the seed
+// kernels saw). It prints per-kernel per-sweep timings and the geometric-
+// mean speedup as JSON. Both paths are cross-checked against each other
+// before timing, so a baseline that silently diverges from the kernel
+// fails the run instead of producing a meaningless ratio.
+//
+// Usage: host_perf [--quick] [--out <path>]
+//   --quick  smaller datasets + shorter repetitions (CI smoke)
+//   --out    write the JSON report to <path> instead of stdout
+//
+// Wall-clock readings go through util::Stopwatch, the single sanctioned
+// clock access point (tools/fgplint enforces this).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/defect.h"
+#include "apps/em.h"
+#include "apps/kmeans.h"
+#include "apps/knn.h"
+#include "apps/vortex.h"
+#include "datagen/flowfield.h"
+#include "datagen/lattice.h"
+#include "datagen/points.h"
+#include "freeride/reduction.h"
+#include "naive_kernels.h"
+#include "util/check.h"
+#include "util/wallclock.h"
+
+namespace fgp::bench {
+namespace {
+
+struct KernelResult {
+  std::string name;
+  std::size_t chunks = 0;
+  std::size_t elements = 0;  ///< points / cells per sweep
+  double naive_sweep_s = 0.0;
+  double fast_sweep_s = 0.0;
+  double speedup() const { return naive_sweep_s / fast_sweep_s; }
+};
+
+/// Times one sweep: warm up once, then repeat until `min_seconds` of
+/// accumulated runtime and return the mean per-sweep seconds.
+template <typename Fn>
+double time_sweep(Fn&& fn, double min_seconds) {
+  fn();  // warmup (page in the dataset, size the allocator pools)
+  int reps = 1;
+  for (;;) {
+    util::Stopwatch sw;
+    for (int i = 0; i < reps; ++i) fn();
+    const double s = sw.seconds();
+    if (s >= min_seconds) return s / reps;
+    const double scale = std::min(16.0, 1.2 * min_seconds / std::max(s, 1e-9));
+    reps = std::max(reps + 1, static_cast<int>(reps * scale));
+  }
+}
+
+void check_close(double a, double b, double rel, const char* what) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  FGP_CHECK_MSG(std::abs(a - b) <= rel * scale,
+                what << ": fast path (" << a << ") diverged from the naive"
+                     << " baseline (" << b << ")");
+}
+
+KernelResult bench_kmeans(double min_seconds, bool quick) {
+  datagen::PointsSpec spec;
+  spec.num_points = quick ? 12000 : 60000;
+  spec.dim = 8;
+  spec.points_per_chunk = quick ? 4000 : 20000;
+  spec.num_components = 8;
+  spec.seed = 17;
+  const auto data = datagen::generate_points(spec);
+  const auto& ds = data.dataset;
+
+  apps::KMeansParams params;
+  params.k = 8;
+  params.dim = 8;
+  params.initial_centers = apps::initial_centers_from_dataset(ds, 8, 8);
+  apps::KMeansKernel kernel(params);
+
+  double naive_sse = 0.0;
+  const auto naive_sweep = [&] { naive_sse = naive::kmeans_sweep(ds, params); };
+
+  double fast_sse = 0.0;
+  const auto fast_sweep = [&] {
+    auto obj = kernel.create_object();
+    for (const auto& chunk : ds.chunks()) kernel.process_chunk(chunk, *obj);
+    fast_sse = dynamic_cast<const apps::KMeansObject&>(*obj).sse;
+  };
+
+  naive_sweep();
+  fast_sweep();
+  check_close(fast_sse, naive_sse, 1e-9, "kmeans sse");
+
+  KernelResult r;
+  r.name = "kmeans";
+  r.chunks = ds.chunk_count();
+  r.elements = spec.num_points;
+  r.naive_sweep_s = time_sweep(naive_sweep, min_seconds);
+  r.fast_sweep_s = time_sweep(fast_sweep, min_seconds);
+  return r;
+}
+
+KernelResult bench_em(double min_seconds, bool quick) {
+  datagen::PointsSpec spec;
+  spec.num_points = quick ? 8000 : 40000;
+  spec.dim = 8;
+  spec.points_per_chunk = quick ? 4000 : 10000;
+  spec.num_components = 4;
+  spec.seed = 23;
+  const auto data = datagen::generate_points(spec);
+  const auto& ds = data.dataset;
+
+  apps::EMParams params;
+  params.g = 4;
+  params.dim = 8;
+  params.initial_means = apps::initial_centers_from_dataset(ds, 4, 8);
+  params.initial_variance = 1.0;
+  apps::EMKernel kernel(params);
+
+  double naive_loglik = 0.0;
+  const auto naive_sweep = [&] { naive_loglik = naive::em_sweep(ds, params); };
+
+  double fast_loglik = 0.0;
+  const auto fast_sweep = [&] {
+    auto obj = kernel.create_object();
+    for (const auto& chunk : ds.chunks()) kernel.process_chunk(chunk, *obj);
+    fast_loglik = dynamic_cast<const apps::EMObject&>(*obj).loglik;
+  };
+
+  naive_sweep();
+  fast_sweep();
+  check_close(fast_loglik, naive_loglik, 1e-6, "em loglik");
+
+  KernelResult r;
+  r.name = "em";
+  r.chunks = ds.chunk_count();
+  r.elements = spec.num_points;
+  r.naive_sweep_s = time_sweep(naive_sweep, min_seconds);
+  r.fast_sweep_s = time_sweep(fast_sweep, min_seconds);
+  return r;
+}
+
+KernelResult bench_knn(double min_seconds, bool quick) {
+  datagen::PointsSpec spec;
+  spec.num_points = quick ? 12000 : 60000;
+  spec.dim = 8;
+  spec.points_per_chunk = quick ? 4000 : 20000;
+  spec.num_components = 4;
+  spec.seed = 31;
+  const auto data = datagen::generate_points(spec);
+  const auto& ds = data.dataset;
+
+  apps::KnnParams params;
+  params.k = 16;
+  params.dim = 8;
+  params.queries = apps::initial_centers_from_dataset(ds, 8, 8);
+  apps::KnnKernel kernel(params);
+  const std::size_t m = params.queries.size() / 8;
+
+  double naive_kth_sum = 0.0;
+  const auto naive_sweep = [&] { naive_kth_sum = naive::knn_sweep(ds, params); };
+
+  double fast_kth_sum = 0.0;
+  const auto fast_sweep = [&] {
+    auto obj = kernel.create_object();
+    for (const auto& chunk : ds.chunks()) kernel.process_chunk(chunk, *obj);
+    const auto& o = dynamic_cast<const apps::KnnObject&>(*obj);
+    fast_kth_sum = 0.0;
+    for (std::size_t q = 0; q < m; ++q) fast_kth_sum += o.kth_distance(q);
+  };
+
+  naive_sweep();
+  fast_sweep();
+  check_close(fast_kth_sum, naive_kth_sum, 1e-9, "knn kth distances");
+
+  KernelResult r;
+  r.name = "knn";
+  r.chunks = ds.chunk_count();
+  r.elements = spec.num_points;
+  r.naive_sweep_s = time_sweep(naive_sweep, min_seconds);
+  r.fast_sweep_s = time_sweep(fast_sweep, min_seconds);
+  return r;
+}
+
+KernelResult bench_vortex(double min_seconds, bool quick) {
+  datagen::FlowSpec spec;
+  spec.width = quick ? 192 : 448;
+  spec.height = quick ? 192 : 448;
+  spec.rows_per_chunk = quick ? 32 : 56;
+  spec.num_vortices = 6;
+  spec.seed = 41;
+  const auto data = datagen::generate_flowfield(spec);
+  const auto& ds = data.dataset;
+
+  apps::VortexParams params;
+  apps::VortexKernel kernel(params);
+
+  std::uint64_t naive_cells = 0;
+  const auto naive_sweep = [&] {
+    naive_cells = naive::vortex_sweep(ds, params);
+  };
+
+  std::uint64_t fast_cells = 0;
+  const auto fast_sweep = [&] {
+    auto obj = kernel.create_object();
+    for (const auto& chunk : ds.chunks()) kernel.process_chunk(chunk, *obj);
+    const auto& o = dynamic_cast<const apps::VortexObject&>(*obj);
+    fast_cells = 0;
+    for (const auto& f : o.fragments) fast_cells += f.cells;
+  };
+
+  naive_sweep();
+  fast_sweep();
+  FGP_CHECK_MSG(fast_cells == naive_cells,
+                "vortex marked-cell totals diverged: fast="
+                    << fast_cells << " naive=" << naive_cells);
+
+  KernelResult r;
+  r.name = "vortex";
+  r.chunks = ds.chunk_count();
+  r.elements = static_cast<std::size_t>(spec.width) * spec.height;
+  r.naive_sweep_s = time_sweep(naive_sweep, min_seconds);
+  r.fast_sweep_s = time_sweep(fast_sweep, min_seconds);
+  return r;
+}
+
+KernelResult bench_defect(double min_seconds, bool quick) {
+  datagen::LatticeSpec spec;
+  spec.nx = quick ? 40 : 72;
+  spec.ny = quick ? 40 : 72;
+  spec.nz = quick ? 40 : 72;
+  spec.zslabs_per_chunk = 12;
+  spec.seed = 47;
+  const auto data = datagen::generate_lattice(spec);
+  const auto& ds = data.dataset;
+
+  apps::DefectKernel kernel;
+
+  std::size_t naive_structs = 0;
+  const auto naive_sweep = [&] { naive_structs = naive::defect_sweep(ds); };
+
+  std::size_t fast_structs = 0;
+  const auto fast_sweep = [&] {
+    auto obj = kernel.create_object();
+    for (const auto& chunk : ds.chunks()) kernel.process_chunk(chunk, *obj);
+    fast_structs =
+        dynamic_cast<const apps::DefectObject&>(*obj).structures.size();
+  };
+
+  naive_sweep();
+  fast_sweep();
+  FGP_CHECK_MSG(fast_structs == naive_structs,
+                "defect structure counts diverged: fast="
+                    << fast_structs << " naive=" << naive_structs);
+
+  KernelResult r;
+  r.name = "defect";
+  r.chunks = ds.chunk_count();
+  r.elements = static_cast<std::size_t>(spec.nx) * spec.ny * spec.nz;
+  r.naive_sweep_s = time_sweep(naive_sweep, min_seconds);
+  r.fast_sweep_s = time_sweep(fast_sweep, min_seconds);
+  return r;
+}
+
+std::string to_json(const std::vector<KernelResult>& results, bool quick) {
+  double log_sum = 0.0;
+  for (const auto& r : results) log_sum += std::log(r.speedup());
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(results.size()));
+
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-host-perf-v1\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double elems = static_cast<double>(r.elements);
+    os << "    {\n";
+    os << "      \"name\": \"" << r.name << "\",\n";
+    os << "      \"chunks\": " << r.chunks << ",\n";
+    os << "      \"elements\": " << r.elements << ",\n";
+    os << "      \"naive_sweep_seconds\": " << r.naive_sweep_s << ",\n";
+    os << "      \"fast_sweep_seconds\": " << r.fast_sweep_s << ",\n";
+    os << "      \"naive_elements_per_second\": " << elems / r.naive_sweep_s
+       << ",\n";
+    os << "      \"fast_elements_per_second\": " << elems / r.fast_sweep_s
+       << ",\n";
+    os << "      \"speedup\": " << r.speedup() << "\n";
+    os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"geomean_speedup\": " << geomean << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+}  // namespace fgp::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: host_perf [--quick] [--out <path>]\n";
+      return 2;
+    }
+  }
+  const double min_seconds = quick ? 0.02 : 0.2;
+
+  std::vector<fgp::bench::KernelResult> results;
+  results.push_back(fgp::bench::bench_kmeans(min_seconds, quick));
+  std::cerr << "kmeans: " << results.back().speedup() << "x\n";
+  results.push_back(fgp::bench::bench_em(min_seconds, quick));
+  std::cerr << "em: " << results.back().speedup() << "x\n";
+  results.push_back(fgp::bench::bench_knn(min_seconds, quick));
+  std::cerr << "knn: " << results.back().speedup() << "x\n";
+  results.push_back(fgp::bench::bench_vortex(min_seconds, quick));
+  std::cerr << "vortex: " << results.back().speedup() << "x\n";
+  results.push_back(fgp::bench::bench_defect(min_seconds, quick));
+  std::cerr << "defect: " << results.back().speedup() << "x\n";
+
+  const std::string json = fgp::bench::to_json(results, quick);
+  if (out_path.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream f(out_path);
+    f << json;
+    std::cerr << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,281 @@
+// naive_kernels.cpp — the seed's scalar per-chunk loops, verbatim (see
+// naive_kernels.h for why they are quarantined in this translation unit).
+#include "naive_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/defect.h"
+#include "datagen/flowfield.h"
+#include "datagen/lattice.h"
+#include "util/union_find.h"
+
+namespace fgp::bench::naive {
+
+double kmeans_sweep(const repository::ChunkedDataset& ds,
+                    const apps::KMeansParams& params) {
+  const std::size_t d = static_cast<std::size_t>(params.dim);
+  const std::size_t k = static_cast<std::size_t>(params.k);
+  const auto& centers = params.initial_centers;
+  std::vector<double> sums(k * d, 0.0);
+  std::vector<std::uint64_t> counts(k, 0);
+  double sse = 0.0;
+  for (const auto& chunk : ds.chunks()) {
+    const auto points = chunk.as_span<double>();
+    const std::size_t count = points.size() / d;
+    for (std::size_t p = 0; p < count; ++p) {
+      const double* x = points.data() + p * d;
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double* ctr = centers.data() + c * d;
+        double dist = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = x[j] - ctr[j];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      double* sum = sums.data() + best_c * d;
+      for (std::size_t j = 0; j < d; ++j) sum[j] += x[j];
+      counts[best_c] += 1;
+      sse += best;
+    }
+  }
+  return sse;
+}
+
+double em_sweep(const repository::ChunkedDataset& ds,
+                const apps::EMParams& params) {
+  const std::size_t d = static_cast<std::size_t>(params.dim);
+  const std::size_t g = static_cast<std::size_t>(params.g);
+  const double kLog2Pi = 1.8378770664093453;
+  const auto& means = params.initial_means;
+  const std::vector<double> vars(g * d, params.initial_variance);
+  const std::vector<double> weights(g, 1.0 / static_cast<double>(g));
+
+  std::vector<double> resp(g, 0.0), sum_x(g * d, 0.0), sum_x2(g * d, 0.0);
+  std::vector<double> logp(g);
+  double loglik = 0.0;
+  for (const auto& chunk : ds.chunks()) {
+    const auto points = chunk.as_span<double>();
+    const std::size_t count = points.size() / d;
+    std::vector<std::uint8_t> lbls(count);
+    for (std::size_t p = 0; p < count; ++p) {
+      const double* x = points.data() + p * d;
+      for (std::size_t c = 0; c < g; ++c) {
+        double quad = 0.0, logdet = 0.0;
+        const double* mu = means.data() + c * d;
+        const double* var = vars.data() + c * d;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = x[j] - mu[j];
+          quad += diff * diff / var[j];
+          logdet += std::log(var[j]);
+        }
+        logp[c] = std::log(weights[c]) -
+                  0.5 * (quad + logdet + static_cast<double>(d) * kLog2Pi);
+      }
+      const double mx = *std::max_element(logp.begin(), logp.end());
+      double sum = 0.0;
+      for (std::size_t c = 0; c < g; ++c) sum += std::exp(logp[c] - mx);
+      const double lse = mx + std::log(sum);
+      loglik += lse;
+      std::size_t best = 0;
+      for (std::size_t c = 0; c < g; ++c) {
+        const double resp_c = std::exp(logp[c] - lse);
+        resp[c] += resp_c;
+        double* sx = sum_x.data() + c * d;
+        double* sx2 = sum_x2.data() + c * d;
+        for (std::size_t j = 0; j < d; ++j) {
+          sx[j] += resp_c * x[j];
+          sx2[j] += resp_c * x[j] * x[j];
+        }
+        if (logp[c] > logp[best]) best = c;
+      }
+      lbls[p] = static_cast<std::uint8_t>(best);
+    }
+  }
+  return loglik;
+}
+
+double knn_sweep(const repository::ChunkedDataset& ds,
+                 const apps::KnnParams& params) {
+  const std::size_t d = static_cast<std::size_t>(params.dim);
+  const std::size_t m = params.queries.size() / d;
+  apps::KnnObject o(static_cast<int>(m), params.k, params.dim);
+  for (const auto& chunk : ds.chunks()) {
+    const auto points = chunk.as_span<double>();
+    const std::size_t count = points.size() / d;
+    for (std::size_t p = 0; p < count; ++p) {
+      const double* x = points.data() + p * d;
+      for (std::size_t q = 0; q < m; ++q) {
+        const double* qp = params.queries.data() + q * d;
+        const double bound = o.kth_distance(q);
+        double dist = 0.0;
+        std::size_t j = 0;
+        for (; j < d; ++j) {
+          const double diff = x[j] - qp[j];
+          dist += diff * diff;
+          if (dist >= bound) break;  // early exit past the kth best
+        }
+        if (j == d) o.insert(q, dist, x);
+      }
+    }
+  }
+  double kth_sum = 0.0;
+  for (std::size_t q = 0; q < m; ++q) kth_sum += o.kth_distance(q);
+  return kth_sum;
+}
+
+namespace {
+
+/// Seed-verbatim central-difference vorticity through the chunk view.
+double vorticity(const datagen::FieldChunkView& view, std::uint32_t gy,
+                 std::uint32_t gx) {
+  const double dvdx = 0.5 * (view.at(gy, gx + 1).v - view.at(gy, gx - 1).v);
+  const double dudy = 0.5 * (view.at(gy + 1, gx).u - view.at(gy - 1, gx).u);
+  return dvdx - dudy;
+}
+
+}  // namespace
+
+std::uint64_t vortex_sweep(const repository::ChunkedDataset& ds,
+                           const apps::VortexParams& params) {
+  std::vector<apps::RegionFragment> fragments;
+  for (const auto& chunk : ds.chunks()) {
+    const auto view = datagen::parse_field_chunk(chunk);
+    const auto& h = view.header;
+    const std::uint32_t W = h.width;
+    std::vector<std::int8_t> mark(static_cast<std::size_t>(h.rows) * W, 0);
+    for (std::uint32_t row = 0; row < h.rows; ++row) {
+      const std::uint32_t gy = h.row0 + row;
+      if (gy == 0 || gy + 1 >= h.height) continue;
+      for (std::uint32_t gx = 1; gx + 1 < W; ++gx) {
+        const double w = vorticity(view, gy, gx);
+        if (w > params.vorticity_threshold)
+          mark[static_cast<std::size_t>(row) * W + gx] = 1;
+        else if (w < -params.vorticity_threshold)
+          mark[static_cast<std::size_t>(row) * W + gx] = -1;
+      }
+    }
+    util::UnionFind uf(static_cast<std::size_t>(h.rows) * W);
+    for (std::uint32_t row = 0; row < h.rows; ++row) {
+      for (std::uint32_t x = 0; x < W; ++x) {
+        const std::size_t idx = static_cast<std::size_t>(row) * W + x;
+        if (mark[idx] == 0) continue;
+        if (x + 1 < W && mark[idx + 1] == mark[idx]) uf.unite(idx, idx + 1);
+        if (row + 1 < h.rows && mark[idx + W] == mark[idx])
+          uf.unite(idx, idx + W);
+      }
+    }
+    std::unordered_map<std::size_t, std::size_t> root_to_fragment;
+    for (std::uint32_t row = 0; row < h.rows; ++row) {
+      for (std::uint32_t x = 0; x < W; ++x) {
+        const std::size_t idx = static_cast<std::size_t>(row) * W + x;
+        if (mark[idx] == 0) continue;
+        const std::size_t root = uf.find(idx);
+        auto [it, inserted] =
+            root_to_fragment.try_emplace(root, fragments.size());
+        if (inserted) {
+          apps::RegionFragment f;
+          f.sign = mark[idx];
+          fragments.push_back(std::move(f));
+        }
+        apps::RegionFragment& f = fragments[it->second];
+        f.cells += 1;
+        f.sum_x += x;
+        f.sum_y += h.row0 + row;
+        if (row == 0 || row + 1 == h.rows)
+          f.boundary.push_back({static_cast<std::int32_t>(h.row0 + row),
+                                static_cast<std::int32_t>(x)});
+      }
+    }
+  }
+  std::uint64_t cells = 0;
+  for (const auto& f : fragments) cells += f.cells;
+  return cells;
+}
+
+std::size_t defect_sweep(const repository::ChunkedDataset& ds) {
+  constexpr std::uint8_t kNoDefect = 0xFF;
+  std::size_t structs = 0;
+  for (const auto& chunk : ds.chunks()) {
+    const auto view = datagen::parse_lattice_chunk(chunk);
+    const auto& h = view.header;
+    const std::size_t cells =
+        static_cast<std::size_t>(h.nx) * h.ny * h.zslabs;
+    std::vector<std::uint16_t> occupancy(cells, 0);
+    std::vector<std::uint8_t> displaced(cells, 0);
+    const double tol2 = static_cast<double>(h.displacement_tol) *
+                        static_cast<double>(h.displacement_tol);
+    for (const auto& a : view.atoms) {
+      const auto ix = static_cast<std::int64_t>(std::lround(a.x));
+      const auto iy = static_cast<std::int64_t>(std::lround(a.y));
+      const auto iz = static_cast<std::int64_t>(std::lround(a.z));
+      const std::size_t i =
+          ((static_cast<std::size_t>(iz - h.z0) * h.ny + iy) * h.nx) + ix;
+      occupancy[i] += 1;
+      const double dx = a.x - static_cast<double>(ix);
+      const double dy = a.y - static_cast<double>(iy);
+      const double dz = a.z - static_cast<double>(iz);
+      if (dx * dx + dy * dy + dz * dz > tol2) displaced[i] = 1;
+    }
+    std::vector<std::uint8_t> kind_of(cells, kNoDefect);
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (occupancy[i] == 0)
+        kind_of[i] = static_cast<std::uint8_t>(datagen::DefectKind::Vacancy);
+      else if (occupancy[i] >= 2)
+        kind_of[i] =
+            static_cast<std::uint8_t>(datagen::DefectKind::Interstitial);
+      else if (displaced[i])
+        kind_of[i] = static_cast<std::uint8_t>(datagen::DefectKind::Displaced);
+    }
+
+    const std::size_t nx = h.nx, ny = h.ny, nz = h.zslabs;
+    auto idx_of = [&](std::size_t x, std::size_t y, std::size_t z) {
+      return (z * ny + y) * nx + x;
+    };
+    util::UnionFind uf(nx * ny * nz);
+    for (std::size_t z = 0; z < nz; ++z)
+      for (std::size_t y = 0; y < ny; ++y)
+        for (std::size_t x = 0; x < nx; ++x) {
+          const std::size_t i = idx_of(x, y, z);
+          if (kind_of[i] == kNoDefect) continue;
+          if (x + 1 < nx && kind_of[idx_of(x + 1, y, z)] == kind_of[i])
+            uf.unite(i, idx_of(x + 1, y, z));
+          if (y + 1 < ny && kind_of[idx_of(x, y + 1, z)] == kind_of[i])
+            uf.unite(i, idx_of(x, y + 1, z));
+          if (z + 1 < nz && kind_of[idx_of(x, y, z + 1)] == kind_of[i])
+            uf.unite(i, idx_of(x, y, z + 1));
+        }
+    std::unordered_map<std::size_t, std::size_t> root_to_struct;
+    std::vector<apps::DefectStruct> out;
+    for (std::size_t z = 0; z < nz; ++z)
+      for (std::size_t y = 0; y < ny; ++y)
+        for (std::size_t x = 0; x < nx; ++x) {
+          const std::size_t i = idx_of(x, y, z);
+          if (kind_of[i] == kNoDefect) continue;
+          const std::size_t root = uf.find(i);
+          auto [it, inserted] = root_to_struct.try_emplace(root, out.size());
+          if (inserted) {
+            apps::DefectStruct s;
+            s.kind = kind_of[i];
+            out.push_back(std::move(s));
+          }
+          auto& out_cells = out[it->second].cells;
+          out_cells.push_back(static_cast<std::int32_t>(x));
+          out_cells.push_back(static_cast<std::int32_t>(y));
+          out_cells.push_back(static_cast<std::int32_t>(h.z0 + z));
+        }
+    structs += out.size();
+  }
+  return structs;
+}
+
+}  // namespace fgp::bench::naive

@@ -1,0 +1,50 @@
+// naive_kernels.h — seed-verbatim scalar sweeps for host_perf's "before"
+// side.
+//
+// These are the pre-blocking per-chunk loops, kept verbatim from the seed
+// kernels as the committed wall-clock baseline. They live in their own
+// translation unit on purpose: dimensions and counts stay runtime values
+// here exactly as they were in the seed kernels, so the compiler cannot
+// constant-fold the baseline into something the original code never was
+// (host_perf.cpp knows its dataset shapes as literals, and inlining the
+// loops there would let GCC fully unroll them).
+//
+// Each sweep returns a cheap summary statistic so host_perf can cross-check
+// the fast path against the baseline before timing either.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "apps/em.h"
+#include "apps/kmeans.h"
+#include "apps/knn.h"
+#include "apps/vortex.h"
+#include "repository/dataset.h"
+
+namespace fgp::bench::naive {
+
+/// One assignment pass over all chunks; returns the summed squared error.
+double kmeans_sweep(const repository::ChunkedDataset& ds,
+                    const apps::KMeansParams& params);
+
+/// One E-step over all chunks with the initial parameters; returns the
+/// data log-likelihood.
+double em_sweep(const repository::ChunkedDataset& ds,
+                const apps::EMParams& params);
+
+/// One neighbour sweep over all chunks; returns the sum of the kth-best
+/// squared distances over all queries.
+double knn_sweep(const repository::ChunkedDataset& ds,
+                 const apps::KnnParams& params);
+
+/// Detection + union-find + fragment build over all chunks; returns the
+/// total number of vortical cells across all fragments.
+std::uint64_t vortex_sweep(const repository::ChunkedDataset& ds,
+                           const apps::VortexParams& params);
+
+/// Per-atom detection + dense aggregation over all chunks; returns the
+/// number of local defect structures found.
+std::size_t defect_sweep(const repository::ChunkedDataset& ds);
+
+}  // namespace fgp::bench::naive

@@ -5,10 +5,23 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace fgp::apps {
 
 namespace {
+
+/// Per-example working buffers, allocated once per chunk (or pass) and
+/// reused — the scalar version allocated four vectors per training example.
+struct AnnScratch {
+  std::vector<double> a1, p, dz1, dz2;
+
+  explicit AnnScratch(int hidden, int classes)
+      : a1(static_cast<std::size_t>(hidden)),
+        p(static_cast<std::size_t>(classes)),
+        dz1(static_cast<std::size_t>(hidden)),
+        dz2(static_cast<std::size_t>(classes)) {}
+};
 
 void init_weights(const AnnParams& p, std::vector<double>& w1,
                   std::vector<double>& b1, std::vector<double>& w2,
@@ -28,32 +41,34 @@ void init_weights(const AnnParams& p, std::vector<double>& w1,
 }
 
 /// Forward + backward for one example; accumulates gradients into `o` and
-/// returns the example's cross-entropy loss.
+/// returns the example's cross-entropy loss. Both layer multiplies run
+/// with the contiguous dimension innermost (per-output accumulation order
+/// over the summed dimension is unchanged, so results match the previous
+/// loop nest bit-for-bit where the old order was sequential).
 double backprop_example(const double* x, std::int32_t label,
                         const std::vector<double>& w1,
                         const std::vector<double>& b1,
                         const std::vector<double>& w2,
                         const std::vector<double>& b2, int dim, int hidden,
-                        int classes, AnnObject& o) {
+                        int classes, AnnScratch& s, AnnObject& o) {
   const auto d = static_cast<std::size_t>(dim);
   const auto h = static_cast<std::size_t>(hidden);
   const auto cc = static_cast<std::size_t>(classes);
 
-  // Forward.
-  std::vector<double> a1(h);
-  for (std::size_t k = 0; k < h; ++k) {
-    double z = b1[k];
-    for (std::size_t j = 0; j < d; ++j) z += w1[j * h + k] * x[j];
-    a1[k] = std::tanh(z);
-  }
-  std::vector<double> p(cc);
+  // Forward: z1 = W1^T x + b1, accumulated row-by-row so the inner loop
+  // streams over contiguous w1 rows.
+  std::vector<double>& a1 = s.a1;
+  std::copy(b1.begin(), b1.end(), a1.begin());
+  for (std::size_t j = 0; j < d; ++j)
+    util::simd::axpy(a1.data(), x[j], w1.data() + j * h, h);
+  for (std::size_t k = 0; k < h; ++k) a1[k] = std::tanh(a1[k]);
+
+  std::vector<double>& p = s.p;
+  std::copy(b2.begin(), b2.end(), p.begin());
+  for (std::size_t k = 0; k < h; ++k)
+    util::simd::axpy(p.data(), a1[k], w2.data() + k * cc, cc);
   double zmax = -1e300;
-  for (std::size_t c = 0; c < cc; ++c) {
-    double z = b2[c];
-    for (std::size_t k = 0; k < h; ++k) z += w2[k * cc + c] * a1[k];
-    p[c] = z;
-    zmax = std::max(zmax, z);
-  }
+  for (std::size_t c = 0; c < cc; ++c) zmax = std::max(zmax, p[c]);
   double sum = 0.0;
   for (std::size_t c = 0; c < cc; ++c) {
     p[c] = std::exp(p[c] - zmax);
@@ -66,26 +81,21 @@ double backprop_example(const double* x, std::int32_t label,
                                          1e-300));
 
   // Backward.
-  std::vector<double> dz2(cc);
+  std::vector<double>& dz2 = s.dz2;
   for (std::size_t c = 0; c < cc; ++c)
     dz2[c] = p[c] - (static_cast<std::int32_t>(c) == label ? 1.0 : 0.0);
-  for (std::size_t k = 0; k < h; ++k) {
-    for (std::size_t c = 0; c < cc; ++c)
-      o.grad_w2[k * cc + c] += a1[k] * dz2[c];
-  }
-  for (std::size_t c = 0; c < cc; ++c) o.grad_b2[c] += dz2[c];
+  for (std::size_t k = 0; k < h; ++k)
+    util::simd::axpy(o.grad_w2.data() + k * cc, a1[k], dz2.data(), cc);
+  util::simd::accumulate(o.grad_b2.data(), dz2.data(), cc);
 
-  std::vector<double> dz1(h);
+  std::vector<double>& dz1 = s.dz1;
   for (std::size_t k = 0; k < h; ++k) {
-    double da = 0.0;
-    for (std::size_t c = 0; c < cc; ++c) da += w2[k * cc + c] * dz2[c];
+    const double da = util::simd::dot(w2.data() + k * cc, dz2.data(), cc);
     dz1[k] = da * (1.0 - a1[k] * a1[k]);
   }
-  for (std::size_t j = 0; j < d; ++j) {
-    for (std::size_t k = 0; k < h; ++k)
-      o.grad_w1[j * h + k] += x[j] * dz1[k];
-  }
-  for (std::size_t k = 0; k < h; ++k) o.grad_b1[k] += dz1[k];
+  for (std::size_t j = 0; j < d; ++j)
+    util::simd::axpy(o.grad_w1.data() + j * h, x[j], dz1.data(), h);
+  util::simd::accumulate(o.grad_b1.data(), dz1.data(), h);
   return loss;
 }
 
@@ -136,11 +146,12 @@ sim::Work AnnKernel::process_chunk(const repository::Chunk& chunk,
                 "chunk " << chunk.id() << " not labeled rows of dim+1");
   const std::size_t count = rows.size() / row;
 
+  AnnScratch scratch(params_.hidden, params_.classes);
   for (std::size_t p = 0; p < count; ++p) {
     const double* r = rows.data() + p * row;
     o.loss += backprop_example(r + 1, static_cast<std::int32_t>(r[0]), w1_,
                                b1_, w2_, b2_, params_.dim, params_.hidden,
-                               params_.classes, o);
+                               params_.classes, scratch, o);
   }
   o.examples += count;
 
@@ -236,13 +247,15 @@ std::vector<double> ann_reference(const std::vector<double>& rows,
   FGP_CHECK(count > 0);
 
   std::vector<double> history;
+  AnnScratch scratch(params.hidden, params.classes);
   for (int pass = 0; pass < params.fixed_passes; ++pass) {
     AnnObject grads(params.dim, params.hidden, params.classes);
     for (std::size_t p = 0; p < count; ++p) {
       const double* r = rows.data() + p * row;
       grads.loss += backprop_example(r + 1, static_cast<std::int32_t>(r[0]),
                                      w1, b1, w2, b2, params.dim,
-                                     params.hidden, params.classes, grads);
+                                     params.hidden, params.classes, scratch,
+                                     grads);
     }
     const double scale =
         params.learning_rate / static_cast<double>(count);

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/union_find.h"
 
 namespace fgp::apps {
@@ -41,42 +42,60 @@ std::vector<DefectStruct> aggregate_slab(
     const datagen::LatticeChunkHeader& h,
     const std::vector<std::uint8_t>& kind_of) {
   const std::size_t nx = h.nx, ny = h.ny, nz = h.zslabs;
-  auto idx_of = [&](std::size_t x, std::size_t y, std::size_t z) {
-    return (z * ny + y) * nx + x;
-  };
-  util::UnionFind uf(nx * ny * nz);
+  const std::size_t plane = nx * ny;
+  const std::uint8_t* kind = kind_of.data();
+
+  // Most lattice cells are defect-free, so both sweeps run over the
+  // linear index and skip all-kNoDefect 8-cell groups with one 64-bit
+  // compare.
+  util::UnionFind uf(plane * nz);
   for (std::size_t z = 0; z < nz; ++z)
-    for (std::size_t y = 0; y < ny; ++y)
-      for (std::size_t x = 0; x < nx; ++x) {
-        const std::size_t i = idx_of(x, y, z);
-        if (kind_of[i] == kNoDefect) continue;
-        if (x + 1 < nx && kind_of[idx_of(x + 1, y, z)] == kind_of[i])
-          uf.unite(i, idx_of(x + 1, y, z));
-        if (y + 1 < ny && kind_of[idx_of(x, y + 1, z)] == kind_of[i])
-          uf.unite(i, idx_of(x, y + 1, z));
-        if (z + 1 < nz && kind_of[idx_of(x, y, z + 1)] == kind_of[i])
-          uf.unite(i, idx_of(x, y, z + 1));
+    for (std::size_t y = 0; y < ny; ++y) {
+      const std::size_t base = (z * ny + y) * nx;
+      for (std::size_t x = 0; x < nx;) {
+        const std::size_t i = base + x;
+        if (x + 8 <= nx && util::simd::all_bytes_equal8(kind + i, kNoDefect)) {
+          x += 8;
+          continue;
+        }
+        if (kind[i] != kNoDefect) {
+          if (x + 1 < nx && kind[i + 1] == kind[i]) uf.unite(i, i + 1);
+          if (y + 1 < ny && kind[i + nx] == kind[i]) uf.unite(i, i + nx);
+          if (z + 1 < nz && kind[i + plane] == kind[i]) uf.unite(i, i + plane);
+        }
+        ++x;
       }
+    }
 
   std::unordered_map<std::size_t, std::size_t> root_to_struct;
   std::vector<DefectStruct> out;
   for (std::size_t z = 0; z < nz; ++z)
-    for (std::size_t y = 0; y < ny; ++y)
-      for (std::size_t x = 0; x < nx; ++x) {
-        const std::size_t i = idx_of(x, y, z);
-        if (kind_of[i] == kNoDefect) continue;
+    for (std::size_t y = 0; y < ny; ++y) {
+      const std::size_t base = (z * ny + y) * nx;
+      for (std::size_t x = 0; x < nx;) {
+        const std::size_t i = base + x;
+        if (x + 8 <= nx && util::simd::all_bytes_equal8(kind + i, kNoDefect)) {
+          x += 8;
+          continue;
+        }
+        if (kind[i] == kNoDefect) {
+          ++x;
+          continue;
+        }
         const std::size_t root = uf.find(i);
         auto [it, inserted] = root_to_struct.try_emplace(root, out.size());
         if (inserted) {
           DefectStruct s;
-          s.kind = kind_of[i];
+          s.kind = kind[i];
           out.push_back(std::move(s));
         }
         auto& cells = out[it->second].cells;
         cells.push_back(static_cast<std::int32_t>(x));
         cells.push_back(static_cast<std::int32_t>(y));
         cells.push_back(static_cast<std::int32_t>(h.z0 + z));
+        ++x;
       }
+    }
   return out;
 }
 
@@ -90,10 +109,15 @@ std::vector<std::uint8_t> detect_slab(const datagen::LatticeChunkView& view) {
   const double tol2 = static_cast<double>(h.displacement_tol) *
                       static_cast<double>(h.displacement_tol);
 
+  // std::lrint compiles to one conversion instruction; std::lround is a
+  // libm call, and three of them per atom dominated this loop. The two
+  // differ only for coordinates at an exact .5, which the lattice
+  // generator never produces (displacement_tol < 0.5 bounds real atoms
+  // away from half-way points, and planted offsets are 0.12/0.38/0.42).
   for (const auto& a : view.atoms) {
-    const auto ix = static_cast<std::int64_t>(std::lround(a.x));
-    const auto iy = static_cast<std::int64_t>(std::lround(a.y));
-    const auto iz = static_cast<std::int64_t>(std::lround(a.z));
+    const auto ix = static_cast<std::int64_t>(std::lrint(a.x));
+    const auto iy = static_cast<std::int64_t>(std::lrint(a.y));
+    const auto iz = static_cast<std::int64_t>(std::lrint(a.z));
     FGP_CHECK_MSG(ix >= 0 && ix < h.nx && iy >= 0 && iy < h.ny &&
                       iz >= h.z0 && iz < h.z0 + h.zslabs,
                   "atom outside its slab: (" << a.x << ", " << a.y << ", "

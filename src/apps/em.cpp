@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace fgp::apps {
 
@@ -13,25 +14,44 @@ namespace {
 constexpr double kLog2Pi = 1.8378770664093453;
 constexpr double kVarFloor = 1e-6;
 
+/// Per-pass E-step coefficients. The per-component log-normalizer and the
+/// inverse variances depend only on the pass parameters, so hoisting them
+/// out of the per-point loop removes g*d std::log calls (the dominant cost
+/// of the scalar E-step) and turns the remaining quadratic form into a
+/// blocked multiply-add the compiler vectorizes.
+struct EStepCoefs {
+  std::vector<double> inv_var;   ///< [g x d] 1 / var
+  std::vector<double> log_norm;  ///< [g] log w_c - (logdet_c + d log 2pi)/2
+};
+
+EStepCoefs estep_coefs(std::size_t d, std::size_t g,
+                       const std::vector<double>& vars,
+                       const std::vector<double>& weights) {
+  EStepCoefs coefs;
+  coefs.inv_var.resize(g * d);
+  coefs.log_norm.resize(g);
+  for (std::size_t c = 0; c < g; ++c) {
+    double logdet = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double var = vars[c * d + j];
+      coefs.inv_var[c * d + j] = 1.0 / var;
+      logdet += std::log(var);
+    }
+    coefs.log_norm[c] = std::log(weights[c]) -
+                        0.5 * (logdet + static_cast<double>(d) * kLog2Pi);
+  }
+  return coefs;
+}
+
 /// E-step for one point: fills `logp[c]` with log(w_c * N(x | mu_c, var_c))
 /// and returns the log of their sum (the point's log-likelihood).
 double point_log_densities(const double* x, std::size_t d, std::size_t g,
                            const std::vector<double>& means,
-                           const std::vector<double>& vars,
-                           const std::vector<double>& weights,
-                           std::vector<double>& logp) {
+                           const EStepCoefs& coefs, std::vector<double>& logp) {
   for (std::size_t c = 0; c < g; ++c) {
-    double quad = 0.0;
-    double logdet = 0.0;
-    const double* mu = means.data() + c * d;
-    const double* var = vars.data() + c * d;
-    for (std::size_t j = 0; j < d; ++j) {
-      const double diff = x[j] - mu[j];
-      quad += diff * diff / var[j];
-      logdet += std::log(var[j]);
-    }
-    logp[c] = std::log(weights[c]) -
-              0.5 * (quad + logdet + static_cast<double>(d) * kLog2Pi);
+    const double quad = util::simd::weighted_squared_distance(
+        x, means.data() + c * d, coefs.inv_var.data() + c * d, d);
+    logp[c] = coefs.log_norm[c] - 0.5 * quad;
   }
   const double mx = *std::max_element(logp.begin(), logp.begin() + g);
   double sum = 0.0;
@@ -94,23 +114,21 @@ sim::Work EMKernel::process_chunk(const repository::Chunk& chunk,
   FGP_CHECK(points.size() % d == 0);
   const std::size_t count = points.size() / d;
 
+  const EStepCoefs coefs = estep_coefs(d, g, vars_, weights_);
   std::vector<double> logp(g);
   std::vector<std::uint8_t> lbls(count);
+  double* resp = o.resp.data();
+  double* sum_x = o.sum_x.data();
+  double* sum_x2 = o.sum_x2.data();
   for (std::size_t p = 0; p < count; ++p) {
     const double* x = points.data() + p * d;
-    const double lse =
-        point_log_densities(x, d, g, means_, vars_, weights_, logp);
+    const double lse = point_log_densities(x, d, g, means_, coefs, logp);
     o.loglik += lse;
     std::size_t best = 0;
     for (std::size_t c = 0; c < g; ++c) {
       const double r = std::exp(logp[c] - lse);  // responsibility
-      o.resp[c] += r;
-      double* sx = o.sum_x.data() + c * d;
-      double* sx2 = o.sum_x2.data() + c * d;
-      for (std::size_t j = 0; j < d; ++j) {
-        sx[j] += r * x[j];
-        sx2[j] += r * x[j] * x[j];
-      }
+      resp[c] += r;
+      util::simd::weighted_moments(sum_x + c * d, sum_x2 + c * d, r, x, d);
       if (logp[c] > logp[best]) best = c;
     }
     lbls[p] = static_cast<std::uint8_t>(best);
@@ -249,19 +267,17 @@ std::vector<double> em_reference(const std::vector<double>& points, int dim,
   for (int pass = 0; pass < max_passes; ++pass) {
     std::vector<double> resp(gc, 0.0), sum_x(gc * d, 0.0), sum_x2(gc * d, 0.0);
     std::vector<double> logp(gc);
+    const EStepCoefs coefs = estep_coefs(d, gc, vars, weights);
     double loglik = 0.0;
     for (std::size_t p = 0; p < count; ++p) {
       const double* x = points.data() + p * d;
-      const double lse =
-          point_log_densities(x, d, gc, means, vars, weights, logp);
+      const double lse = point_log_densities(x, d, gc, means, coefs, logp);
       loglik += lse;
       for (std::size_t c = 0; c < gc; ++c) {
         const double r = std::exp(logp[c] - lse);
         resp[c] += r;
-        for (std::size_t j = 0; j < d; ++j) {
-          sum_x[c * d + j] += r * x[j];
-          sum_x2[c * d + j] += r * x[j] * x[j];
-        }
+        util::simd::weighted_moments(sum_x.data() + c * d,
+                                     sum_x2.data() + c * d, r, x, d);
       }
     }
     const double prev =

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace fgp::apps {
 
@@ -41,24 +42,50 @@ sim::Work KMeansKernel::process_chunk(const repository::Chunk& chunk,
   const std::size_t count = points.size() / d;
   const std::size_t k = static_cast<std::size_t>(params_.k);
 
-  for (std::size_t p = 0; p < count; ++p) {
-    const double* x = points.data() + p * d;
+  const double* centers = centers_.data();
+  double* sums = o.sums_.data();
+  const double* x = points.data();
+  // Four-point tiles: every centre row is loaded once per tile and the
+  // four per-point accumulation chains run independently. Per-point
+  // distance bits equal the serial scalar order (see util/simd.h).
+  std::size_t p = 0;
+  constexpr std::size_t tile = util::simd::kPointTile;
+  for (; p + tile <= count; p += tile, x += tile * d) {
+    // The four argmin chains are named scalars (not arrays) so they live
+    // in registers: a variable-indexed best[t] would force the distances
+    // through the stack on every centre and lose the tiling win.
+    constexpr double kInf = std::numeric_limits<double>::max();
+    double best0 = kInf, best1 = kInf, best2 = kInf, best3 = kInf;
+    std::size_t bc0 = 0, bc1 = 0, bc2 = 0, bc3 = 0;
+    const double* ctr = centers;
+    for (std::size_t c = 0; c < k; ++c, ctr += d) {
+      double dist[tile];
+      util::simd::squared_distance_x4(x, d, ctr, d, dist);
+      if (dist[0] < best0) { best0 = dist[0]; bc0 = c; }
+      if (dist[1] < best1) { best1 = dist[1]; bc1 = c; }
+      if (dist[2] < best2) { best2 = dist[2]; bc2 = c; }
+      if (dist[3] < best3) { best3 = dist[3]; bc3 = c; }
+    }
+    const double best[tile] = {best0, best1, best2, best3};
+    const std::size_t best_c[tile] = {bc0, bc1, bc2, bc3};
+    for (std::size_t t = 0; t < tile; ++t) {
+      util::simd::accumulate(sums + best_c[t] * d, x + t * d, d);
+      o.counts_[best_c[t]] += 1;
+      o.sse += best[t];
+    }
+  }
+  for (; p < count; ++p, x += d) {
     double best = std::numeric_limits<double>::max();
     std::size_t best_c = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const double* ctr = centers_.data() + c * d;
-      double dist = 0.0;
-      for (std::size_t j = 0; j < d; ++j) {
-        const double diff = x[j] - ctr[j];
-        dist += diff * diff;
-      }
+    const double* ctr = centers;
+    for (std::size_t c = 0; c < k; ++c, ctr += d) {
+      const double dist = util::simd::squared_distance_serial(x, ctr, d);
       if (dist < best) {
         best = dist;
         best_c = c;
       }
     }
-    double* sum = o.sums_.data() + best_c * d;
-    for (std::size_t j = 0; j < d; ++j) sum[j] += x[j];
+    util::simd::accumulate(sums + best_c * d, x, d);
     o.counts_[best_c] += 1;
     o.sse += best;
   }
@@ -160,17 +187,16 @@ std::vector<double> kmeans_reference(const std::vector<double>& points,
       double best = std::numeric_limits<double>::max();
       std::size_t best_c = 0;
       for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
-        double dist = 0.0;
-        for (std::size_t j = 0; j < d; ++j) {
-          const double diff = x[j] - centers[c * d + j];
-          dist += diff * diff;
-        }
+        // Serial coordinate order — the kernel's tiled fast path keeps the
+        // same per-point bits, so exact comparisons against this hold.
+        const double dist = util::simd::squared_distance_serial(
+            x, centers.data() + c * d, d);
         if (dist < best) {
           best = dist;
           best_c = c;
         }
       }
-      for (std::size_t j = 0; j < d; ++j) sums[best_c * d + j] += x[j];
+      util::simd::accumulate(sums.data() + best_c * d, x, d);
       counts[best_c] += 1;
       sse += best;
     }

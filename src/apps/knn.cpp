@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace fgp::apps {
 
@@ -84,19 +85,27 @@ sim::Work KnnKernel::process_chunk(const repository::Chunk& chunk,
   const std::size_t count = points.size() / d;
   const std::size_t m = static_cast<std::size_t>(num_queries());
 
-  for (std::size_t p = 0; p < count; ++p) {
-    const double* x = points.data() + p * d;
-    for (std::size_t q = 0; q < m; ++q) {
-      const double* qp = params_.queries.data() + q * d;
-      const double bound = o.kth_distance(q);
-      double dist = 0.0;
-      std::size_t j = 0;
-      for (; j < d; ++j) {
-        const double diff = x[j] - qp[j];
-        dist += diff * diff;
-        if (dist >= bound) break;  // early exit past the current kth best
-      }
-      if (j == d) o.insert(q, dist, x);
+  // Full tiled distances instead of the scalar per-coordinate early
+  // exit: the squared distance is monotone in its prefix sums, so
+  // "insert iff the full distance beats the current kth best" is exactly
+  // the early-exit semantics, and insert() already guards the bound.
+  // Per-point distance bits equal the serial scalar order (util/simd.h).
+  const double* queries = params_.queries.data();
+  const double* x = points.data();
+  std::size_t p = 0;
+  constexpr std::size_t tile = util::simd::kPointTile;
+  for (; p + tile <= count; p += tile, x += tile * d) {
+    const double* qp = queries;
+    for (std::size_t q = 0; q < m; ++q, qp += d) {
+      double dist[tile];
+      util::simd::squared_distance_x4(x, d, qp, d, dist);
+      for (std::size_t t = 0; t < tile; ++t) o.insert(q, dist[t], x + t * d);
+    }
+  }
+  for (; p < count; ++p, x += d) {
+    const double* qp = queries;
+    for (std::size_t q = 0; q < m; ++q, qp += d) {
+      o.insert(q, util::simd::squared_distance_serial(x, qp, d), x);
     }
   }
 
@@ -153,14 +162,11 @@ std::vector<double> knn_reference(const std::vector<double>& points, int dim,
   const std::size_t count = points.size() / d;
   std::vector<double> dists;
   dists.reserve(count);
-  for (std::size_t p = 0; p < count; ++p) {
-    double dist = 0.0;
-    for (std::size_t j = 0; j < d; ++j) {
-      const double diff = points[p * d + j] - query[j];
-      dist += diff * diff;
-    }
-    dists.push_back(dist);
-  }
+  // Same serial per-point accumulation order as the kernel's tiled fast
+  // path: tests compare the two bit-exactly.
+  for (std::size_t p = 0; p < count; ++p)
+    dists.push_back(
+        util::simd::squared_distance_serial(points.data() + p * d, query, d));
   std::sort(dists.begin(), dists.end());
   dists.resize(std::min<std::size_t>(static_cast<std::size_t>(k), count),
                std::numeric_limits<double>::infinity());

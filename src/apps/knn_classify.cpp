@@ -6,6 +6,7 @@
 #include <map>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace fgp::apps {
 
@@ -87,21 +88,28 @@ sim::Work KnnClassifyKernel::process_chunk(
   const std::size_t count = rows.size() / row;
   const std::size_t m = static_cast<std::size_t>(num_queries());
 
-  for (std::size_t p = 0; p < count; ++p) {
-    const double* r = rows.data() + p * row;
+  // Same rewrite as KnnKernel: full tiled distance, with insert()
+  // enforcing the kth-best bound. The labeled rows tile with stride d+1.
+  const double* queries = params_.queries.data();
+  const double* r = rows.data();
+  std::size_t p = 0;
+  constexpr std::size_t tile = util::simd::kPointTile;
+  for (; p + tile <= count; p += tile, r += tile * row) {
+    const double* qp = queries;
+    for (std::size_t q = 0; q < m; ++q, qp += d) {
+      double dist[tile];
+      util::simd::squared_distance_x4(r + 1, row, qp, d, dist);
+      for (std::size_t t = 0; t < tile; ++t)
+        o.insert(q, dist[t],
+                 static_cast<std::int32_t>(r[t * row]));
+    }
+  }
+  for (; p < count; ++p, r += row) {
     const auto label = static_cast<std::int32_t>(r[0]);
     const double* x = r + 1;
-    for (std::size_t q = 0; q < m; ++q) {
-      const double* qp = params_.queries.data() + q * d;
-      const double bound = o.kth_distance(q);
-      double dist = 0.0;
-      std::size_t j = 0;
-      for (; j < d; ++j) {
-        const double diff = x[j] - qp[j];
-        dist += diff * diff;
-        if (dist >= bound) break;
-      }
-      if (j == d) o.insert(q, dist, label);
+    const double* qp = queries;
+    for (std::size_t q = 0; q < m; ++q, qp += d) {
+      o.insert(q, util::simd::squared_distance_serial(x, qp, d), label);
     }
   }
 
@@ -172,12 +180,8 @@ std::int32_t knn_classify_reference(const std::vector<double>& rows, int dim,
   all.reserve(count);
   for (std::size_t p = 0; p < count; ++p) {
     const double* r = rows.data() + p * row;
-    double dist = 0.0;
-    for (std::size_t j = 0; j < d; ++j) {
-      const double diff = r[1 + j] - query[j];
-      dist += diff * diff;
-    }
-    all.emplace_back(dist, static_cast<std::int32_t>(r[0]));
+    all.emplace_back(util::simd::squared_distance_serial(r + 1, query, d),
+                     static_cast<std::int32_t>(r[0]));
   }
   std::sort(all.begin(), all.end());
   std::map<std::int32_t, int> votes;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/union_find.h"
 
 namespace fgp::apps {
@@ -12,17 +13,6 @@ namespace fgp::apps {
 namespace {
 
 using datagen::FieldChunkView;
-
-/// Discrete vorticity (curl z-component) with a central-difference stencil.
-/// `gy` must be an interior row of the stored range.
-double vorticity(const FieldChunkView& view, std::uint32_t gy,
-                 std::uint32_t gx) {
-  const double dvdx =
-      0.5 * (view.at(gy, gx + 1).v - view.at(gy, gx - 1).v);
-  const double dudy =
-      0.5 * (view.at(gy + 1, gx).u - view.at(gy - 1, gx).u);
-  return dvdx - dudy;
-}
 
 /// Packs (row, x) into one key for the cross-band join maps.
 std::uint64_t cell_key(std::int64_t row, std::int64_t x) {
@@ -117,39 +107,67 @@ sim::Work VortexKernel::process_chunk(const repository::Chunk& chunk,
   const auto& h = view.header;
 
   // Detection + classification over the owned rows. Global-border cells
-  // have no full stencil and are skipped.
+  // have no full stencil and are skipped. The three stencil rows are
+  // hoisted to raw pointers so the inner loop streams contiguously; the
+  // arithmetic is the same central-difference expression as before.
   const std::uint32_t W = h.width;
   std::vector<std::int8_t> mark(static_cast<std::size_t>(h.rows) * W, 0);
+  const datagen::Vec2f* cells = view.cells.data();
   for (std::uint32_t r = 0; r < h.rows; ++r) {
     const std::uint32_t gy = h.row0 + r;
     if (gy == 0 || gy + 1 >= h.height) continue;
+    const datagen::Vec2f* above =
+        cells + static_cast<std::size_t>(gy - 1 - h.stored_row0) * W;
+    const datagen::Vec2f* mid = above + W;
+    const datagen::Vec2f* below = mid + W;
+    std::int8_t* mrow = mark.data() + static_cast<std::size_t>(r) * W;
     for (std::uint32_t gx = 1; gx + 1 < W; ++gx) {
-      const double w = vorticity(view, gy, gx);
+      const double dvdx = 0.5 * (mid[gx + 1].v - mid[gx - 1].v);
+      const double dudy = 0.5 * (below[gx].u - above[gx].u);
+      const double w = dvdx - dudy;
       if (w > params_.vorticity_threshold)
-        mark[static_cast<std::size_t>(r) * W + gx] = 1;
+        mrow[gx] = 1;
       else if (w < -params_.vorticity_threshold)
-        mark[static_cast<std::size_t>(r) * W + gx] = -1;
+        mrow[gx] = -1;
     }
   }
 
-  // Local aggregation: 4-connected components of same-sign cells.
+  // Local aggregation: 4-connected components of same-sign cells. Marks
+  // are sparse, so empty 8-cell groups are skipped with one 64-bit load.
   util::UnionFind uf(static_cast<std::size_t>(h.rows) * W);
   for (std::uint32_t r = 0; r < h.rows; ++r) {
-    for (std::uint32_t x = 0; x < W; ++x) {
-      const std::size_t idx = static_cast<std::size_t>(r) * W + x;
-      if (mark[idx] == 0) continue;
-      if (x + 1 < W && mark[idx + 1] == mark[idx]) uf.unite(idx, idx + 1);
-      if (r + 1 < h.rows && mark[idx + W] == mark[idx]) uf.unite(idx, idx + W);
+    const std::size_t base = static_cast<std::size_t>(r) * W;
+    for (std::uint32_t x = 0; x < W;) {
+      if (x + 8 <= W &&
+          util::simd::all_bytes_equal8(mark.data() + base + x, 0)) {
+        x += 8;
+        continue;
+      }
+      const std::size_t idx = base + x;
+      if (mark[idx] != 0) {
+        if (x + 1 < W && mark[idx + 1] == mark[idx]) uf.unite(idx, idx + 1);
+        if (r + 1 < h.rows && mark[idx + W] == mark[idx])
+          uf.unite(idx, idx + W);
+      }
+      ++x;
     }
   }
 
   // Build fragments rooted at their union-find representative.
   std::unordered_map<std::size_t, std::size_t> root_to_fragment;
-  const std::size_t first_new = o.fragments.size();
   for (std::uint32_t r = 0; r < h.rows; ++r) {
-    for (std::uint32_t x = 0; x < W; ++x) {
-      const std::size_t idx = static_cast<std::size_t>(r) * W + x;
-      if (mark[idx] == 0) continue;
+    const std::size_t base = static_cast<std::size_t>(r) * W;
+    for (std::uint32_t x = 0; x < W;) {
+      if (x + 8 <= W &&
+          util::simd::all_bytes_equal8(mark.data() + base + x, 0)) {
+        x += 8;
+        continue;
+      }
+      const std::size_t idx = base + x;
+      if (mark[idx] == 0) {
+        ++x;
+        continue;
+      }
       const std::size_t root = uf.find(idx);
       auto [it, inserted] = root_to_fragment.try_emplace(
           root, o.fragments.size());
@@ -165,9 +183,9 @@ sim::Work VortexKernel::process_chunk(const repository::Chunk& chunk,
       if (r == 0 || r + 1 == h.rows)
         f.boundary.push_back({static_cast<std::int32_t>(h.row0 + r),
                               static_cast<std::int32_t>(x)});
+      ++x;
     }
   }
-  (void)first_new;
 
   // ~12 flops per owned cell for the stencil and threshold; the whole
   // stored band streams through memory once.

@@ -5,37 +5,41 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/union_find.h"
 
 namespace fgp::apps {
 
 namespace {
 
-using datagen::VolumeChunkView;
-
-/// Curl magnitude and z-component sign via central differences; (gz, gy,
-/// gx) must be interior in the stored range.
-std::pair<double, int> curl_at(const VolumeChunkView& view, std::uint32_t gz,
-                               std::uint32_t gy, std::uint32_t gx) {
-  const auto& h = view.header;
-  (void)h;
-  const double dwdy = 0.5 * (view.at(gz, gy + 1, gx).w -
-                             view.at(gz, gy - 1, gx).w);
-  const double dvdz = 0.5 * (view.at(gz + 1, gy, gx).v -
-                             view.at(gz - 1, gy, gx).v);
-  const double dudz = 0.5 * (view.at(gz + 1, gy, gx).u -
-                             view.at(gz - 1, gy, gx).u);
-  const double dwdx = 0.5 * (view.at(gz, gy, gx + 1).w -
-                             view.at(gz, gy, gx - 1).w);
-  const double dvdx = 0.5 * (view.at(gz, gy, gx + 1).v -
-                             view.at(gz, gy, gx - 1).v);
-  const double dudy = 0.5 * (view.at(gz, gy + 1, gx).u -
-                             view.at(gz, gy - 1, gx).u);
-  const double ox = dwdy - dvdz;
-  const double oy = dudz - dwdx;
-  const double oz = dvdx - dudy;
-  const double mag = std::sqrt(ox * ox + oy * oy + oz * oz);
-  return {mag, oz >= 0.0 ? 1 : -1};
+/// Curl detection over one interior row (z, y): the six stencil rows are
+/// hoisted to raw pointers so the inner x loop streams contiguously. The
+/// per-cell arithmetic is the same central-difference curl as the scalar
+/// version (same operand order, so marks are bit-identical).
+void mark_curl_row(const datagen::Vec3f* cells, std::uint32_t stored_z0,
+                   std::uint32_t ny, std::uint32_t nx, std::uint32_t z,
+                   std::uint32_t y, double threshold, std::int8_t* mrow) {
+  const std::size_t plane = static_cast<std::size_t>(ny) * nx;
+  const datagen::Vec3f* mid =
+      cells + static_cast<std::size_t>(z - stored_z0) * plane +
+      static_cast<std::size_t>(y) * nx;
+  const datagen::Vec3f* ym = mid - nx;
+  const datagen::Vec3f* yp = mid + nx;
+  const datagen::Vec3f* zm = mid - plane;
+  const datagen::Vec3f* zp = mid + plane;
+  for (std::uint32_t x = 1; x + 1 < nx; ++x) {
+    const double dwdy = 0.5 * (yp[x].w - ym[x].w);
+    const double dvdz = 0.5 * (zp[x].v - zm[x].v);
+    const double dudz = 0.5 * (zp[x].u - zm[x].u);
+    const double dwdx = 0.5 * (mid[x + 1].w - mid[x - 1].w);
+    const double dvdx = 0.5 * (mid[x + 1].v - mid[x - 1].v);
+    const double dudy = 0.5 * (yp[x].u - ym[x].u);
+    const double ox = dwdy - dvdz;
+    const double oy = dudz - dwdx;
+    const double oz = dvdx - dudy;
+    const double mag = std::sqrt(ox * ox + oy * oy + oz * oz);
+    if (mag > threshold) mrow[x] = static_cast<std::int8_t>(oz >= 0.0 ? 1 : -1);
+  }
 }
 
 std::uint64_t cell_key(std::int64_t z, std::int64_t y, std::int64_t x) {
@@ -73,11 +77,13 @@ std::vector<Vortex3d> finalize(std::vector<Accum3d> accums,
 }
 
 /// Shared by the kernel and the reference: marks vortical cells of the
-/// owned planes [z_lo, z_hi) and runs the slab-local union-find.
-template <typename CurlFn>
+/// owned planes [z_lo, z_hi) and runs the slab-local union-find. `cells`
+/// is the stored [stored_planes][ny][nx] grid; the reference passes the
+/// whole reassembled volume with stored_z0 = 0.
 std::vector<RegionFragment3d> aggregate_slab(
-    std::uint32_t z_lo, std::uint32_t z_hi, std::uint32_t ny,
-    std::uint32_t nx, std::uint32_t nz, double threshold, CurlFn&& curl) {
+    const datagen::Vec3f* cells, std::uint32_t stored_z0, std::uint32_t z_lo,
+    std::uint32_t z_hi, std::uint32_t ny, std::uint32_t nx, std::uint32_t nz,
+    double threshold) {
   const std::uint32_t planes = z_hi - z_lo;
   const std::size_t plane_cells = static_cast<std::size_t>(ny) * nx;
   std::vector<std::int8_t> mark(static_cast<std::size_t>(planes) *
@@ -86,16 +92,15 @@ std::vector<RegionFragment3d> aggregate_slab(
   for (std::uint32_t z = z_lo; z < z_hi; ++z) {
     if (z == 0 || z + 1 >= nz) continue;
     for (std::uint32_t y = 1; y + 1 < ny; ++y) {
-      for (std::uint32_t x = 1; x + 1 < nx; ++x) {
-        const auto [mag, sign] = curl(z, y, x);
-        if (mag > threshold)
-          mark[static_cast<std::size_t>(z - z_lo) * plane_cells +
-               static_cast<std::size_t>(y) * nx + x] =
-              static_cast<std::int8_t>(sign);
-      }
+      std::int8_t* mrow = mark.data() +
+                          static_cast<std::size_t>(z - z_lo) * plane_cells +
+                          static_cast<std::size_t>(y) * nx;
+      mark_curl_row(cells, stored_z0, ny, nx, z, y, threshold, mrow);
     }
   }
 
+  // Marks are sparse; both sweeps skip empty 8-cell groups with one
+  // 64-bit load.
   util::UnionFind uf(mark.size());
   auto idx_of = [&](std::uint32_t z, std::uint32_t y, std::uint32_t x) {
     return static_cast<std::size_t>(z - z_lo) * plane_cells +
@@ -103,22 +108,35 @@ std::vector<RegionFragment3d> aggregate_slab(
   };
   for (std::uint32_t z = z_lo; z < z_hi; ++z)
     for (std::uint32_t y = 0; y < ny; ++y)
-      for (std::uint32_t x = 0; x < nx; ++x) {
+      for (std::uint32_t x = 0; x < nx;) {
         const std::size_t i = idx_of(z, y, x);
-        if (mark[i] == 0) continue;
-        if (x + 1 < nx && mark[i + 1] == mark[i]) uf.unite(i, i + 1);
-        if (y + 1 < ny && mark[i + nx] == mark[i]) uf.unite(i, i + nx);
-        if (z + 1 < z_hi && mark[i + plane_cells] == mark[i])
-          uf.unite(i, i + plane_cells);
+        if (x + 8 <= nx && util::simd::all_bytes_equal8(mark.data() + i, 0)) {
+          x += 8;
+          continue;
+        }
+        if (mark[i] != 0) {
+          if (x + 1 < nx && mark[i + 1] == mark[i]) uf.unite(i, i + 1);
+          if (y + 1 < ny && mark[i + nx] == mark[i]) uf.unite(i, i + nx);
+          if (z + 1 < z_hi && mark[i + plane_cells] == mark[i])
+            uf.unite(i, i + plane_cells);
+        }
+        ++x;
       }
 
   std::unordered_map<std::size_t, std::size_t> root_to_fragment;
   std::vector<RegionFragment3d> fragments;
   for (std::uint32_t z = z_lo; z < z_hi; ++z)
     for (std::uint32_t y = 0; y < ny; ++y)
-      for (std::uint32_t x = 0; x < nx; ++x) {
+      for (std::uint32_t x = 0; x < nx;) {
         const std::size_t i = idx_of(z, y, x);
-        if (mark[i] == 0) continue;
+        if (x + 8 <= nx && util::simd::all_bytes_equal8(mark.data() + i, 0)) {
+          x += 8;
+          continue;
+        }
+        if (mark[i] == 0) {
+          ++x;
+          continue;
+        }
         const std::size_t root = uf.find(i);
         auto [it, inserted] =
             root_to_fragment.try_emplace(root, fragments.size());
@@ -136,6 +154,7 @@ std::vector<RegionFragment3d> aggregate_slab(
           f.boundary.push_back({static_cast<std::int32_t>(z),
                                 static_cast<std::int32_t>(y),
                                 static_cast<std::int32_t>(x)});
+        ++x;
       }
   return fragments;
 }
@@ -247,11 +266,9 @@ sim::Work Vortex3dKernel::process_chunk(const repository::Chunk& chunk,
   const auto view = datagen::parse_volume_chunk(chunk);
   const auto& h = view.header;
 
-  auto fragments = aggregate_slab(
-      h.z0, h.z0 + h.planes, h.ny, h.nx, h.nz, params_.vorticity_threshold,
-      [&view](std::uint32_t z, std::uint32_t y, std::uint32_t x) {
-        return curl_at(view, z, y, x);
-      });
+  auto fragments = aggregate_slab(view.cells.data(), h.stored_z0, h.z0,
+                                  h.z0 + h.planes, h.ny, h.nx, h.nz,
+                                  params_.vorticity_threshold);
   for (auto& f : fragments) o.fragments.push_back(std::move(f));
 
   sim::Work w;
@@ -310,23 +327,10 @@ std::vector<Vortex3d> vortex3d_reference(const datagen::Flow3dDataset& flow,
               view.at(gz, y, x);
     }
   }
-  auto at = [&](std::uint32_t z, std::uint32_t y,
-                std::uint32_t x) -> const datagen::Vec3f& {
-    return volume[(static_cast<std::size_t>(z) * ny + y) * nx + x];
-  };
-  auto curl = [&](std::uint32_t z, std::uint32_t y, std::uint32_t x) {
-    const double ox = 0.5 * (at(z, y + 1, x).w - at(z, y - 1, x).w) -
-                      0.5 * (at(z + 1, y, x).v - at(z - 1, y, x).v);
-    const double oy = 0.5 * (at(z + 1, y, x).u - at(z - 1, y, x).u) -
-                      0.5 * (at(z, y, x + 1).w - at(z, y, x - 1).w);
-    const double oz = 0.5 * (at(z, y, x + 1).v - at(z, y, x - 1).v) -
-                      0.5 * (at(z, y + 1, x).u - at(z, y - 1, x).u);
-    const double mag = std::sqrt(ox * ox + oy * oy + oz * oz);
-    return std::pair<double, int>{mag, oz >= 0.0 ? 1 : -1};
-  };
-  // One "slab" covering the whole volume: the same aggregation code path.
-  const auto fragments = aggregate_slab(0, nz, ny, nx, nz,
-                                        params.vorticity_threshold, curl);
+  // One "slab" covering the whole volume: the same aggregation code path
+  // (and the same mark_curl_row arithmetic) as the kernel.
+  const auto fragments = aggregate_slab(volume.data(), 0, 0, nz, ny, nx, nz,
+                                        params.vorticity_threshold);
   return join_and_finalize(fragments, params.min_cells, nullptr);
 }
 

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fgp::datagen {
 
@@ -128,12 +129,24 @@ LatticeDataset generate_lattice(const LatticeSpec& spec) {
   out.dataset = repository::ChunkedDataset(meta);
 
   const float tol = 0.25f;
-  repository::ChunkId next_id = 0;
-  for (int z0 = 0; z0 < spec.nz; z0 += spec.zslabs_per_chunk) {
+  const std::size_t chunk_count = static_cast<std::size_t>(
+      (spec.nz + spec.zslabs_per_chunk - 1) / spec.zslabs_per_chunk);
+
+  // Per-slab RNG streams are forked serially in slab order (fork advances
+  // the parent), so every payload is a function of the spec alone — never
+  // of spec.threads. The planted-cell sets are read-only from here on,
+  // which is what makes the slab sweep safe to fan out.
+  std::vector<util::Rng> rngs;
+  rngs.reserve(chunk_count);
+  for (std::size_t i = 0; i < chunk_count; ++i) rngs.push_back(rng.fork(i + 1));
+
+  std::vector<repository::Chunk> chunks(chunk_count);
+  const auto fill_slab = [&](std::size_t i) {
+    const int z0 = static_cast<int>(i) * spec.zslabs_per_chunk;
     const int zslabs = std::min(spec.zslabs_per_chunk, spec.nz - z0);
     std::vector<Atom> atoms;
     atoms.reserve(static_cast<std::size_t>(spec.nx) * spec.ny * zslabs);
-    util::Rng crng = rng.fork(next_id + 1);
+    util::Rng& crng = rngs[i];
 
     for (int z = z0; z < z0 + zslabs; ++z) {
       for (int y = 0; y < spec.ny; ++y) {
@@ -178,10 +191,17 @@ LatticeDataset generate_lattice(const LatticeSpec& spec) {
     if (!atoms.empty())
       std::memcpy(payload.data() + sizeof(header), atoms.data(),
                   atoms.size() * sizeof(Atom));
-    out.dataset.add_chunk(
-        repository::Chunk(next_id, std::move(payload), spec.virtual_scale));
-    ++next_id;
+    chunks[i] = repository::Chunk(static_cast<repository::ChunkId>(i),
+                                  std::move(payload), spec.virtual_scale);
+  };
+  if (spec.threads > 1 && chunk_count > 1) {
+    util::ThreadPool pool(std::min<std::size_t>(
+        static_cast<std::size_t>(spec.threads), chunk_count));
+    pool.parallel_for(chunk_count, fill_slab);
+  } else {
+    for (std::size_t i = 0; i < chunk_count; ++i) fill_slab(i);
   }
+  for (auto& chunk : chunks) out.dataset.add_chunk(std::move(chunk));
   return out;
 }
 

@@ -64,6 +64,9 @@ struct LatticeSpec {
   int zslabs_per_chunk = 6;
   double virtual_scale = 1.0;
   std::uint64_t seed = 11;
+  /// Host threads for slab synthesis. Slab payloads are bit-identical
+  /// for every value: each slab consumes its own serially-forked RNG.
+  int threads = 1;
   std::string name = "lattice";
 };
 

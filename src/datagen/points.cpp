@@ -6,8 +6,39 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fgp::datagen {
+
+namespace {
+
+/// Pre-forks one RNG per chunk in chunk order. fork() advances the parent
+/// stream, so this must stay serial — it is what makes the payload bytes a
+/// function of the spec alone, never of spec.threads.
+std::vector<util::Rng> fork_chunk_rngs(util::Rng& rng,
+                                       std::uint64_t chunk_count) {
+  std::vector<util::Rng> rngs;
+  rngs.reserve(chunk_count);
+  for (std::uint64_t i = 0; i < chunk_count; ++i)
+    rngs.push_back(rng.fork(i + 1));
+  return rngs;
+}
+
+/// Runs fill(i) for every chunk index, fanning out over a transient pool
+/// when the spec asks for more than one thread.
+template <typename Fn>
+void for_each_chunk(std::uint64_t chunk_count, int threads, Fn&& fill) {
+  if (threads > 1 && chunk_count > 1) {
+    util::ThreadPool pool(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), chunk_count));
+    pool.parallel_for(static_cast<std::size_t>(chunk_count), fill);
+  } else {
+    for (std::uint64_t i = 0; i < chunk_count; ++i)
+      fill(static_cast<std::size_t>(i));
+  }
+}
+
+}  // namespace
 
 PointsDataset generate_points(const PointsSpec& spec) {
   FGP_CHECK(spec.num_points > 0);
@@ -33,23 +64,27 @@ PointsDataset generate_points(const PointsSpec& spec) {
   meta.seed = spec.seed;
   out.dataset = repository::ChunkedDataset(meta);
 
-  std::uint64_t remaining = spec.num_points;
-  repository::ChunkId next_id = 0;
-  while (remaining > 0) {
-    const std::uint64_t take = std::min(remaining, spec.points_per_chunk);
+  const std::uint64_t chunk_count =
+      (spec.num_points + spec.points_per_chunk - 1) / spec.points_per_chunk;
+  std::vector<util::Rng> rngs = fork_chunk_rngs(rng, chunk_count);
+  std::vector<repository::Chunk> chunks(chunk_count);
+  for_each_chunk(chunk_count, spec.threads, [&](std::size_t i) {
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(i) * spec.points_per_chunk;
+    const std::uint64_t take =
+        std::min(spec.points_per_chunk, spec.num_points - first);
     std::vector<double> payload(take * d);
-    util::Rng crng = rng.fork(next_id + 1);
+    util::Rng& crng = rngs[i];
     for (std::uint64_t p = 0; p < take; ++p) {
       const std::size_t comp = crng.next_below(k);
       for (std::size_t j = 0; j < d; ++j)
         payload[p * d + j] = out.true_centers[comp * d + j] +
                              spec.noise_sigma * crng.next_gaussian();
     }
-    out.dataset.add_chunk(
-        repository::make_chunk(next_id, payload, spec.virtual_scale));
-    ++next_id;
-    remaining -= take;
-  }
+    chunks[i] = repository::make_chunk(static_cast<repository::ChunkId>(i),
+                                       payload, spec.virtual_scale);
+  });
+  for (auto& chunk : chunks) out.dataset.add_chunk(std::move(chunk));
   return out;
 }
 
@@ -79,12 +114,17 @@ LabeledPointsDataset generate_labeled_points(const PointsSpec& spec) {
   out.dataset = repository::ChunkedDataset(meta);
 
   const std::size_t row = d + 1;
-  std::uint64_t remaining = spec.num_points;
-  repository::ChunkId next_id = 0;
-  while (remaining > 0) {
-    const std::uint64_t take = std::min(remaining, spec.points_per_chunk);
+  const std::uint64_t chunk_count =
+      (spec.num_points + spec.points_per_chunk - 1) / spec.points_per_chunk;
+  std::vector<util::Rng> rngs = fork_chunk_rngs(rng, chunk_count);
+  std::vector<repository::Chunk> chunks(chunk_count);
+  for_each_chunk(chunk_count, spec.threads, [&](std::size_t i) {
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(i) * spec.points_per_chunk;
+    const std::uint64_t take =
+        std::min(spec.points_per_chunk, spec.num_points - first);
     std::vector<double> payload(take * row);
-    util::Rng crng = rng.fork(next_id + 1);
+    util::Rng& crng = rngs[i];
     for (std::uint64_t p = 0; p < take; ++p) {
       const std::size_t comp = crng.next_below(k);
       payload[p * row] = static_cast<double>(comp);
@@ -92,11 +132,10 @@ LabeledPointsDataset generate_labeled_points(const PointsSpec& spec) {
         payload[p * row + 1 + j] = out.true_centers[comp * d + j] +
                                    spec.noise_sigma * crng.next_gaussian();
     }
-    out.dataset.add_chunk(
-        repository::make_chunk(next_id, payload, spec.virtual_scale));
-    ++next_id;
-    remaining -= take;
-  }
+    chunks[i] = repository::make_chunk(static_cast<repository::ChunkId>(i),
+                                       payload, spec.virtual_scale);
+  });
+  for (auto& chunk : chunks) out.dataset.add_chunk(std::move(chunk));
   return out;
 }
 

@@ -23,6 +23,9 @@ struct PointsSpec {
   std::uint64_t points_per_chunk = 1000;
   double virtual_scale = 1.0;  ///< virtual bytes per real byte
   std::uint64_t seed = 42;
+  /// Host threads for chunk synthesis. Chunk payloads are bit-identical
+  /// for every value: each chunk consumes its own serially-forked RNG.
+  int threads = 1;
   std::string name = "points";
 };
 

@@ -103,6 +103,21 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       PartitionMap::block(ds.chunk_count(), cache_nodes);
   const auto cache_vol = volumes(ds, cache_part);
 
+  // Per-job scratch reused across passes: the per-node object slots,
+  // per-node time/work vectors, SMP thread scratch, and the gather-phase
+  // serialization buffer. A multi-pass job otherwise re-allocates all of
+  // these every pass.
+  std::vector<std::unique_ptr<ReductionObject>> objects;
+  objects.reserve(static_cast<std::size_t>(c));
+  std::vector<double> node_time(static_cast<std::size_t>(c), 0.0);
+  std::vector<sim::Work> node_work(static_cast<std::size_t>(c));
+  struct NodeScratch {
+    std::vector<std::unique_ptr<ReductionObject>> thread_objects;
+    std::vector<double> thread_time;
+  };
+  std::vector<NodeScratch> scratch(static_cast<std::size_t>(c));
+  util::ByteWriter gather;
+
   bool more_passes = true;
   while (more_passes && result.passes < cfg.max_passes) {
     PassRecord rec;
@@ -151,9 +166,20 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       rec.timing.disk = t;
 
       if (cfg.verify_chunks && result.passes == 0) {
-        for (const auto& chunk : ds.chunks())
+        // Checksums are independent per chunk, so the sweep fans out over
+        // the host pool; parallel_for rethrows the lowest-index failure,
+        // keeping the reported chunk deterministic.
+        const auto verify_chunk = [&ds](std::size_t ci) {
+          const auto& chunk = ds.chunk(ci);
           FGP_CHECK_MSG(chunk.verify(),
                         "chunk " << chunk.id() << " failed checksum");
+        };
+        if (pool) {
+          pool->parallel_for(ds.chunk_count(), verify_chunk);
+        } else {
+          for (std::size_t ci = 0; ci < ds.chunk_count(); ++ci)
+            verify_chunk(ci);
+        }
       }
     }
 
@@ -233,8 +259,7 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
         : cfg.smp_strategy == SmpStrategy::CacheSensitiveLocking ? 0.025
                                                                  : 0.0;
 
-    std::vector<std::unique_ptr<ReductionObject>> objects;
-    objects.reserve(static_cast<std::size_t>(c));
+    objects.clear();
     for (int j = 0; j < c; ++j) objects.push_back(kernel.create_object());
 
     // Each node's local reduction writes only its own objects[j] and
@@ -242,8 +267,6 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
     // host pool may run nodes concurrently. Times and work are reduced in
     // node order afterwards to keep every result bit-identical regardless
     // of pool size.
-    std::vector<double> node_time(static_cast<std::size_t>(c), 0.0);
-    std::vector<sim::Work> node_work(static_cast<std::size_t>(c));
     const auto reduce_node = [&](std::size_t uj) {
       const int j = static_cast<int>(uj);
       double tj = 0.0;
@@ -258,10 +281,12 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
         }
       } else if (cfg.smp_strategy == SmpStrategy::FullReplication) {
         // One object per thread; chunks round-robin over threads.
-        std::vector<std::unique_ptr<ReductionObject>> thread_objects;
+        auto& thread_objects = scratch[uj].thread_objects;
+        thread_objects.clear();
         for (int th = 1; th < threads; ++th)
           thread_objects.push_back(kernel.create_object());
-        std::vector<double> thread_time(static_cast<std::size_t>(threads));
+        auto& thread_time = scratch[uj].thread_time;
+        thread_time.assign(static_cast<std::size_t>(threads), 0.0);
         const auto& node_chunks = dest_part.chunks_of(j);
         for (std::size_t k = 0; k < node_chunks.size(); ++k) {
           const int th = static_cast<int>(k % static_cast<std::size_t>(threads));
@@ -285,7 +310,8 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
         }
       } else {
         // Locking strategies: one shared object, contention on updates.
-        std::vector<double> thread_time(static_cast<std::size_t>(threads));
+        auto& thread_time = scratch[uj].thread_time;
+        thread_time.assign(static_cast<std::size_t>(threads), 0.0);
         const auto& node_chunks = dest_part.chunks_of(j);
         for (std::size_t k = 0; k < node_chunks.size(); ++k) {
           const auto& chunk = ds.chunk(node_chunks[k]);
@@ -319,15 +345,13 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
     // --- Phase 3b: reduction-object gather + merge (serialized) ------
     // Record the master's own object size too: the profile's "r" is the
     // maximum reduction-object size regardless of who sent it.
-    {
-      util::ByteWriter w0;
-      objects[0]->serialize(w0);
-      rec.max_object_bytes = static_cast<double>(w0.size()) * obj_scale;
-    }
+    gather.clear();
+    objects[0]->serialize(gather);
+    rec.max_object_bytes = static_cast<double>(gather.size()) * obj_scale;
     for (int j = 1; j < c; ++j) {
-      util::ByteWriter w;
-      objects[j]->serialize(w);
-      const double charged = static_cast<double>(w.size()) * obj_scale;
+      gather.clear();
+      objects[j]->serialize(gather);
+      const double charged = static_cast<double>(gather.size()) * obj_scale;
       rec.max_object_bytes = std::max(rec.max_object_bytes, charged);
       rec.timing.ro_comm += ipc.message_time(charged);
 

@@ -61,6 +61,10 @@ class ByteWriter {
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
 
+  /// Drops the contents but keeps the capacity, so one writer can be
+  /// reused across many serialize calls without reallocating.
+  void clear() { buf_.clear(); }
+
  private:
   std::vector<std::uint8_t> buf_;
 };

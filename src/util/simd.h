@@ -1,0 +1,222 @@
+// simd.h — fixed-width register-blocked reduction primitives.
+//
+// The compute kernels in src/apps/ spend almost all of their time in small
+// dense loops (distance evaluations, weighted accumulations, stencils).
+// These helpers restructure those loops into kLanes independent scalar
+// accumulators so the compiler can keep them in vector registers and
+// autovectorize — no intrinsics, portable everywhere, and measurably close
+// to hand-written SIMD for the shapes we care about (d in the 2..64 range).
+//
+// Determinism contract (DESIGN "Blocked-reduction determinism"): the
+// floating-point accumulation order of every helper is a pure function of
+// the element count. Lane-blocked reductions (dot, weighted_squared_distance)
+// give lane j elements j, j+kLanes, j+2*kLanes,…; the tail (count % kLanes
+// elements) is folded into the lanes in index order; lanes combine as
+// (l0 + l1) + (l2 + l3). The point-tiled distance helpers
+// (squared_distance_x4) instead keep each point's accumulation strictly
+// serial in coordinate order — identical bits to a plain scalar loop — and
+// draw their parallelism from four independent per-point chains. Nothing
+// here may ever depend on thread count, chunk partitioning, or pool size —
+// that is what keeps tests/test_determinism.cpp bit-identical at pool
+// sizes 1/2/8. Reference implementations that tests compare bit-exactly
+// against the kernels (e.g. knn_reference) must use the helper with the
+// same per-point order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace fgp::util::simd {
+
+/// Register-blocking width. Four 64-bit lanes fill one AVX2 register; on
+/// narrower ISAs the compiler splits them into two 128-bit operations,
+/// which still beats a serial dependency chain.
+inline constexpr std::size_t kLanes = 4;
+
+/// Combines the four lane accumulators in the fixed contract order.
+inline double combine(double l0, double l1, double l2, double l3) {
+  return (l0 + l1) + (l2 + l3);
+}
+
+/// Blocked squared Euclidean distance |a - b|^2 over d coordinates.
+inline double squared_distance(const double* a, const double* b,
+                               std::size_t d) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t j = 0;
+  for (; j + kLanes <= d; j += kLanes) {
+    const double d0 = a[j] - b[j];
+    const double d1 = a[j + 1] - b[j + 1];
+    const double d2 = a[j + 2] - b[j + 2];
+    const double d3 = a[j + 3] - b[j + 3];
+    l0 += d0 * d0;
+    l1 += d1 * d1;
+    l2 += d2 * d2;
+    l3 += d3 * d3;
+  }
+  switch (d - j) {  // tail folds into the lanes in index order
+    case 3: {
+      const double d2t = a[j + 2] - b[j + 2];
+      l2 += d2t * d2t;
+      [[fallthrough]];
+    }
+    case 2: {
+      const double d1t = a[j + 1] - b[j + 1];
+      l1 += d1t * d1t;
+      [[fallthrough]];
+    }
+    case 1: {
+      const double d0t = a[j] - b[j];
+      l0 += d0t * d0t;
+      break;
+    }
+    default:
+      break;
+  }
+  return combine(l0, l1, l2, l3);
+}
+
+/// Serial-order squared distance: one accumulator, coordinates in index
+/// order — the exact bits of the pre-blocking scalar loop. This is the
+/// per-point order of the tiled distance kernels and their references.
+inline double squared_distance_serial(const double* a, const double* b,
+                                      std::size_t d) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Point tile width for the distance kernels: four points share one centre
+/// row per sweep, so the centre streams from L1 once per tile and the four
+/// serial accumulation chains run in parallel.
+inline constexpr std::size_t kPointTile = 4;
+
+/// Squared distances of four points (rows of `x`, `stride` doubles apart;
+/// stride == d for dense point arrays, d+1 for labeled rows) from one
+/// centre `c`. Each out[t] carries the serial coordinate order — bit-equal
+/// to squared_distance_serial(x + t*stride, c, d) — while the four
+/// independent chains give the ILP a single chain cannot.
+inline void squared_distance_x4(const double* x, std::size_t stride,
+                                const double* c, std::size_t d,
+                                double out[4]) {
+  const double* x0 = x;
+  const double* x1 = x + stride;
+  const double* x2 = x + 2 * stride;
+  const double* x3 = x + 3 * stride;
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double cj = c[j];
+    const double d0 = x0[j] - cj;
+    const double d1 = x1[j] - cj;
+    const double d2 = x2[j] - cj;
+    const double d3 = x3[j] - cj;
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  out[0] = a0;
+  out[1] = a1;
+  out[2] = a2;
+  out[3] = a3;
+}
+
+/// Blocked weighted quadratic form: sum_j (x[j]-mu[j])^2 * w[j]. Used by
+/// the EM E-step with w = 1/var (precomputed per pass).
+inline double weighted_squared_distance(const double* x, const double* mu,
+                                        const double* w, std::size_t d) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t j = 0;
+  for (; j + kLanes <= d; j += kLanes) {
+    const double d0 = x[j] - mu[j];
+    const double d1 = x[j + 1] - mu[j + 1];
+    const double d2 = x[j + 2] - mu[j + 2];
+    const double d3 = x[j + 3] - mu[j + 3];
+    l0 += d0 * d0 * w[j];
+    l1 += d1 * d1 * w[j + 1];
+    l2 += d2 * d2 * w[j + 2];
+    l3 += d3 * d3 * w[j + 3];
+  }
+  switch (d - j) {
+    case 3: {
+      const double d2t = x[j + 2] - mu[j + 2];
+      l2 += d2t * d2t * w[j + 2];
+      [[fallthrough]];
+    }
+    case 2: {
+      const double d1t = x[j + 1] - mu[j + 1];
+      l1 += d1t * d1t * w[j + 1];
+      [[fallthrough]];
+    }
+    case 1: {
+      const double d0t = x[j] - mu[j];
+      l0 += d0t * d0t * w[j];
+      break;
+    }
+    default:
+      break;
+  }
+  return combine(l0, l1, l2, l3);
+}
+
+/// Blocked dot product sum_j a[j] * b[j].
+inline double dot(const double* a, const double* b, std::size_t d) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t j = 0;
+  for (; j + kLanes <= d; j += kLanes) {
+    l0 += a[j] * b[j];
+    l1 += a[j + 1] * b[j + 1];
+    l2 += a[j + 2] * b[j + 2];
+    l3 += a[j + 3] * b[j + 3];
+  }
+  switch (d - j) {
+    case 3:
+      l2 += a[j + 2] * b[j + 2];
+      [[fallthrough]];
+    case 2:
+      l1 += a[j + 1] * b[j + 1];
+      [[fallthrough]];
+    case 1:
+      l0 += a[j] * b[j];
+      break;
+    default:
+      break;
+  }
+  return combine(l0, l1, l2, l3);
+}
+
+/// Element-wise accumulate acc[j] += x[j]. Order-free (one FP add per
+/// slot), so a plain loop the compiler unrolls and vectorizes freely.
+inline void accumulate(double* acc, const double* x, std::size_t d) {
+  for (std::size_t j = 0; j < d; ++j) acc[j] += x[j];
+}
+
+/// Element-wise y[j] += a * x[j].
+inline void axpy(double* y, double a, const double* x, std::size_t d) {
+  for (std::size_t j = 0; j < d; ++j) y[j] += a * x[j];
+}
+
+/// EM sufficient-statistics update: sx[j] += r*x[j], sx2[j] += r*x[j]*x[j].
+/// Both updates stream over x once, each slot independent.
+inline void weighted_moments(double* sx, double* sx2, double r,
+                             const double* x, std::size_t d) {
+  for (std::size_t j = 0; j < d; ++j) {
+    const double rx = r * x[j];
+    sx[j] += rx;
+    sx2[j] += rx * x[j];
+  }
+}
+
+/// True when the 8 bytes at p are all equal to `fill`. Lets sparse sweeps
+/// (union-find over mostly-empty mark/kind arrays) skip empty cell groups
+/// with one 64-bit compare instead of eight branchy loads.
+inline bool all_bytes_equal8(const void* p, std::uint8_t fill) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v == 0x0101010101010101ull * fill;
+}
+
+}  // namespace fgp::util::simd

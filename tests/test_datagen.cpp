@@ -39,6 +39,38 @@ TEST(Points, DeterministicForSameSeed) {
   EXPECT_EQ(a.true_centers, b.true_centers);
 }
 
+TEST(Points, ParallelGenerationBitIdentical) {
+  PointsSpec spec;
+  spec.num_points = 5500;
+  spec.points_per_chunk = 500;
+  spec.seed = 99;
+  const auto serial = generate_points(spec);
+  for (int threads : {2, 3, 8}) {
+    spec.threads = threads;
+    const auto parallel = generate_points(spec);
+    ASSERT_EQ(serial.dataset.chunk_count(), parallel.dataset.chunk_count());
+    for (std::size_t i = 0; i < serial.dataset.chunk_count(); ++i) {
+      EXPECT_EQ(serial.dataset.chunk(i).payload(),
+                parallel.dataset.chunk(i).payload())
+          << "chunk " << i << " differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(Points, ParallelLabeledGenerationBitIdentical) {
+  PointsSpec spec;
+  spec.num_points = 3200;
+  spec.points_per_chunk = 300;  // ragged final chunk
+  spec.seed = 12;
+  const auto serial = generate_labeled_points(spec);
+  spec.threads = 4;
+  const auto parallel = generate_labeled_points(spec);
+  ASSERT_EQ(serial.dataset.chunk_count(), parallel.dataset.chunk_count());
+  for (std::size_t i = 0; i < serial.dataset.chunk_count(); ++i)
+    EXPECT_EQ(serial.dataset.chunk(i).payload(),
+              parallel.dataset.chunk(i).payload());
+}
+
 TEST(Points, DifferentSeedsDiffer) {
   PointsSpec spec;
   spec.seed = 1;
@@ -238,6 +270,23 @@ TEST(Lattice, Deterministic) {
   ASSERT_EQ(a.dataset.chunk_count(), b.dataset.chunk_count());
   for (std::size_t i = 0; i < a.dataset.chunk_count(); ++i)
     EXPECT_EQ(a.dataset.chunk(i).checksum(), b.dataset.chunk(i).checksum());
+}
+
+TEST(Lattice, ParallelGenerationBitIdentical) {
+  LatticeSpec spec;
+  spec.nz = 50;  // ragged final slab with zslabs_per_chunk = 6
+  spec.seed = 44;
+  const auto serial = generate_lattice(spec);
+  for (int threads : {2, 8}) {
+    spec.threads = threads;
+    const auto parallel = generate_lattice(spec);
+    ASSERT_EQ(serial.dataset.chunk_count(), parallel.dataset.chunk_count());
+    for (std::size_t i = 0; i < serial.dataset.chunk_count(); ++i) {
+      EXPECT_EQ(serial.dataset.chunk(i).payload(),
+                parallel.dataset.chunk(i).payload())
+          << "slab " << i << " differs at threads=" << threads;
+    }
+  }
 }
 
 TEST(Lattice, MalformedChunkRejected) {

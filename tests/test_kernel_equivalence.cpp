@@ -1,0 +1,457 @@
+// test_kernel_equivalence.cpp — blocked fast paths vs naive scalar
+// references.
+//
+// The kernels in src/apps/ run on the register-blocked helpers in
+// util/simd.h, which reassociate floating-point sums (four lanes combined
+// as (l0+l1)+(l2+l3)). These tests pin the contract from DESIGN.md
+// "Blocked-reduction determinism": every fast path agrees with a serial
+// scalar evaluation within a small relative tolerance, repeat runs are
+// bit-identical, and the shapes that stress the lane tail (odd counts,
+// tiny d, d not a multiple of the block width) behave like the aligned
+// ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "apps/ann.h"
+#include "apps/em.h"
+#include "apps/kmeans.h"
+#include "apps/knn.h"
+#include "repository/chunk.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/simd.h"
+
+namespace fgp {
+namespace {
+
+// Dimensions that exercise the 4-lane main loop, the 1/2/3-element tail,
+// and the d < kLanes degenerate cases.
+const std::vector<std::size_t> kDims = {1, 2, 3, 4, 5, 7, 8, 11, 16, 33};
+
+std::vector<double> random_vec(util::Rng& rng, std::size_t n, double lo = -3.0,
+                               double hi = 3.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+double naive_squared_distance(const double* a, const double* b,
+                              std::size_t d) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double naive_weighted_squared_distance(const double* x, const double* mu,
+                                       const double* w, std::size_t d) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = x[j] - mu[j];
+    acc += diff * diff * w[j];
+  }
+  return acc;
+}
+
+double naive_dot(const double* a, const double* b, std::size_t d) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < d; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+void expect_rel_near(double expected, double actual, double rel,
+                     const std::string& what) {
+  const double scale = std::max({1.0, std::abs(expected), std::abs(actual)});
+  EXPECT_NEAR(expected, actual, rel * scale) << what;
+}
+
+// ------------------------------------------------------------- simd layer
+
+TEST(SimdEquivalence, SquaredDistanceMatchesNaive) {
+  util::Rng rng(101);
+  for (std::size_t d : kDims) {
+    const auto a = random_vec(rng, d);
+    const auto b = random_vec(rng, d);
+    expect_rel_near(naive_squared_distance(a.data(), b.data(), d),
+                    util::simd::squared_distance(a.data(), b.data(), d),
+                    1e-13, "d=" + std::to_string(d));
+  }
+}
+
+TEST(SimdEquivalence, WeightedSquaredDistanceMatchesNaive) {
+  util::Rng rng(102);
+  for (std::size_t d : kDims) {
+    const auto x = random_vec(rng, d);
+    const auto mu = random_vec(rng, d);
+    const auto w = random_vec(rng, d, 0.1, 4.0);
+    expect_rel_near(
+        naive_weighted_squared_distance(x.data(), mu.data(), w.data(), d),
+        util::simd::weighted_squared_distance(x.data(), mu.data(), w.data(),
+                                              d),
+        1e-13, "d=" + std::to_string(d));
+  }
+}
+
+TEST(SimdEquivalence, DotMatchesNaive) {
+  util::Rng rng(103);
+  for (std::size_t d : kDims) {
+    const auto a = random_vec(rng, d);
+    const auto b = random_vec(rng, d);
+    expect_rel_near(naive_dot(a.data(), b.data(), d),
+                    util::simd::dot(a.data(), b.data(), d), 1e-13,
+                    "d=" + std::to_string(d));
+  }
+}
+
+TEST(SimdEquivalence, ElementwiseHelpersMatchNaiveExactly) {
+  util::Rng rng(104);
+  for (std::size_t d : kDims) {
+    const auto x = random_vec(rng, d);
+    const double r = rng.uniform(0.0, 1.0);
+
+    auto acc = random_vec(rng, d);
+    auto acc_ref = acc;
+    util::simd::accumulate(acc.data(), x.data(), d);
+    for (std::size_t j = 0; j < d; ++j) acc_ref[j] += x[j];
+    EXPECT_EQ(acc, acc_ref);  // one add per slot: bit-exact
+
+    auto y = random_vec(rng, d);
+    auto y_ref = y;
+    util::simd::axpy(y.data(), r, x.data(), d);
+    for (std::size_t j = 0; j < d; ++j) y_ref[j] += r * x[j];
+    EXPECT_EQ(y, y_ref);
+
+    auto sx = random_vec(rng, d);
+    auto sx2 = random_vec(rng, d);
+    auto sx_ref = sx;
+    auto sx2_ref = sx2;
+    util::simd::weighted_moments(sx.data(), sx2.data(), r, x.data(), d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double rx = r * x[j];
+      sx_ref[j] += rx;
+      sx2_ref[j] += rx * x[j];
+    }
+    EXPECT_EQ(sx, sx_ref);
+    EXPECT_EQ(sx2, sx2_ref);
+  }
+}
+
+TEST(SimdEquivalence, ReductionsBitIdenticalAcrossRepeatRuns) {
+  util::Rng rng(105);
+  for (std::size_t d : kDims) {
+    const auto a = random_vec(rng, d);
+    const auto b = random_vec(rng, d);
+    const double first = util::simd::squared_distance(a.data(), b.data(), d);
+    for (int rep = 0; rep < 3; ++rep) {
+      const double again =
+          util::simd::squared_distance(a.data(), b.data(), d);
+      EXPECT_EQ(0, std::memcmp(&first, &again, sizeof(double)));
+    }
+  }
+}
+
+TEST(SimdEquivalence, AllBytesEqual8MatchesScalarSweep) {
+  util::Rng rng(106);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint8_t buf[8];
+    const std::uint8_t fill = (trial % 2 == 0) ? 0 : 0xFF;
+    for (auto& x : buf)
+      x = rng.next_below(4) == 0 ? static_cast<std::uint8_t>(rng.next_below(256))
+                                 : fill;
+    bool naive = true;
+    for (std::uint8_t x : buf) naive = naive && (x == fill);
+    EXPECT_EQ(naive, util::simd::all_bytes_equal8(buf, fill));
+  }
+}
+
+// ------------------------------------------------------------ app kernels
+
+TEST(KernelEquivalence, KMeansChunkMatchesNaiveScalar) {
+  util::Rng rng(201);
+  const std::size_t d = 5;  // not a multiple of the block width
+  const std::size_t k = 3;
+  const std::size_t count = 101;  // odd
+  const auto points = random_vec(rng, count * d, -8.0, 8.0);
+
+  apps::KMeansParams params;
+  params.k = static_cast<int>(k);
+  params.dim = static_cast<int>(d);
+  params.initial_centers.assign(points.begin(), points.begin() + k * d);
+  apps::KMeansKernel kernel(params);
+  const auto chunk = repository::make_chunk(0, points);
+
+  auto obj = kernel.create_object();
+  kernel.process_chunk(chunk, *obj);
+  const auto& fast = dynamic_cast<const apps::KMeansObject&>(*obj);
+
+  // Naive scalar: serial-order distances, serial accumulation.
+  std::vector<double> sums(k * d, 0.0);
+  std::vector<std::uint64_t> counts(k, 0);
+  double sse = 0.0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* x = points.data() + p * d;
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double dist =
+          naive_squared_distance(x, params.initial_centers.data() + c * d, d);
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) sums[best_c * d + j] += x[j];
+    counts[best_c] += 1;
+    sse += best;
+  }
+
+  EXPECT_EQ(fast.counts_, counts);
+  for (std::size_t i = 0; i < sums.size(); ++i)
+    expect_rel_near(sums[i], fast.sums_[i], 1e-12,
+                    "sum[" + std::to_string(i) + "]");
+  expect_rel_near(sse, fast.sse, 1e-12, "sse");
+
+  // Repeat run into a fresh object: bit-identical serialized bytes.
+  auto obj2 = kernel.create_object();
+  kernel.process_chunk(chunk, *obj2);
+  util::ByteWriter w1, w2;
+  obj->serialize(w1);
+  obj2->serialize(w2);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+}
+
+TEST(KernelEquivalence, KnnChunkMatchesNaiveScalar) {
+  util::Rng rng(202);
+  const std::size_t d = 3;  // smaller than the block width
+  const int k = 4;
+  const std::size_t m = 2;
+  const std::size_t count = 51;
+  const auto points = random_vec(rng, count * d, -5.0, 5.0);
+
+  apps::KnnParams params;
+  params.k = k;
+  params.dim = static_cast<int>(d);
+  params.queries = random_vec(rng, m * d, -5.0, 5.0);
+  apps::KnnKernel kernel(params);
+  const auto chunk = repository::make_chunk(0, points);
+
+  auto obj = kernel.create_object();
+  kernel.process_chunk(chunk, *obj);
+  const auto& fast = dynamic_cast<const apps::KnnObject&>(*obj);
+
+  // Naive scalar: serial distances into a separate object via the same
+  // bounded insert.
+  apps::KnnObject naive(static_cast<int>(m), k, static_cast<int>(d));
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* x = points.data() + p * d;
+    for (std::size_t q = 0; q < m; ++q)
+      naive.insert(q,
+                   naive_squared_distance(x, params.queries.data() + q * d, d),
+                   x);
+  }
+
+  ASSERT_EQ(fast.dists.size(), naive.dists.size());
+  for (std::size_t i = 0; i < naive.dists.size(); ++i)
+    expect_rel_near(naive.dists[i], fast.dists[i], 1e-12,
+                    "dist[" + std::to_string(i) + "]");
+  EXPECT_EQ(fast.coords, naive.coords);  // same neighbour selection
+
+  auto obj2 = kernel.create_object();
+  kernel.process_chunk(chunk, *obj2);
+  util::ByteWriter w1, w2;
+  obj->serialize(w1);
+  obj2->serialize(w2);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+}
+
+TEST(KernelEquivalence, EmChunkMatchesNaiveScalar) {
+  util::Rng rng(203);
+  const std::size_t d = 5;
+  const std::size_t g = 3;
+  const std::size_t count = 61;
+  const auto points = random_vec(rng, count * d, -4.0, 4.0);
+
+  apps::EMParams params;
+  params.g = static_cast<int>(g);
+  params.dim = static_cast<int>(d);
+  params.initial_means = random_vec(rng, g * d, -4.0, 4.0);
+  params.initial_variance = 1.5;
+  apps::EMKernel kernel(params);
+  const auto chunk = repository::make_chunk(7, points);
+
+  auto obj = kernel.create_object();
+  kernel.process_chunk(chunk, *obj);
+  const auto& fast = dynamic_cast<const apps::EMObject&>(*obj);
+
+  // Naive scalar E-step: per-coordinate divisions, log-normalizer computed
+  // per point (the pre-hoisted formulation).
+  const double kLog2Pi = 1.8378770664093453;
+  std::vector<double> resp(g, 0.0), sum_x(g * d, 0.0), sum_x2(g * d, 0.0);
+  std::vector<double> logp(g);
+  std::vector<std::uint8_t> labels(count);
+  double loglik = 0.0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* x = points.data() + p * d;
+    for (std::size_t c = 0; c < g; ++c) {
+      double quad = 0.0, logdet = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = x[j] - params.initial_means[c * d + j];
+        quad += diff * diff / params.initial_variance;
+        logdet += std::log(params.initial_variance);
+      }
+      logp[c] = std::log(1.0 / static_cast<double>(g)) -
+                0.5 * (quad + logdet + static_cast<double>(d) * kLog2Pi);
+    }
+    double mx = logp[0];
+    for (std::size_t c = 1; c < g; ++c) mx = std::max(mx, logp[c]);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < g; ++c) sum += std::exp(logp[c] - mx);
+    const double lse = mx + std::log(sum);
+    loglik += lse;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < g; ++c) {
+      const double r = std::exp(logp[c] - lse);
+      resp[c] += r;
+      for (std::size_t j = 0; j < d; ++j) {
+        sum_x[c * d + j] += r * x[j];
+        sum_x2[c * d + j] += r * x[j] * x[j];
+      }
+      if (logp[c] > logp[best]) best = c;
+    }
+    labels[p] = static_cast<std::uint8_t>(best);
+  }
+
+  expect_rel_near(loglik, fast.loglik, 1e-9, "loglik");
+  for (std::size_t c = 0; c < g; ++c)
+    expect_rel_near(resp[c], fast.resp[c], 1e-9,
+                    "resp[" + std::to_string(c) + "]");
+  for (std::size_t i = 0; i < sum_x.size(); ++i) {
+    expect_rel_near(sum_x[i], fast.sum_x[i], 1e-9,
+                    "sum_x[" + std::to_string(i) + "]");
+    expect_rel_near(sum_x2[i], fast.sum_x2[i], 1e-9,
+                    "sum_x2[" + std::to_string(i) + "]");
+  }
+  ASSERT_TRUE(fast.labels.count(7));
+  EXPECT_EQ(fast.labels.at(7), labels);
+
+  auto obj2 = kernel.create_object();
+  kernel.process_chunk(chunk, *obj2);
+  util::ByteWriter w1, w2;
+  obj->serialize(w1);
+  obj2->serialize(w2);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+}
+
+TEST(KernelEquivalence, AnnChunkMatchesNaiveScalar) {
+  util::Rng data_rng(204);
+  const int dim = 5, hidden = 7, classes = 3;
+  const std::size_t count = 41;
+  const std::size_t row = static_cast<std::size_t>(dim) + 1;
+  std::vector<double> rows(count * row);
+  for (std::size_t p = 0; p < count; ++p) {
+    rows[p * row] = static_cast<double>(data_rng.next_below(classes));
+    for (std::size_t j = 1; j < row; ++j)
+      rows[p * row + j] = data_rng.uniform(-2.0, 2.0);
+  }
+
+  apps::AnnParams params;
+  params.dim = dim;
+  params.hidden = hidden;
+  params.classes = classes;
+  params.seed = 5;
+  apps::AnnKernel kernel(params);
+  const auto chunk = repository::make_chunk(0, rows);
+
+  auto obj = kernel.create_object();
+  kernel.process_chunk(chunk, *obj);
+  const auto& fast = dynamic_cast<const apps::AnnObject&>(*obj);
+
+  // Replicate the kernel's weight init (same seed, same draw order), then
+  // run the naive strided forward/backward the blocked version replaced.
+  const auto d = static_cast<std::size_t>(dim);
+  const auto h = static_cast<std::size_t>(hidden);
+  const auto cc = static_cast<std::size_t>(classes);
+  util::Rng wrng(params.seed);
+  std::vector<double> w1(d * h), b1(h, 0.0), w2(h * cc), b2(cc, 0.0);
+  const double s1 = 1.0 / std::sqrt(static_cast<double>(d));
+  const double s2 = 1.0 / std::sqrt(static_cast<double>(h));
+  for (auto& w : w1) w = wrng.uniform(-s1, s1);
+  for (auto& w : w2) w = wrng.uniform(-s2, s2);
+
+  std::vector<double> grad_w1(d * h, 0.0), grad_b1(h, 0.0);
+  std::vector<double> grad_w2(h * cc, 0.0), grad_b2(cc, 0.0);
+  double loss = 0.0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* r = rows.data() + p * row;
+    const double* x = r + 1;
+    const auto label = static_cast<std::size_t>(r[0]);
+
+    std::vector<double> a1(h), prob(cc);
+    for (std::size_t k = 0; k < h; ++k) {
+      double z = b1[k];
+      for (std::size_t j = 0; j < d; ++j) z += w1[j * h + k] * x[j];
+      a1[k] = std::tanh(z);
+    }
+    double zmax = -1e300;
+    for (std::size_t c = 0; c < cc; ++c) {
+      double z = b2[c];
+      for (std::size_t k = 0; k < h; ++k) z += w2[k * cc + c] * a1[k];
+      prob[c] = z;
+      zmax = std::max(zmax, z);
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cc; ++c) {
+      prob[c] = std::exp(prob[c] - zmax);
+      sum += prob[c];
+    }
+    for (std::size_t c = 0; c < cc; ++c) prob[c] /= sum;
+    loss += -std::log(std::max(prob[label], 1e-300));
+
+    std::vector<double> dz2(cc), dz1(h);
+    for (std::size_t c = 0; c < cc; ++c)
+      dz2[c] = prob[c] - (c == label ? 1.0 : 0.0);
+    for (std::size_t k = 0; k < h; ++k)
+      for (std::size_t c = 0; c < cc; ++c)
+        grad_w2[k * cc + c] += a1[k] * dz2[c];
+    for (std::size_t c = 0; c < cc; ++c) grad_b2[c] += dz2[c];
+    for (std::size_t k = 0; k < h; ++k) {
+      double da = 0.0;
+      for (std::size_t c = 0; c < cc; ++c) da += w2[k * cc + c] * dz2[c];
+      dz1[k] = da * (1.0 - a1[k] * a1[k]);
+    }
+    for (std::size_t j = 0; j < d; ++j)
+      for (std::size_t k = 0; k < h; ++k)
+        grad_w1[j * h + k] += x[j] * dz1[k];
+    for (std::size_t k = 0; k < h; ++k) grad_b1[k] += dz1[k];
+  }
+
+  expect_rel_near(loss, fast.loss, 1e-10, "loss");
+  for (std::size_t i = 0; i < grad_w1.size(); ++i)
+    expect_rel_near(grad_w1[i], fast.grad_w1[i], 1e-10,
+                    "grad_w1[" + std::to_string(i) + "]");
+  for (std::size_t i = 0; i < grad_b1.size(); ++i)
+    expect_rel_near(grad_b1[i], fast.grad_b1[i], 1e-10,
+                    "grad_b1[" + std::to_string(i) + "]");
+  for (std::size_t i = 0; i < grad_w2.size(); ++i)
+    expect_rel_near(grad_w2[i], fast.grad_w2[i], 1e-10,
+                    "grad_w2[" + std::to_string(i) + "]");
+  for (std::size_t i = 0; i < grad_b2.size(); ++i)
+    expect_rel_near(grad_b2[i], fast.grad_b2[i], 1e-10,
+                    "grad_b2[" + std::to_string(i) + "]");
+
+  auto obj2 = kernel.create_object();
+  kernel.process_chunk(chunk, *obj2);
+  util::ByteWriter wa, wb;
+  obj->serialize(wa);
+  obj2->serialize(wb);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+}
+
+}  // namespace
+}  // namespace fgp
