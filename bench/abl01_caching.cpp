@@ -40,7 +40,8 @@ int main() {
     setup.config.compute_nodes = 1;
     setup.config.enable_caching = caching;
     auto kernel = app.factory();
-    return core::ProfileCollector::collect(setup, *kernel);
+    return core::ProfileCollector::collect(setup, *kernel,
+                                          &bench::shared_pool());
   };
   const core::Profile profile_off = profile_for(false);
   const core::Profile profile_on = profile_for(true);

@@ -45,7 +45,7 @@ int main() {
     setup.config.straggler_count = stragglers;
     setup.config.straggler_slowdown = slowdown;
     auto kernel = app.factory();
-    return freeride::Runtime().run(setup, *kernel).timing.total.total();
+    return freeride::Runtime(&bench::shared_pool()).run(setup, *kernel).timing.total.total();
   };
 
   util::Table table(

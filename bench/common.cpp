@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <utility>
 
 #include "apps/ann.h"
 #include "apps/apriori.h"
@@ -114,15 +115,14 @@ BenchApp make_vortex_app(double virtual_mb, int grid, std::uint64_t seed) {
   spec.rows_per_chunk = std::max(2, grid / chunks_wanted);
   spec.seed = seed;
   spec.name = "vortex-field";
-  // Generate once to learn the real payload size (halo rows and headers
-  // inflate it beyond grid*grid cells), then regenerate with the scale
-  // that lands exactly on the requested virtual size.
-  const auto probe = datagen::generate_flowfield(spec);
-  spec.virtual_scale =
-      virtual_mb * 1e6 /
-      static_cast<double>(probe.dataset.total_real_bytes());
+  // Generate once, then rescale in place: the real payload size (halo rows
+  // and headers inflate it beyond grid*grid cells) is only known after
+  // generation, and virtual_scale never affects the payload bytes.
   auto generated =
       std::make_shared<datagen::FlowDataset>(datagen::generate_flowfield(spec));
+  generated->dataset.set_uniform_virtual_scale(
+      virtual_mb * 1e6 /
+      static_cast<double>(generated->dataset.total_real_bytes()));
 
   BenchApp app;
   app.name = "vortex";
@@ -154,12 +154,11 @@ BenchApp make_defect_app(double virtual_mb, int nx, int ny, int nz,
   spec.zslabs_per_chunk = std::max(1, nz / chunks_wanted);
   spec.seed = seed;
   spec.name = "defect-lattice";
-  const auto probe = datagen::generate_lattice(spec);
-  spec.virtual_scale =
-      virtual_mb * 1e6 /
-      static_cast<double>(probe.dataset.total_real_bytes());
   auto generated =
       std::make_shared<datagen::LatticeDataset>(datagen::generate_lattice(spec));
+  generated->dataset.set_uniform_virtual_scale(
+      virtual_mb * 1e6 /
+      static_cast<double>(generated->dataset.total_real_bytes()));
 
   BenchApp app;
   app.name = "defect";
@@ -175,12 +174,11 @@ BenchApp make_apriori_app(double virtual_mb, std::uint64_t seed) {
   auto spec = datagen::default_market_baskets(30000, seed);
   spec.transactions_per_chunk = 30000 / 64;
   spec.name = "apriori-baskets";
-  const auto probe = datagen::generate_transactions(spec);
-  spec.virtual_scale =
-      virtual_mb * 1e6 /
-      static_cast<double>(probe.dataset.total_real_bytes());
   auto generated = std::make_shared<datagen::TransactionsDataset>(
       datagen::generate_transactions(spec));
+  generated->dataset.set_uniform_virtual_scale(
+      virtual_mb * 1e6 /
+      static_cast<double>(generated->dataset.total_real_bytes()));
 
   BenchApp app;
   app.name = "apriori";
@@ -202,12 +200,11 @@ BenchApp make_ann_app(double virtual_mb, std::uint64_t seed, int passes) {
   auto spec = datagen::scaled_points_spec(virtual_mb, 1.0, 8, seed);
   spec.num_components = 4;
   spec.name = "ann-points";
-  const auto probe = datagen::generate_labeled_points(spec);
-  spec.virtual_scale =
-      virtual_mb * 1e6 /
-      static_cast<double>(probe.dataset.total_real_bytes());
   auto generated = std::make_shared<datagen::LabeledPointsDataset>(
       datagen::generate_labeled_points(spec));
+  generated->dataset.set_uniform_virtual_scale(
+      virtual_mb * 1e6 /
+      static_cast<double>(generated->dataset.total_real_bytes()));
 
   BenchApp app;
   app.name = "ann";
@@ -228,12 +225,11 @@ BenchApp make_knn_classify_app(double virtual_mb, std::uint64_t seed) {
   auto spec = datagen::scaled_points_spec(virtual_mb, 1.0, 8, seed);
   spec.num_components = 4;
   spec.name = "knnc-points";
-  const auto probe = datagen::generate_labeled_points(spec);
-  spec.virtual_scale =
-      virtual_mb * 1e6 /
-      static_cast<double>(probe.dataset.total_real_bytes());
   auto generated = std::make_shared<datagen::LabeledPointsDataset>(
       datagen::generate_labeled_points(spec));
+  generated->dataset.set_uniform_virtual_scale(
+      virtual_mb * 1e6 /
+      static_cast<double>(generated->dataset.total_real_bytes()));
 
   BenchApp app;
   app.name = "knn-classify";
@@ -260,12 +256,11 @@ BenchApp make_vortex3d_app(double virtual_mb, std::uint64_t seed) {
   spec.planes_per_chunk = 2;  // 48 chunks
   spec.seed = seed;
   spec.name = "vortex3d-volume";
-  const auto probe = datagen::generate_flowfield3d(spec);
-  spec.virtual_scale =
-      virtual_mb * 1e6 /
-      static_cast<double>(probe.dataset.total_real_bytes());
   auto generated = std::make_shared<datagen::Flow3dDataset>(
       datagen::generate_flowfield3d(spec));
+  generated->dataset.set_uniform_virtual_scale(
+      virtual_mb * 1e6 /
+      static_cast<double>(generated->dataset.total_real_bytes()));
 
   BenchApp app;
   app.name = "vortex3d";
@@ -284,7 +279,7 @@ freeride::RunResult simulate(const BenchApp& app,
                              const sim::ClusterSpec& data_cluster,
                              const sim::ClusterSpec& compute_cluster,
                              const sim::WanSpec& wan, NodeConfig config,
-                             bool caching) {
+                             bool caching, util::ThreadPool* pool) {
   freeride::JobSetup setup;
   setup.dataset = app.dataset.get();
   setup.data_cluster = data_cluster;
@@ -294,13 +289,14 @@ freeride::RunResult simulate(const BenchApp& app,
   setup.config.compute_nodes = config.c;
   setup.config.enable_caching = caching;
   auto kernel = app.factory();
-  return freeride::Runtime().run(setup, *kernel);
+  return freeride::Runtime(pool).run(setup, *kernel);
 }
 
 core::Profile profile_of(const BenchApp& app,
                          const sim::ClusterSpec& data_cluster,
                          const sim::ClusterSpec& compute_cluster,
-                         const sim::WanSpec& wan, NodeConfig config) {
+                         const sim::WanSpec& wan, NodeConfig config,
+                         util::ThreadPool* pool) {
   freeride::JobSetup setup;
   setup.dataset = app.dataset.get();
   setup.data_cluster = data_cluster;
@@ -309,7 +305,7 @@ core::Profile profile_of(const BenchApp& app,
   setup.config.data_nodes = config.n;
   setup.config.compute_nodes = config.c;
   auto kernel = app.factory();
-  return core::ProfileCollector::collect(setup, *kernel);
+  return core::ProfileCollector::collect(setup, *kernel, pool);
 }
 
 namespace {
@@ -330,25 +326,34 @@ core::ProfileConfig target_config(const core::Profile& base, NodeConfig c,
 
 }  // namespace
 
-void three_model_figure(const std::string& title, const BenchApp& app,
-                        const sim::ClusterSpec& cluster,
+void three_model_figure(const SweepRunner& sweep, const std::string& title,
+                        const BenchApp& app, const sim::ClusterSpec& cluster,
                         const sim::WanSpec& wan) {
   std::cout << title << "\n"
             << "  app=" << app.name << "  dataset="
             << app.dataset->total_virtual_bytes() / 1e6
             << " MB (virtual)  base profile 1-1\n\n";
 
-  const core::Profile base = profile_of(app, cluster, cluster, wan, {1, 1});
+  const core::Profile base =
+      profile_of(app, cluster, cluster, wan, {1, 1}, sweep.pool());
 
   core::PredictorOptions opts;
   opts.classes = app.classes;
   opts.ipc = core::measure_ipc(cluster);
 
+  // The exact runs are independent jobs: fan them out over the sweep pool
+  // and read them back in grid order.
+  const std::vector<NodeConfig> grid = paper_grid();
+  const auto actuals = sweep.map(grid.size(), [&](std::size_t i) {
+    return simulate(app, cluster, cluster, wan, grid[i], false, sweep.pool());
+  });
+
   util::Table table({"data-compute", "no-comm", "red-comm", "global-red",
                      "T_exact(s)"});
   util::Accumulator worst_none, worst_rc, worst_gr;
-  for (const NodeConfig cfg : paper_grid()) {
-    const auto actual = simulate(app, cluster, cluster, wan, cfg);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const NodeConfig cfg = grid[i];
+    const auto& actual = actuals[i];
     const double exact = actual.timing.total.total();
     const auto target = target_config(
         base, cfg, app.dataset->total_virtual_bytes(), wan.per_link_Bps);
@@ -376,7 +381,8 @@ void three_model_figure(const std::string& title, const BenchApp& app,
             << ", global-red " << util::Table::pct(worst_gr.max()) << "\n\n";
 }
 
-void global_model_figure(const std::string& title, const BenchApp& profile_app,
+void global_model_figure(const SweepRunner& sweep, const std::string& title,
+                         const BenchApp& profile_app,
                          const BenchApp& target_app,
                          const sim::ClusterSpec& cluster,
                          const sim::WanSpec& profile_wan,
@@ -390,8 +396,8 @@ void global_model_figure(const std::string& title, const BenchApp& profile_app,
             << target_wan.per_link_Bps * 8 / 1e3
             << " Kbps  (global-reduction model)\n\n";
 
-  const core::Profile base =
-      profile_of(profile_app, cluster, cluster, profile_wan, {1, 1});
+  const core::Profile base = profile_of(profile_app, cluster, cluster,
+                                        profile_wan, {1, 1}, sweep.pool());
 
   core::PredictorOptions opts;
   opts.model = core::PredictionModel::GlobalReduction;
@@ -399,10 +405,17 @@ void global_model_figure(const std::string& title, const BenchApp& profile_app,
   opts.ipc = core::measure_ipc(cluster);
   const core::Predictor predictor(base, opts);
 
+  const std::vector<NodeConfig> grid = paper_grid();
+  const auto actuals = sweep.map(grid.size(), [&](std::size_t i) {
+    return simulate(target_app, cluster, cluster, target_wan, grid[i], false,
+                    sweep.pool());
+  });
+
   util::Table table({"data-compute", "error", "T_exact(s)", "T_pred(s)"});
   util::Accumulator worst;
-  for (const NodeConfig cfg : paper_grid()) {
-    const auto actual = simulate(target_app, cluster, cluster, target_wan, cfg);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const NodeConfig cfg = grid[i];
+    const auto& actual = actuals[i];
     const double exact = actual.timing.total.total();
     const auto target =
         target_config(base, cfg, target_app.dataset->total_virtual_bytes(),
@@ -417,8 +430,8 @@ void global_model_figure(const std::string& title, const BenchApp& profile_app,
   std::cout << "\n  max error: " << util::Table::pct(worst.max()) << "\n\n";
 }
 
-void hetero_figure(const std::string& title, const BenchApp& profile_app,
-                   const BenchApp& target_app,
+void hetero_figure(const SweepRunner& sweep, const std::string& title,
+                   const BenchApp& profile_app, const BenchApp& target_app,
                    const std::vector<BenchApp>& representatives,
                    NodeConfig base_config, const sim::ClusterSpec& cluster_a,
                    const sim::ClusterSpec& cluster_b,
@@ -431,31 +444,50 @@ void hetero_figure(const std::string& title, const BenchApp& profile_app,
             << " MB) -> predictions for " << cluster_b.name << " ("
             << target_app.dataset->total_virtual_bytes() / 1e6 << " MB)\n";
 
-  // Representative applications on identical configurations on A and B.
+  // Representative applications on identical configurations on A and B —
+  // 2 * |reps| independent profile runs, fanned out together.
+  const auto rep_profiles =
+      sweep.map(representatives.size(), [&](std::size_t i) {
+        const auto& rep = representatives[i];
+        core::Profile a =
+            profile_of(rep, cluster_a, cluster_a, wan, base_config,
+                       sweep.pool());
+        a.app = rep.name;
+        core::Profile b =
+            profile_of(rep, cluster_b, cluster_b, wan, base_config,
+                       sweep.pool());
+        b.app = rep.name;
+        return std::make_pair(std::move(a), std::move(b));
+      });
   std::vector<core::Profile> on_a, on_b;
-  for (const auto& rep : representatives) {
-    on_a.push_back(profile_of(rep, cluster_a, cluster_a, wan, base_config));
-    on_a.back().app = rep.name;
-    on_b.push_back(profile_of(rep, cluster_b, cluster_b, wan, base_config));
-    on_b.back().app = rep.name;
+  for (const auto& [a, b] : rep_profiles) {
+    on_a.push_back(a);
+    on_b.push_back(b);
   }
   const core::ScalingFactors factors = core::compute_scaling_factors(on_a, on_b);
   std::cout << "  scaling factors: s_d=" << util::Table::fmt(factors.disk, 3)
             << " s_n=" << util::Table::fmt(factors.network, 3)
             << " s_c=" << util::Table::fmt(factors.compute, 3) << "\n\n";
 
-  const core::Profile base =
-      profile_of(profile_app, cluster_a, cluster_a, wan, base_config);
+  const core::Profile base = profile_of(profile_app, cluster_a, cluster_a,
+                                        wan, base_config, sweep.pool());
   core::PredictorOptions opts;
   opts.model = core::PredictionModel::GlobalReduction;
   opts.classes = target_app.classes;
   opts.ipc = core::measure_ipc(cluster_a);
   const core::HeteroPredictor predictor(core::Predictor(base, opts), factors);
 
+  const std::vector<NodeConfig> grid = paper_grid();
+  const auto actuals = sweep.map(grid.size(), [&](std::size_t i) {
+    return simulate(target_app, cluster_b, cluster_b, wan, grid[i], false,
+                    sweep.pool());
+  });
+
   util::Table table({"data-compute", "error", "T_exact(s)", "T_pred(s)"});
   util::Accumulator worst;
-  for (const NodeConfig cfg : paper_grid()) {
-    const auto actual = simulate(target_app, cluster_b, cluster_b, wan, cfg);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const NodeConfig cfg = grid[i];
+    const auto& actual = actuals[i];
     const double exact = actual.timing.total.total();
     const auto target = target_config(
         base, cfg, target_app.dataset->total_virtual_bytes(), wan.per_link_Bps);

@@ -19,6 +19,7 @@
 #include "freeride/runtime.h"
 #include "sim/cluster.h"
 #include "sim/network.h"
+#include "sweep.h"
 
 namespace fgp::bench {
 
@@ -60,28 +61,36 @@ BenchApp make_ann_app(double virtual_mb, std::uint64_t seed, int passes = 10);
 BenchApp make_knn_classify_app(double virtual_mb, std::uint64_t seed);
 BenchApp make_vortex3d_app(double virtual_mb, std::uint64_t seed);
 
-/// Runs one job and returns its timing.
+/// Runs one job and returns its timing. By default the runtime borrows the
+/// process-wide shared pool (hardware concurrency) for its two-level
+/// reduction; pass nullptr for a fully serial reference run — the result is
+/// bit-identical either way (DESIGN.md §11).
 freeride::RunResult simulate(const BenchApp& app,
                              const sim::ClusterSpec& data_cluster,
                              const sim::ClusterSpec& compute_cluster,
                              const sim::WanSpec& wan, NodeConfig config,
-                             bool caching = false);
+                             bool caching = false,
+                             util::ThreadPool* pool = &shared_pool());
 
-/// Collects the prediction-model profile for one configuration.
+/// Collects the prediction-model profile for one configuration (same pool
+/// semantics as simulate()).
 core::Profile profile_of(const BenchApp& app,
                          const sim::ClusterSpec& data_cluster,
                          const sim::ClusterSpec& compute_cluster,
-                         const sim::WanSpec& wan, NodeConfig config);
+                         const sim::WanSpec& wan, NodeConfig config,
+                         util::ThreadPool* pool = &shared_pool());
 
 /// Figures 2–6: base profile at 1-1, all three prediction models across
-/// the grid, one table.
-void three_model_figure(const std::string& title, const BenchApp& app,
-                        const sim::ClusterSpec& cluster,
+/// the grid, one table. The grid's exact runs execute concurrently on
+/// `sweep`.
+void three_model_figure(const SweepRunner& sweep, const std::string& title,
+                        const BenchApp& app, const sim::ClusterSpec& cluster,
                         const sim::WanSpec& wan);
 
 /// Figures 7–10: global-reduction model only; the profile may use a
 /// different dataset (size scaling) and/or WAN (bandwidth change).
-void global_model_figure(const std::string& title, const BenchApp& profile_app,
+void global_model_figure(const SweepRunner& sweep, const std::string& title,
+                         const BenchApp& profile_app,
                          const BenchApp& target_app,
                          const sim::ClusterSpec& cluster,
                          const sim::WanSpec& profile_wan,
@@ -90,8 +99,8 @@ void global_model_figure(const std::string& title, const BenchApp& profile_app,
 /// Figures 11–13: base profile on cluster A; component scaling factors
 /// from representative apps run on identical configurations on A and B;
 /// predictions and exact runs on cluster B.
-void hetero_figure(const std::string& title, const BenchApp& profile_app,
-                   const BenchApp& target_app,
+void hetero_figure(const SweepRunner& sweep, const std::string& title,
+                   const BenchApp& profile_app, const BenchApp& target_app,
                    const std::vector<BenchApp>& representatives,
                    NodeConfig base_config, const sim::ClusterSpec& cluster_a,
                    const sim::ClusterSpec& cluster_b, const sim::WanSpec& wan);

@@ -35,7 +35,7 @@ int main() {
     setup.config.threads_per_node = threads;
     setup.config.smp_strategy = strategy;
     auto kernel = app.factory();
-    return freeride::Runtime().run(setup, *kernel);
+    return freeride::Runtime(&bench::shared_pool()).run(setup, *kernel);
   };
 
   // Profile: 2-4, single-threaded.
@@ -48,7 +48,8 @@ int main() {
   profile_setup.config.compute_nodes = 4;
   auto profile_kernel = app.factory();
   const core::Profile profile =
-      core::ProfileCollector::collect(profile_setup, *profile_kernel);
+      core::ProfileCollector::collect(profile_setup, *profile_kernel,
+                                      &bench::shared_pool());
 
   core::PredictorOptions opts;
   opts.model = core::PredictionModel::GlobalReduction;

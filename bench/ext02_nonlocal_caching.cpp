@@ -66,7 +66,7 @@ int main() {
         setup.cache_site = site;
       }
       auto kernel = app.factory();
-      return freeride::Runtime().run(setup, *kernel).timing.total.total();
+      return freeride::Runtime(&bench::shared_pool()).run(setup, *kernel).timing.total.total();
     };
     const double t_none = simulate_mode(0);
     const double t_local = simulate_mode(1);

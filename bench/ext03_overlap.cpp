@@ -34,7 +34,7 @@ int main() {
     setup.config.compute_nodes = cfg.c;
     setup.config.overlap_phases = overlap;
     auto kernel = app.factory();
-    return freeride::Runtime().run(setup, *kernel);
+    return freeride::Runtime(&bench::shared_pool()).run(setup, *kernel);
   };
 
   // Profile in additive mode at 1-1 (what the framework would collect).

@@ -4,8 +4,10 @@
 #include "common.h"
 
 int main() {
+  const fgp::bench::SweepRunner sweep;
   const auto app = fgp::bench::make_vortex3d_app(710.0, 23);
   fgp::bench::three_model_figure(
+      sweep,
       "Extension E6: Prediction Errors for Volumetric (3-D) Vortex "
       "Detection (base profile 1-1, 710 MB)",
       app, fgp::sim::cluster_pentium_myrinet(), fgp::sim::wan_mbps(800.0));

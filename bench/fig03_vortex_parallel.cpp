@@ -4,8 +4,10 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto app = bench::make_vortex_app(710.0, 256, 7);
   bench::three_model_figure(
+      sweep,
       "Figure 3: Prediction Errors for Vortex Detection (base profile 1-1, "
       "710 MB)",
       app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));

@@ -4,8 +4,10 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto app = bench::make_defect_app(130.0, 24, 24, 96, 11);
   bench::three_model_figure(
+      sweep,
       "Figure 4: Prediction Errors for Molecular Defect Detection (base "
       "profile 1-1, 130 MB)",
       app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));

@@ -4,8 +4,10 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto app = bench::make_knn_app(1400.0, 4.0, 42);
   bench::three_model_figure(
+      sweep,
       "Figure 6: Prediction Errors for KNN Search (base profile 1-1, "
       "1.4 GB)",
       app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));

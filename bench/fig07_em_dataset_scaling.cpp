@@ -5,9 +5,11 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto profile_app = bench::make_em_app(350.0, 1.0, 42);
   const auto target_app = bench::make_em_app(1400.0, 4.0, 42);
   bench::global_model_figure(
+      sweep,
       "Figure 7: Prediction Errors for EM Clustering, 1.4 GB dataset (base "
       "profile: 1-1 with 350 MB)",
       profile_app, target_app, sim::cluster_pentium_myrinet(),

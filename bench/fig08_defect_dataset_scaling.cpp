@@ -4,9 +4,11 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto profile_app = bench::make_defect_app(130.0, 24, 24, 96, 11);
   const auto target_app = bench::make_defect_app(1800.0, 32, 32, 144, 11);
   bench::global_model_figure(
+      sweep,
       "Figure 8: Prediction Errors for Molecular Defect Detection, 1.8 GB "
       "dataset (base profile: 1-1 with 130 MB)",
       profile_app, target_app, sim::cluster_pentium_myrinet(),

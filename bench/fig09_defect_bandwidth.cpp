@@ -5,8 +5,10 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto app = bench::make_defect_app(130.0, 24, 24, 96, 11);
   bench::global_model_figure(
+      sweep,
       "Figure 9: Prediction Errors for Molecular Defect Detection with "
       "250 Kbps (base profile: 1-1 with 500 Kbps)",
       app, app, sim::cluster_pentium_myrinet(), sim::wan_kbps(500.0),

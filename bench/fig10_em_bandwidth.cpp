@@ -4,8 +4,10 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto app = bench::make_em_app(1400.0, 4.0, 42);
   bench::global_model_figure(
+      sweep,
       "Figure 10: Prediction Errors for EM Clustering with 250 Kbps (base "
       "profile: 1-1 with 500 Kbps)",
       app, app, sim::cluster_pentium_myrinet(), sim::wan_kbps(500.0),

@@ -6,6 +6,7 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto profile_app = bench::make_em_app(350.0, 1.0, 42);
   const auto target_app = bench::make_em_app(700.0, 2.0, 42);
   const std::vector<bench::BenchApp> reps{
@@ -14,6 +15,7 @@ int main() {
       bench::make_vortex_app(350.0, 256, 45),
   };
   bench::hetero_figure(
+      sweep,
       "Figure 11: Prediction Errors for EM Clustering On a Different "
       "Cluster, 700 MB dataset (base profile: 8-8 with 350 MB)",
       profile_app, target_app, reps, {8, 8}, sim::cluster_pentium_myrinet(),

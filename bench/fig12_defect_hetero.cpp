@@ -5,6 +5,7 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto profile_app = bench::make_defect_app(130.0, 24, 24, 96, 11);
   const auto target_app = bench::make_defect_app(1800.0, 32, 32, 144, 11);
   const std::vector<bench::BenchApp> reps{
@@ -13,6 +14,7 @@ int main() {
       bench::make_em_app(350.0, 1.0, 45),
   };
   bench::hetero_figure(
+      sweep,
       "Figure 12: Prediction Errors for Molecular Defect Detection On a "
       "Different Cluster, 1.8 GB dataset (base profile: 4-4 with 130 MB)",
       profile_app, target_app, reps, {4, 4}, sim::cluster_pentium_myrinet(),

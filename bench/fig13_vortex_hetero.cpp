@@ -5,6 +5,7 @@
 
 int main() {
   using namespace fgp;
+  const bench::SweepRunner sweep;
   const auto profile_app = bench::make_vortex_app(710.0, 256, 7);
   const auto target_app = bench::make_vortex_app(1850.0, 384, 7);
   const std::vector<bench::BenchApp> reps{
@@ -13,6 +14,7 @@ int main() {
       bench::make_em_app(350.0, 1.0, 45),
   };
   bench::hetero_figure(
+      sweep,
       "Figure 13: Prediction Errors for Vortex Detection on a Different "
       "Cluster, 1.85 GB dataset (base profile: 1-1 with 710 MB)",
       profile_app, target_app, reps, {1, 1}, sim::cluster_pentium_myrinet(),

@@ -11,9 +11,16 @@
 // before timing, so a baseline that silently diverges from the kernel
 // fails the run instead of producing a meaningless ratio.
 //
-// Usage: host_perf [--quick] [--out <path>]
-//   --quick  smaller datasets + shorter repetitions (CI smoke)
-//   --out    write the JSON report to <path> instead of stdout
+// A second section times an end-to-end figure sweep (the Figure-2 k-means
+// grid) twice: once fully serial and once through bench::SweepRunner over
+// the shared pool with the two-level runtime. Both sweeps are cross-checked
+// for bit-identical virtual timings and reduction objects before timing
+// (DESIGN.md §11), and the wall-clock ratio is tracked in BENCH_sweeps.json.
+//
+// Usage: host_perf [--quick] [--out <path>] [--sweep-out <path>]
+//   --quick      smaller datasets + shorter repetitions (CI smoke)
+//   --out        write the kernel JSON report to <path> instead of stdout
+//   --sweep-out  write the sweep JSON report to <path> instead of stdout
 //
 // Wall-clock readings go through util::Stopwatch, the single sanctioned
 // clock access point (tools/fgplint enforces this).
@@ -25,6 +32,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/defect.h"
@@ -32,12 +40,14 @@
 #include "apps/kmeans.h"
 #include "apps/knn.h"
 #include "apps/vortex.h"
+#include "common.h"
 #include "datagen/flowfield.h"
 #include "datagen/lattice.h"
 #include "datagen/points.h"
 #include "freeride/reduction.h"
 #include "naive_kernels.h"
 #include "util/check.h"
+#include "util/serial.h"
 #include "util/wallclock.h"
 
 namespace fgp::bench {
@@ -276,6 +286,91 @@ KernelResult bench_defect(double min_seconds, bool quick) {
   return r;
 }
 
+struct SweepResult {
+  std::string name;
+  std::size_t configs = 0;
+  unsigned host_cores = 0;
+  double serial_sweep_s = 0.0;
+  double twolevel_sweep_s = 0.0;
+  double speedup() const { return serial_sweep_s / twolevel_sweep_s; }
+};
+
+/// Times the Figure-2-style k-means grid end to end: fully serial vs the
+/// SweepRunner + two-level runtime over the shared pool. The two modes are
+/// first cross-checked for bit-identical virtual timings and reduction
+/// objects, so the ratio below always compares equal work.
+SweepResult bench_sweep(double min_seconds, bool quick) {
+  const auto app = quick ? make_kmeans_app(80.0, 1.0, 42, /*passes=*/2)
+                         : make_kmeans_app(1400.0, 4.0, 42, /*passes=*/10);
+  const auto cluster = sim::cluster_pentium_myrinet();
+  const auto wan = sim::wan_mbps(800.0);
+  const std::vector<NodeConfig> grid = paper_grid();
+
+  const SweepRunner serial_mode(nullptr);
+  const SweepRunner pooled_mode;  // process-wide shared pool
+
+  const auto run_grid = [&](const SweepRunner& runner) {
+    return runner.map(grid.size(), [&](std::size_t i) {
+      return simulate(app, cluster, cluster, wan, grid[i], false,
+                      runner.pool());
+    });
+  };
+
+  const auto serial_results = run_grid(serial_mode);
+  const auto pooled_results = run_grid(pooled_mode);
+  util::ByteWriter wa, wb;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& a = serial_results[i];
+    const auto& b = pooled_results[i];
+    FGP_CHECK_MSG(a.timing.elapsed == b.timing.elapsed &&
+                      a.timing.total.total() == b.timing.total.total(),
+                  "sweep config " << grid[i].n << "-" << grid[i].c
+                                  << ": virtual timings diverged between "
+                                     "serial and two-level execution");
+    wa.clear();
+    wb.clear();
+    a.result->serialize(wa);
+    b.result->serialize(wb);
+    FGP_CHECK_MSG(wa.bytes() == wb.bytes(),
+                  "sweep config " << grid[i].n << "-" << grid[i].c
+                                  << ": reduction objects diverged between "
+                                     "serial and two-level execution");
+  }
+
+  SweepResult r;
+  r.name = "kmeans-grid";
+  r.configs = grid.size();
+  r.host_cores = std::thread::hardware_concurrency();
+  r.serial_sweep_s = time_sweep([&] { run_grid(serial_mode); }, min_seconds);
+  r.twolevel_sweep_s = time_sweep([&] { run_grid(pooled_mode); }, min_seconds);
+  return r;
+}
+
+std::string to_sweep_json(const std::vector<SweepResult>& results,
+                          bool quick) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-sweep-perf-v1\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"host_cores\": " << (results.empty() ? 0 : results[0].host_cores)
+     << ",\n";
+  os << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << r.name << "\",\n";
+    os << "      \"configs\": " << r.configs << ",\n";
+    os << "      \"serial_sweep_seconds\": " << r.serial_sweep_s << ",\n";
+    os << "      \"twolevel_sweep_seconds\": " << r.twolevel_sweep_s << ",\n";
+    os << "      \"speedup\": " << r.speedup() << "\n";
+    os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
 std::string to_json(const std::vector<KernelResult>& results, bool quick) {
   double log_sum = 0.0;
   for (const auto& r : results) log_sum += std::log(r.speedup());
@@ -316,13 +411,17 @@ std::string to_json(const std::vector<KernelResult>& results, bool quick) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path;
+  std::string sweep_out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
+      sweep_out_path = argv[++i];
     } else {
-      std::cerr << "usage: host_perf [--quick] [--out <path>]\n";
+      std::cerr
+          << "usage: host_perf [--quick] [--out <path>] [--sweep-out <path>]\n";
       return 2;
     }
   }
@@ -347,6 +446,20 @@ int main(int argc, char** argv) {
     std::ofstream f(out_path);
     f << json;
     std::cerr << "wrote " << out_path << "\n";
+  }
+
+  std::vector<fgp::bench::SweepResult> sweeps;
+  sweeps.push_back(fgp::bench::bench_sweep(min_seconds, quick));
+  std::cerr << "sweep " << sweeps.back().name << " ("
+            << sweeps.back().host_cores
+            << " cores): " << sweeps.back().speedup() << "x\n";
+  const std::string sweep_json = fgp::bench::to_sweep_json(sweeps, quick);
+  if (sweep_out_path.empty()) {
+    std::cout << sweep_json;
+  } else {
+    std::ofstream f(sweep_out_path);
+    f << sweep_json;
+    std::cerr << "wrote " << sweep_out_path << "\n";
   }
   return 0;
 }

@@ -1,0 +1,10 @@
+#include "sweep.h"
+
+namespace fgp::bench {
+
+util::ThreadPool& shared_pool() {
+  static util::ThreadPool pool;  // defaults to hardware concurrency
+  return pool;
+}
+
+}  // namespace fgp::bench

@@ -1,0 +1,66 @@
+// sweep.h — concurrent execution of the independent configurations of a
+// figure sweep over one shared host pool.
+//
+// Every configuration of a paper grid is an independent job: it builds its
+// own kernel, reads the shared (immutable) dataset, and produces one
+// RunResult. SweepRunner::map fans those jobs out over a single process-wide
+// util::ThreadPool and places each result at its configuration's index, so
+// the output order — and, because each Runtime's work partition is a pure
+// function of the chunk list (DESIGN.md §11), every timing and reduction
+// object — is bit-identical to a serial sweep at any pool size.
+//
+// The jobs themselves borrow the same pool for their two-level reduction
+// (ThreadPool::parallel_for nests safely), so small grids still saturate
+// the host.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace fgp::bench {
+
+/// The process-wide host pool (hardware_concurrency workers) shared by
+/// every sweep and every pooled Runtime in a bench binary. Constructed on
+/// first use.
+util::ThreadPool& shared_pool();
+
+class SweepRunner {
+ public:
+  /// Runs sweeps over the process-wide shared pool.
+  SweepRunner() : pool_(&shared_pool()) {}
+
+  /// Runs sweeps over `pool`; null means fully serial (reference mode for
+  /// determinism tests).
+  explicit SweepRunner(util::ThreadPool* pool) : pool_(pool) {}
+
+  /// The pool jobs should borrow for their own Runtime (null = serial).
+  util::ThreadPool* pool() const { return pool_; }
+
+  /// Runs fn(i) for i in [0, n) concurrently and returns the results in
+  /// index order, independent of completion order.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) const {
+    using T = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<std::optional<T>> slots(n);
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+    } else {
+      pool_->parallel_for(n,
+                          [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    }
+    std::vector<T> out;
+    out.reserve(n);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+ private:
+  util::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace fgp::bench

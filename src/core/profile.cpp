@@ -3,8 +3,9 @@
 namespace fgp::core {
 
 Profile ProfileCollector::collect(const freeride::JobSetup& setup,
-                                  freeride::ReductionKernel& kernel) {
-  freeride::Runtime runtime;
+                                  freeride::ReductionKernel& kernel,
+                                  util::ThreadPool* pool) {
+  const freeride::Runtime runtime(pool);
   const freeride::RunResult result = runtime.run(setup, kernel);
   return from_result(setup, kernel.name(), result);
 }

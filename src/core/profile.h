@@ -43,9 +43,12 @@ struct Profile {
 /// Collects profiles by running jobs on the virtual cluster.
 class ProfileCollector {
  public:
-  /// Runs `kernel` on `setup` and assembles the profile.
+  /// Runs `kernel` on `setup` and assembles the profile. A non-null `pool`
+  /// is borrowed for the runtime's two-level reduction; the profile is
+  /// bit-identical either way (DESIGN.md §11).
   static Profile collect(const freeride::JobSetup& setup,
-                         freeride::ReductionKernel& kernel);
+                         freeride::ReductionKernel& kernel,
+                         util::ThreadPool* pool = nullptr);
 
   /// Assembles a profile from an already-finished run.
   static Profile from_result(const freeride::JobSetup& setup,

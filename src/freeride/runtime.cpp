@@ -19,6 +19,13 @@ struct NodeVolume {
   std::uint64_t chunks = 0;
 };
 
+/// Chunks per reduction block in the two-level local reduction. A pure
+/// constant: the block partition of a node's chunk list depends only on the
+/// list itself, never on the host pool size, so every pool size (including
+/// the serial runtime) reduces and merges in exactly the same order
+/// (DESIGN.md §11).
+constexpr std::size_t kChunksPerBlock = 4;
+
 std::vector<NodeVolume> volumes(const repository::ChunkedDataset& ds,
                                 const PartitionMap& pm) {
   std::vector<NodeVolume> v(static_cast<std::size_t>(pm.parts()));
@@ -72,11 +79,16 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
   RunResult result;
   CacheSet caches(c);
 
-  // Host thread pool for the local-reduction phase. One pool serves every
-  // pass; nodes are independent, so any pool size yields identical results.
-  std::optional<util::ThreadPool> pool;
-  if (pool_threads_ > 1 && c > 1)
-    pool.emplace(std::min(pool_threads_, static_cast<std::size_t>(c)));
+  // Host thread pool for the local-reduction phase: either borrowed from
+  // the caller (shared across concurrent runs) or owned for this run. One
+  // pool serves every pass; the work partition never depends on its size,
+  // so any pool (or none) yields bit-identical results.
+  util::ThreadPool* pool = shared_pool_;
+  std::optional<util::ThreadPool> owned_pool;
+  if (pool == nullptr && pool_threads_ > 1) {
+    owned_pool.emplace(pool_threads_);
+    pool = &*owned_pool;
+  }
 
   // Decide how later passes of a multi-pass job will be served: local disk
   // when the compute nodes can hold their share, otherwise a non-local
@@ -114,6 +126,12 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
   struct NodeScratch {
     std::vector<std::unique_ptr<ReductionObject>> thread_objects;
     std::vector<double> thread_time;
+    // Two-level reduction scratch: private object + virtual-time/work
+    // partials for chunk blocks 1..k-1 (block 0 reduces into the node
+    // object directly).
+    std::vector<std::unique_ptr<ReductionObject>> block_objects;
+    std::vector<double> block_time;
+    std::vector<sim::Work> block_work;
   };
   std::vector<NodeScratch> scratch(static_cast<std::size_t>(c));
   util::ByteWriter gather;
@@ -272,12 +290,48 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       double tj = 0.0;
       sim::Work wj;
       if (threads == 1) {
-        for (std::size_t ci : dest_part.chunks_of(j)) {
-          const auto& chunk = ds.chunk(ci);
-          const sim::Work w = kernel.process_chunk(chunk, *objects[j]);
-          const sim::Work scaled = chunk.virtual_scale() * w;
-          tj += compute_machine.compute_time(scaled);
-          wj += scaled;
+        // Two-level reduction: the node's chunk list splits into fixed
+        // kChunksPerBlock blocks, each block reduces into a private object,
+        // and partials fold in ascending block order. The host-side merges
+        // are bookkeeping only — they charge no virtual time and no work,
+        // exactly as if the node had processed its list serially. Blocks
+        // fan out over the (nesting-safe) pool when one is attached.
+        const auto& node_chunks = dest_part.chunks_of(j);
+        const std::size_t m = node_chunks.size();
+        const std::size_t nblocks = (m + kChunksPerBlock - 1) / kChunksPerBlock;
+        auto& bs = scratch[uj];
+        bs.block_objects.clear();
+        for (std::size_t b = 1; b < nblocks; ++b)
+          bs.block_objects.push_back(kernel.create_object());
+        bs.block_time.assign(nblocks, 0.0);
+        bs.block_work.assign(nblocks, sim::Work{});
+        const auto reduce_block = [&](std::size_t b) {
+          ReductionObject& obj =
+              b == 0 ? *objects[j] : *bs.block_objects[b - 1];
+          double tb = 0.0;
+          sim::Work wb;
+          const std::size_t begin = b * kChunksPerBlock;
+          const std::size_t end = std::min(m, begin + kChunksPerBlock);
+          for (std::size_t k = begin; k < end; ++k) {
+            const auto& chunk = ds.chunk(node_chunks[k]);
+            const sim::Work w = kernel.process_chunk(chunk, obj);
+            const sim::Work scaled = chunk.virtual_scale() * w;
+            tb += compute_machine.compute_time(scaled);
+            wb += scaled;
+          }
+          bs.block_time[b] = tb;
+          bs.block_work[b] = wb;
+        };
+        if (pool != nullptr && nblocks > 1) {
+          pool->parallel_for(nblocks, reduce_block);
+        } else {
+          for (std::size_t b = 0; b < nblocks; ++b) reduce_block(b);
+        }
+        for (std::size_t b = 0; b < nblocks; ++b) {
+          tj += bs.block_time[b];
+          wj += bs.block_work[b];
+          // Host merge of a block partial: free in virtual time.
+          if (b > 0) kernel.merge(*objects[j], *bs.block_objects[b - 1]);
         }
       } else if (cfg.smp_strategy == SmpStrategy::FullReplication) {
         // One object per thread; chunks round-robin over threads.

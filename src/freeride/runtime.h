@@ -23,6 +23,10 @@
 #include "sim/cluster.h"
 #include "sim/network.h"
 
+namespace fgp::util {
+class ThreadPool;
+}  // namespace fgp::util
+
 namespace fgp::freeride {
 
 /// A non-local caching site: storage "at a location from which [data] can
@@ -66,13 +70,22 @@ class Runtime {
   /// A serial runtime: every simulated node runs inline on the caller.
   Runtime() = default;
 
-  /// pool_threads > 1 runs independent compute nodes' local reductions on
-  /// a host thread pool (util::ThreadPool). Virtual time, reduction
-  /// objects and predictions are bit-identical for every pool size — the
-  /// pool only shortens host wall-clock time; tests/test_determinism.cpp
-  /// enforces this at 1, 2 and 8 threads.
+  /// pool_threads > 1 runs the two-level reduction (compute nodes, and
+  /// chunk blocks within each node) on an owned host thread pool
+  /// (util::ThreadPool). Virtual time, reduction objects and predictions
+  /// are bit-identical for every pool size — the chunk-block partition is
+  /// a pure function of the chunk list, so the pool only shortens host
+  /// wall-clock time; tests/test_determinism.cpp enforces this at 1, 2
+  /// and 8 threads (DESIGN.md §11).
   explicit Runtime(std::size_t pool_threads)
       : pool_threads_(pool_threads == 0 ? 1 : pool_threads) {}
+
+  /// Borrows an existing pool instead of owning one — lets many Runtime
+  /// instances (e.g. a bench::SweepRunner's concurrent configurations)
+  /// share one set of host workers. `pool` must outlive the Runtime and
+  /// may be null (serial). ThreadPool::parallel_for nests safely, so a
+  /// run() executing *on* `pool` may still fan out over it.
+  explicit Runtime(util::ThreadPool* pool) : shared_pool_(pool) {}
 
   /// Runs `kernel` over `setup`. Throws util::ConfigError for invalid
   /// configurations and util::Error for corrupted chunks (when
@@ -81,6 +94,7 @@ class Runtime {
 
  private:
   std::size_t pool_threads_ = 1;
+  util::ThreadPool* shared_pool_ = nullptr;
 };
 
 }  // namespace fgp::freeride

@@ -1,6 +1,29 @@
 #include "repository/chunk.h"
 
+#include <istream>
+#include <ostream>
+
 namespace fgp::repository {
+
+namespace {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void write_scalar(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T read_scalar(std::istream& is) {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is.good())
+    throw util::SerializationError("truncated chunk stream: header");
+  return v;
+}
+
+}  // namespace
 
 Chunk::Chunk(ChunkId id, std::vector<std::uint8_t> payload,
              double virtual_scale)
@@ -8,6 +31,12 @@ Chunk::Chunk(ChunkId id, std::vector<std::uint8_t> payload,
   FGP_CHECK_MSG(virtual_scale_ > 0.0, "virtual_scale must be positive");
   virtual_bytes_ = static_cast<double>(payload_.size()) * virtual_scale_;
   checksum_ = util::fnv1a(payload_.data(), payload_.size());
+}
+
+void Chunk::set_virtual_scale(double virtual_scale) {
+  FGP_CHECK_MSG(virtual_scale > 0.0, "virtual_scale must be positive");
+  virtual_scale_ = virtual_scale;
+  virtual_bytes_ = static_cast<double>(payload_.size()) * virtual_scale_;
 }
 
 bool Chunk::verify() const {
@@ -19,6 +48,36 @@ void Chunk::serialize(util::ByteWriter& w) const {
   w.put_f64(virtual_scale_);
   w.put_u64(checksum_);
   w.put_vector(payload_);
+}
+
+void Chunk::write_to(std::ostream& os) const {
+  write_scalar(os, id_);
+  write_scalar(os, virtual_scale_);
+  write_scalar(os, checksum_);
+  write_scalar(os, static_cast<std::uint64_t>(payload_.size()));
+  os.write(reinterpret_cast<const char*>(payload_.data()),
+           static_cast<std::streamsize>(payload_.size()));
+}
+
+Chunk Chunk::read_from(std::istream& is, std::uint64_t payload_limit) {
+  const ChunkId id = read_scalar<ChunkId>(is);
+  const double scale = read_scalar<double>(is);
+  const std::uint64_t stored_checksum = read_scalar<std::uint64_t>(is);
+  const std::uint64_t n = read_scalar<std::uint64_t>(is);
+  if (n > payload_limit)
+    throw util::SerializationError(
+        "chunk " + std::to_string(id) + ": payload length " +
+        std::to_string(n) + " exceeds limit " + std::to_string(payload_limit));
+  std::vector<std::uint8_t> payload(n);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(n));
+  if (n != 0 && !is.good())
+    throw util::SerializationError("truncated chunk stream: payload");
+  Chunk c(id, std::move(payload), scale);
+  if (c.checksum() != stored_checksum)
+    throw util::SerializationError("chunk " + std::to_string(id) +
+                                   ": checksum mismatch (corrupted payload)");
+  return c;
 }
 
 Chunk Chunk::deserialize(util::ByteReader& r) {

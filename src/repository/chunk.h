@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -45,11 +46,27 @@ class Chunk {
             payload_.size() / sizeof(T)};
   }
 
+  /// Rebinds the chunk to a new virtual scale (payload and checksum are
+  /// untouched). Lets generators produce data once at scale 1 and rescale
+  /// to the requested virtual size instead of generating twice.
+  void set_virtual_scale(double virtual_scale);
+
   /// Recomputes the FNV checksum and compares to the stored one.
   bool verify() const;
 
   void serialize(util::ByteWriter& w) const;
   static Chunk deserialize(util::ByteReader& r);
+
+  /// Streams the chunk to `os` in the same wire format as serialize(),
+  /// without building an intermediate byte buffer.
+  void write_to(std::ostream& os) const;
+
+  /// Streams a chunk back from `is` (counterpart of write_to), reading the
+  /// payload straight into its final buffer. `payload_limit` bounds the
+  /// length prefix (e.g. the file size), so a corrupted prefix throws
+  /// SerializationError instead of reaching the allocator. Verifies the
+  /// checksum like deserialize().
+  static Chunk read_from(std::istream& is, std::uint64_t payload_limit);
 
  private:
   ChunkId id_ = 0;

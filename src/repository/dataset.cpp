@@ -8,6 +8,14 @@ void ChunkedDataset::add_chunk(Chunk c) {
   chunks_.push_back(std::move(c));
 }
 
+void ChunkedDataset::set_uniform_virtual_scale(double virtual_scale) {
+  total_virtual_bytes_ = 0.0;
+  for (auto& c : chunks_) {
+    c.set_virtual_scale(virtual_scale);
+    total_virtual_bytes_ += c.virtual_bytes();
+  }
+}
+
 bool ChunkedDataset::verify_all() const {
   for (const auto& c : chunks_)
     if (!c.verify()) return false;

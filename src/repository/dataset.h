@@ -35,6 +35,12 @@ class ChunkedDataset {
   double total_virtual_bytes() const { return total_virtual_bytes_; }
   std::size_t total_real_bytes() const { return total_real_bytes_; }
 
+  /// Rescales every chunk to `virtual_scale` and recomputes the virtual
+  /// total. Payloads and checksums are untouched: the result is exactly the
+  /// dataset the generator would have produced at that scale, without
+  /// generating twice (the probe-then-rescale pattern in bench/common.cpp).
+  void set_uniform_virtual_scale(double virtual_scale);
+
   /// True when every chunk's checksum verifies.
   bool verify_all() const;
 

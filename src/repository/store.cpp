@@ -1,8 +1,10 @@
 #include "repository/store.h"
 
 #include <fstream>
+#include <utility>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace fgp::repository {
 
@@ -44,7 +46,8 @@ fs::path DatasetStore::dir_for(const std::string& name) const {
   return root_ / name;
 }
 
-void DatasetStore::save(const ChunkedDataset& ds) const {
+void DatasetStore::save(const ChunkedDataset& ds,
+                        util::ThreadPool* pool) const {
   const fs::path dir = dir_for(ds.meta().name);
   fs::remove_all(dir);
   fs::create_directories(dir);
@@ -56,14 +59,25 @@ void DatasetStore::save(const ChunkedDataset& ds) const {
   manifest.put_u64(ds.chunk_count());
   write_file(dir / "manifest.bin", manifest.bytes());
 
-  for (std::size_t i = 0; i < ds.chunk_count(); ++i) {
-    util::ByteWriter w;
-    ds.chunk(i).serialize(w);
-    write_file(dir / ("chunk_" + std::to_string(i) + ".bin"), w.bytes());
+  // Chunk files are independent and their names are fixed by index, so the
+  // loop may fan out over the pool; the payload streams straight from the
+  // chunk to the file (no intermediate serialization buffer).
+  const auto write_chunk = [&](std::size_t i) {
+    const fs::path p = dir / ("chunk_" + std::to_string(i) + ".bin");
+    std::ofstream os(p, std::ios::binary | std::ios::trunc);
+    FGP_CHECK_MSG(os.good(), "cannot open " << p << " for writing");
+    ds.chunk(i).write_to(os);
+    FGP_CHECK_MSG(os.good(), "short write to " << p);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(ds.chunk_count(), write_chunk);
+  } else {
+    for (std::size_t i = 0; i < ds.chunk_count(); ++i) write_chunk(i);
   }
 }
 
-ChunkedDataset DatasetStore::load(const std::string& name) const {
+ChunkedDataset DatasetStore::load(const std::string& name,
+                                  util::ThreadPool* pool) const {
   const fs::path dir = dir_for(name);
   const auto manifest_bytes = read_file(dir / "manifest.bin");
   util::ByteReader r(manifest_bytes);
@@ -76,12 +90,25 @@ ChunkedDataset DatasetStore::load(const std::string& name) const {
     throw util::SerializationError("manifest name mismatch: expected " + name +
                                    ", found " + meta.name);
 
-  ChunkedDataset ds(meta);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto bytes = read_file(dir / ("chunk_" + std::to_string(i) + ".bin"));
-    util::ByteReader cr(bytes);
-    ds.add_chunk(Chunk::deserialize(cr));
+  // Each chunk lands at its manifest index, so the reads may fan out over
+  // the pool; the payload streams straight into its final buffer.
+  std::vector<Chunk> chunks(count);
+  const auto read_chunk = [&](std::size_t i) {
+    const fs::path p = dir / ("chunk_" + std::to_string(i) + ".bin");
+    std::ifstream is(p, std::ios::binary);
+    if (!is.good())
+      throw util::SerializationError("cannot open " + p.string());
+    chunks[i] = Chunk::read_from(is, fs::file_size(p));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(count), read_chunk);
+  } else {
+    for (std::uint64_t i = 0; i < count; ++i)
+      read_chunk(static_cast<std::size_t>(i));
   }
+
+  ChunkedDataset ds(meta);
+  for (auto& c : chunks) ds.add_chunk(std::move(c));
   return ds;
 }
 

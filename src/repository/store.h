@@ -13,6 +13,10 @@
 
 #include "repository/dataset.h"
 
+namespace fgp::util {
+class ThreadPool;
+}  // namespace fgp::util
+
 namespace fgp::repository {
 
 class DatasetStore {
@@ -20,12 +24,18 @@ class DatasetStore {
   explicit DatasetStore(std::filesystem::path root);
 
   /// Writes `ds` under root/<ds.meta().name>/ (manifest + chunk files).
-  /// Overwrites any existing copy.
-  void save(const ChunkedDataset& ds) const;
+  /// Overwrites any existing copy. Chunk files are streamed (no
+  /// intermediate byte-buffer copy); a non-null `pool` writes them
+  /// concurrently — each chunk has a fixed file name, so the layout is
+  /// identical at any pool size.
+  void save(const ChunkedDataset& ds, util::ThreadPool* pool = nullptr) const;
 
   /// Loads a dataset by name. Verifies every chunk checksum; throws
-  /// SerializationError on corruption or a malformed manifest.
-  ChunkedDataset load(const std::string& name) const;
+  /// SerializationError on corruption or a malformed manifest. A non-null
+  /// `pool` reads chunk files concurrently; chunks land at their manifest
+  /// indices, so the dataset is identical at any pool size.
+  ChunkedDataset load(const std::string& name,
+                      util::ThreadPool* pool = nullptr) const;
 
   bool exists(const std::string& name) const;
   void remove(const std::string& name) const;

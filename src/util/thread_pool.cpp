@@ -1,5 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "util/check.h"
 
 namespace fgp::util {
@@ -24,45 +27,85 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
-  auto fut = pt.get_future();
+  auto pt = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  auto fut = pt->get_future();
   {
     std::lock_guard lock(mu_);
     FGP_CHECK_MSG(!stop_, "submit on stopped ThreadPool");
-    tasks_.push(std::move(pt));
+    tasks_.push([pt] { (*pt)(); });
   }
   cv_.notify_one();
   return fut;
 }
 
+void ThreadPool::ForState::drain() {
+  for (;;) {
+    const std::size_t b = next_block.fetch_add(1);
+    if (b >= num_blocks) return;
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(n, begin + block);
+    for (std::size_t i = begin; i < end; ++i) {
+      // Run *every* index even after a failure: callers rely on all side
+      // effects happening before parallel_for returns.
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!error || i < first_error_index) {
+          first_error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+    if (blocks_done.fetch_add(1) + 1 == num_blocks) {
+      // Last block: wake the owning caller, which may already be waiting.
+      std::lock_guard lock(mu);
+      done_cv.notify_all();
+    }
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  std::exception_ptr first;
-  try {
-    for (std::size_t i = 0; i < n; ++i)
-      futures.push_back(submit([&fn, i] { fn(i); }));
-  } catch (...) {
-    first = std::current_exception();
+  auto state = std::make_shared<ForState>();
+  state->fn = &fn;
+  state->n = n;
+  // Block-chunk the range: ~4 blocks per worker keeps the queue short while
+  // still letting fast workers steal from slow ones. The block size is a
+  // function of the *pool size* only, which is wall-clock bookkeeping — any
+  // determinism-sensitive partition (e.g. the runtime's chunk blocks) is
+  // computed by the caller before dispatch.
+  const std::size_t target = std::max<std::size_t>(1, workers_.size() * 4);
+  state->block = std::max<std::size_t>(1, (n + target - 1) / target);
+  state->num_blocks = (n + state->block - 1) / state->block;
+
+  // Enqueue helpers for idle workers; the caller participates regardless, so
+  // even with zero helpers (or a fully busy pool) the range completes.
+  const std::size_t helpers =
+      std::min(workers_.size(), state->num_blocks > 0 ? state->num_blocks - 1
+                                                      : std::size_t{0});
+  {
+    std::lock_guard lock(mu_);
+    if (!stop_)
+      for (std::size_t h = 0; h < helpers; ++h)
+        tasks_.push([state] { state->drain(); });
   }
-  // Wait for *every* submitted task before rethrowing: tasks capture `fn`
-  // by reference, so returning while any still run would let the caller
-  // destroy it under a worker. The lowest-index failure wins.
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first) first = std::current_exception();
-    }
+  if (helpers > 0) cv_.notify_all();
+
+  state->drain();
+  {
+    std::unique_lock lock(state->mu);
+    state->done_cv.wait(lock, [&] {
+      return state->blocks_done.load() == state->num_blocks;
+    });
+    if (state->error) std::rethrow_exception(state->error);
   }
-  if (first) std::rethrow_exception(first);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });

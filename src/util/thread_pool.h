@@ -1,8 +1,23 @@
 // thread_pool.h — fixed-size worker pool used to run independent simulated
 // nodes' local reductions concurrently. The virtual-time accounting is
 // independent of real parallelism: the pool only shortens wall-clock time.
+//
+// Nesting contract
+// ----------------
+// `parallel_for` may be called from *any* thread, including a pool worker
+// that is itself executing a `parallel_for` index. The calling thread never
+// blocks on queued helper tasks: the range is split into contiguous blocks
+// claimed from a shared atomic cursor, the caller drains blocks alongside
+// the workers, and only waits (on a condition variable) for blocks that
+// other threads have already claimed but not yet finished. Helper tasks
+// that reach the front of the queue after the range is exhausted observe
+// the spent cursor and return without touching the callable, so nested and
+// concurrent invocations can never deadlock and never dangle. This contract
+// is exercised by nested/concurrent stress tests in tests/test_thread_pool.cpp
+// (run under TSan in CI).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -26,18 +41,40 @@ class ThreadPool {
   /// Enqueues a task; the returned future rethrows any task exception.
   std::future<void> submit(std::function<void()> task);
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for *all* tasks
+  /// Runs fn(i) for i in [0, n) across the pool and waits for *all* indices
   /// to finish, even when some throw; the lowest-index task's exception is
-  /// then rethrown ("first one wins"). n == 0 is a no-op.
+  /// then rethrown ("first one wins"). n == 0 is a no-op. Safe to call from
+  /// pool workers (nested) and from several threads at once — see the
+  /// nesting contract above. Indices are dispatched in contiguous blocks so
+  /// large ranges do not pay per-index enqueue overhead.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }
 
  private:
+  // Shared state of one parallel_for invocation. Helpers hold it via
+  // shared_ptr, so a late-dequeued helper outliving the call is harmless:
+  // it observes next_block >= num_blocks and never dereferences `fn`.
+  struct ForState {
+    const std::function<void(std::size_t)>* fn = nullptr;  // caller-owned
+    std::size_t n = 0;
+    std::size_t block = 1;       // indices per block
+    std::size_t num_blocks = 0;
+    std::atomic<std::size_t> next_block{0};
+    std::atomic<std::size_t> blocks_done{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t first_error_index = 0;
+    std::exception_ptr error;
+
+    /// Claims and runs blocks until the range is spent.
+    void drain();
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -19,6 +19,7 @@
 #include "datagen/points.h"
 #include "helpers.h"
 #include "util/serial.h"
+#include "util/thread_pool.h"
 
 namespace fgp {
 namespace {
@@ -130,6 +131,42 @@ TEST(Determinism, VortexBitIdenticalAcrossPoolSizes) {
   ASSERT_EQ(runs.size(), 3u);
   EXPECT_TRUE(runs[0].bit_identical_to(runs[1])) << "pool=1 vs pool=2";
   EXPECT_TRUE(runs[0].bit_identical_to(runs[2])) << "pool=1 vs pool=8";
+}
+
+TEST(Determinism, MultiBlockReductionMatchesSerialRuntime) {
+  // Enough chunks per compute node (48 chunks over 4 nodes = 12, well
+  // above the 4-chunk block size) that the two-level reduction genuinely
+  // splits every node into several chunk blocks. The default serial
+  // Runtime() must produce the same bits as every pooled variant — owned
+  // pools of each size and a borrowed shared pool (DESIGN.md §11).
+  datagen::PointsSpec spec;
+  spec.num_points = 4800;
+  spec.dim = 4;
+  spec.num_components = 3;
+  spec.points_per_chunk = 100;
+  spec.seed = 21;
+  const auto data = datagen::generate_points(spec);
+
+  const auto run_with = [&](const freeride::Runtime& runtime) {
+    apps::KMeansParams params;
+    params.k = 3;
+    params.dim = spec.dim;
+    params.initial_centers =
+        apps::initial_centers_from_dataset(data.dataset, 3, spec.dim);
+    apps::KMeansKernel kernel(params);
+    auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+    const auto result = runtime.run(setup, kernel);
+    return fingerprint(setup, kernel.name(), result);
+  };
+
+  const RunFingerprint serial = run_with(freeride::Runtime());
+  for (const std::size_t pool : kPoolSizes) {
+    EXPECT_TRUE(serial.bit_identical_to(run_with(freeride::Runtime(pool))))
+        << "serial vs owned pool of " << pool;
+  }
+  util::ThreadPool shared(2);
+  EXPECT_TRUE(serial.bit_identical_to(run_with(freeride::Runtime(&shared))))
+      << "serial vs borrowed shared pool";
 }
 
 TEST(Determinism, SmpStrategiesStayDeterministicUnderHostPool) {

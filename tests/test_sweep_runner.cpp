@@ -1,0 +1,74 @@
+// Sweep-runner determinism: a fig02-style evaluation grid executed
+// serially must be byte-identical to the same grid executed concurrently
+// through a SweepRunner at pool sizes 1, 2 and 8 — RunResult timings and
+// serialized reduction objects alike (DESIGN.md §11). Each configuration
+// also borrows the sweep's pool for its own two-level reduction, so this
+// exercises both levels at once.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common.h"
+#include "util/serial.h"
+#include "util/thread_pool.h"
+
+namespace fgp::bench {
+namespace {
+
+/// One configuration's outcome, flattened to raw bytes so equality means
+/// bit-identity (the serialized object plus every timing component).
+std::vector<std::uint8_t> fingerprint(const freeride::RunResult& r) {
+  util::ByteWriter w;
+  r.result->serialize(w);
+  w.put_f64(r.timing.elapsed);
+  w.put_f64(r.timing.max_object_bytes);
+  w.put_f64(r.timing.total.disk);
+  w.put_f64(r.timing.total.network);
+  w.put_f64(r.timing.total.compute_local);
+  w.put_f64(r.timing.total.ro_comm);
+  w.put_f64(r.timing.total.global_red);
+  w.put_f64(r.total_work.flops);
+  w.put_f64(r.total_work.bytes);
+  return w.take();
+}
+
+TEST(SweepRunner, MapPreservesIndexOrder) {
+  // map() must place result i at slot i no matter which worker computed
+  // it; a serial runner is the reference.
+  util::ThreadPool pool(4);
+  const SweepRunner serial(nullptr);
+  const SweepRunner pooled(&pool);
+  const auto fn = [](std::size_t i) { return i * 31 + 7; };
+  const auto a = serial.map(64, fn);
+  const auto b = pooled.map(64, fn);
+  ASSERT_EQ(a.size(), 64u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[5], 5u * 31 + 7);
+}
+
+TEST(SweepRunner, Fig02StyleGridBitIdenticalAcrossPoolSizes) {
+  const BenchApp app = make_kmeans_app(80.0, 1.0, 42, 2);
+  const auto cluster = sim::cluster_pentium_myrinet();
+  const auto wan = sim::wan_mbps(800.0);
+  const std::vector<NodeConfig> grid = paper_grid();
+
+  const auto run_grid = [&](const SweepRunner& sweep) {
+    return sweep.map(grid.size(), [&](std::size_t i) {
+      return fingerprint(
+          simulate(app, cluster, cluster, wan, grid[i], false, sweep.pool()));
+    });
+  };
+
+  const SweepRunner serial(nullptr);
+  const auto reference = run_grid(serial);
+  ASSERT_EQ(reference.size(), grid.size());
+  for (const std::size_t n : {1, 2, 8}) {
+    util::ThreadPool pool(n);
+    const SweepRunner runner(&pool);
+    EXPECT_EQ(reference, run_grid(runner)) << "sweep pool of " << n;
+  }
+}
+
+}  // namespace
+}  // namespace fgp::bench

@@ -158,7 +158,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
   if (args.empty()) usage();
   const Options opts = parse_options(args);
   const auto app = make_app(args[0], opts);
-  bench::three_model_figure("Sweep: " + args[0], app,
+  const bench::SweepRunner sweep;
+  bench::three_model_figure(sweep, "Sweep: " + args[0], app,
                             sim::cluster_pentium_myrinet(),
                             sim::wan_mbps(opts.wan_mbps));
   return 0;
