@@ -14,11 +14,15 @@
 #include "apps/vortex.h"
 #include "apps/vortex3d.h"
 #include "core/ipc_probe.h"
+#include "core/residuals.h"
 #include "datagen/flowfield.h"
 #include "datagen/flowfield3d.h"
 #include "datagen/lattice.h"
 #include "datagen/points.h"
 #include "datagen/transactions.h"
+#include "obs/metrics.h"
+#include "obs/residual.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -279,7 +283,9 @@ freeride::RunResult simulate(const BenchApp& app,
                              const sim::ClusterSpec& data_cluster,
                              const sim::ClusterSpec& compute_cluster,
                              const sim::WanSpec& wan, NodeConfig config,
-                             bool caching, util::ThreadPool* pool) {
+                             bool caching, util::ThreadPool* pool,
+                             obs::TraceRecorder* trace,
+                             obs::Registry* metrics) {
   freeride::JobSetup setup;
   setup.dataset = app.dataset.get();
   setup.data_cluster = data_cluster;
@@ -288,6 +294,8 @@ freeride::RunResult simulate(const BenchApp& app,
   setup.config.data_nodes = config.n;
   setup.config.compute_nodes = config.c;
   setup.config.enable_caching = caching;
+  setup.trace = trace;
+  setup.metrics = metrics;
   auto kernel = app.factory();
   return freeride::Runtime(pool).run(setup, *kernel);
 }
@@ -324,11 +332,23 @@ core::ProfileConfig target_config(const core::Profile& base, NodeConfig c,
   return t;
 }
 
+// One extra exact run of the grid's largest configuration, recorded into
+// the figure's trace/metrics sinks. Runs from the calling thread (never
+// inside sweep.map) so a single recorder sees one deterministic job.
+void traced_largest_run(const FigureObs& fig_obs, const BenchApp& app,
+                        const sim::ClusterSpec& cluster,
+                        const sim::WanSpec& wan, NodeConfig largest,
+                        util::ThreadPool* pool) {
+  if (fig_obs.trace == nullptr && fig_obs.metrics == nullptr) return;
+  simulate(app, cluster, cluster, wan, largest, false, pool, fig_obs.trace,
+           fig_obs.metrics);
+}
+
 }  // namespace
 
 void three_model_figure(const SweepRunner& sweep, const std::string& title,
                         const BenchApp& app, const sim::ClusterSpec& cluster,
-                        const sim::WanSpec& wan) {
+                        const sim::WanSpec& wan, FigureObs fig_obs) {
   std::cout << title << "\n"
             << "  app=" << app.name << "  dataset="
             << app.dataset->total_virtual_bytes() / 1e6
@@ -363,14 +383,20 @@ void three_model_figure(const SweepRunner& sweep, const std::string& title,
                              core::PredictionModel::ReductionCommunication,
                              core::PredictionModel::GlobalReduction}) {
       opts.model = model;
-      const double predicted =
-          core::Predictor(base, opts).predict(target).total();
+      const core::PredictedTime predicted_time =
+          core::Predictor(base, opts).predict(target);
+      const double predicted = predicted_time.total();
       const double err = util::relative_error(exact, predicted);
       row.push_back(util::Table::pct(err));
       if (model == core::PredictionModel::NoCommunication) worst_none.add(err);
       if (model == core::PredictionModel::ReductionCommunication)
         worst_rc.add(err);
-      if (model == core::PredictionModel::GlobalReduction) worst_gr.add(err);
+      if (model == core::PredictionModel::GlobalReduction) {
+        worst_gr.add(err);
+        if (fig_obs.residuals != nullptr)
+          fig_obs.residuals->add(core::make_residual_point(
+              config_label(cfg), predicted_time, actual.timing.total));
+      }
     }
     row.push_back(util::Table::fmt(exact, 2));
     table.add_row(std::move(row));
@@ -379,6 +405,12 @@ void three_model_figure(const SweepRunner& sweep, const std::string& title,
   std::cout << "\n  max error: no-comm " << util::Table::pct(worst_none.max())
             << ", red-comm " << util::Table::pct(worst_rc.max())
             << ", global-red " << util::Table::pct(worst_gr.max()) << "\n\n";
+
+  if (fig_obs.residuals != nullptr) {
+    fig_obs.residuals->set_sweep(app.name);
+    fig_obs.residuals->set_model("global-reduction");
+  }
+  traced_largest_run(fig_obs, app, cluster, wan, grid.back(), sweep.pool());
 }
 
 void global_model_figure(const SweepRunner& sweep, const std::string& title,
@@ -386,7 +418,7 @@ void global_model_figure(const SweepRunner& sweep, const std::string& title,
                          const BenchApp& target_app,
                          const sim::ClusterSpec& cluster,
                          const sim::WanSpec& profile_wan,
-                         const sim::WanSpec& target_wan) {
+                         const sim::WanSpec& target_wan, FigureObs fig_obs) {
   std::cout << title << "\n"
             << "  app=" << target_app.name << "  profile dataset="
             << profile_app.dataset->total_virtual_bytes() / 1e6
@@ -420,14 +452,25 @@ void global_model_figure(const SweepRunner& sweep, const std::string& title,
     const auto target =
         target_config(base, cfg, target_app.dataset->total_virtual_bytes(),
                       target_wan.per_link_Bps);
-    const double predicted = predictor.predict(target).total();
+    const core::PredictedTime predicted_time = predictor.predict(target);
+    const double predicted = predicted_time.total();
     const double err = util::relative_error(exact, predicted);
     worst.add(err);
+    if (fig_obs.residuals != nullptr)
+      fig_obs.residuals->add(core::make_residual_point(
+          config_label(cfg), predicted_time, actual.timing.total));
     table.add_row({config_label(cfg), util::Table::pct(err),
                    util::Table::fmt(exact, 2), util::Table::fmt(predicted, 2)});
   }
   table.print(std::cout);
   std::cout << "\n  max error: " << util::Table::pct(worst.max()) << "\n\n";
+
+  if (fig_obs.residuals != nullptr) {
+    fig_obs.residuals->set_sweep(target_app.name);
+    fig_obs.residuals->set_model("global-reduction");
+  }
+  traced_largest_run(fig_obs, target_app, cluster, target_wan, grid.back(),
+                     sweep.pool());
 }
 
 void hetero_figure(const SweepRunner& sweep, const std::string& title,

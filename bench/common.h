@@ -21,6 +21,12 @@
 #include "sim/network.h"
 #include "sweep.h"
 
+namespace fgp::obs {
+class Registry;
+class ResidualReport;
+class TraceRecorder;
+}  // namespace fgp::obs
+
 namespace fgp::bench {
 
 using KernelFactory =
@@ -61,16 +67,29 @@ BenchApp make_ann_app(double virtual_mb, std::uint64_t seed, int passes = 10);
 BenchApp make_knn_classify_app(double virtual_mb, std::uint64_t seed);
 BenchApp make_vortex3d_app(double virtual_mb, std::uint64_t seed);
 
+/// Observability sinks a figure driver can fill in (all optional):
+/// `residuals` receives one per-component point per grid configuration
+/// (global-reduction model), `trace`/`metrics` receive one traced exact
+/// run of the grid's largest configuration.
+struct FigureObs {
+  obs::TraceRecorder* trace = nullptr;
+  obs::Registry* metrics = nullptr;
+  obs::ResidualReport* residuals = nullptr;
+};
+
 /// Runs one job and returns its timing. By default the runtime borrows the
 /// process-wide shared pool (hardware concurrency) for its two-level
 /// reduction; pass nullptr for a fully serial reference run — the result is
-/// bit-identical either way (DESIGN.md §11).
+/// bit-identical either way (DESIGN.md §11). `trace`/`metrics` (optional)
+/// are handed to the runtime as its observability sinks.
 freeride::RunResult simulate(const BenchApp& app,
                              const sim::ClusterSpec& data_cluster,
                              const sim::ClusterSpec& compute_cluster,
                              const sim::WanSpec& wan, NodeConfig config,
                              bool caching = false,
-                             util::ThreadPool* pool = &shared_pool());
+                             util::ThreadPool* pool = &shared_pool(),
+                             obs::TraceRecorder* trace = nullptr,
+                             obs::Registry* metrics = nullptr);
 
 /// Collects the prediction-model profile for one configuration (same pool
 /// semantics as simulate()).
@@ -82,10 +101,11 @@ core::Profile profile_of(const BenchApp& app,
 
 /// Figures 2–6: base profile at 1-1, all three prediction models across
 /// the grid, one table. The grid's exact runs execute concurrently on
-/// `sweep`.
+/// `sweep`. When `fig_obs` has sinks, residuals cover every grid point and
+/// one extra traced run records the largest configuration.
 void three_model_figure(const SweepRunner& sweep, const std::string& title,
                         const BenchApp& app, const sim::ClusterSpec& cluster,
-                        const sim::WanSpec& wan);
+                        const sim::WanSpec& wan, FigureObs fig_obs = {});
 
 /// Figures 7–10: global-reduction model only; the profile may use a
 /// different dataset (size scaling) and/or WAN (bandwidth change).
@@ -94,7 +114,8 @@ void global_model_figure(const SweepRunner& sweep, const std::string& title,
                          const BenchApp& target_app,
                          const sim::ClusterSpec& cluster,
                          const sim::WanSpec& profile_wan,
-                         const sim::WanSpec& target_wan);
+                         const sim::WanSpec& target_wan,
+                         FigureObs fig_obs = {});
 
 /// Figures 11–13: base profile on cluster A; component scaling factors
 /// from representative apps run on identical configurations on A and B;

@@ -1,16 +1,96 @@
 // Figure 2: prediction errors for k-means clustering across parallel
 // configurations (1-1 … 8-16), three prediction models, base profile 1-1,
 // 1.4 GB dataset.
-#include "common.h"
+//
+// Flags (all optional):
+//   --quick               small dataset / few passes, for CI smoke runs
+//   --trace-out FILE      write a Chrome-trace JSON of the largest config
+//   --metrics-out FILE    write the metrics-registry snapshot JSON
+//   --residuals-out FILE  write the per-component residual report JSON
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 
-int main() {
+#include "common.h"
+#include "obs/metrics.h"
+#include "obs/pool.h"
+#include "obs/residual.h"
+#include "obs/trace.h"
+
+namespace {
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+  if (!out) {
+    std::cerr << "fig02: cannot write " << path << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace fgp;
+  bool quick = false;
+  std::string trace_out, metrics_out, residuals_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "fig02: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick")
+      quick = true;
+    else if (arg == "--trace-out")
+      trace_out = value();
+    else if (arg == "--metrics-out")
+      metrics_out = value();
+    else if (arg == "--residuals-out")
+      residuals_out = value();
+    else {
+      std::cerr << "fig02: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
   const bench::SweepRunner sweep;
-  const auto app = bench::make_kmeans_app(1400.0, 4.0, 42);
+  const auto app = quick ? bench::make_kmeans_app(80.0, 1.0, 42, 2)
+                         : bench::make_kmeans_app(1400.0, 4.0, 42);
+
+  // Observability sinks are only materialized (and only recorded into)
+  // when a flag asks for them — the default run stays untraced.
+  obs::TraceRecorder trace;
+  obs::Registry metrics;
+  obs::ResidualReport residuals;
+  bench::FigureObs fig_obs;
+  if (!trace_out.empty()) {
+    trace.enable_host(true);
+    obs::attach_pool_tracing(*sweep.pool(), &trace);
+    fig_obs.trace = &trace;
+  }
+  if (!metrics_out.empty()) fig_obs.metrics = &metrics;
+  if (!residuals_out.empty()) fig_obs.residuals = &residuals;
+
   bench::three_model_figure(
       sweep,
-      "Figure 2: Prediction Errors for k-means Clustering (base profile "
-      "1-1, 1.4 GB)",
-      app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0));
+      std::string("Figure 2: Prediction Errors for k-means Clustering (base "
+                  "profile 1-1, ") +
+          (quick ? "80 MB quick)" : "1.4 GB)"),
+      app, sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0), fig_obs);
+
+  if (fig_obs.trace != nullptr) {
+    obs::attach_pool_tracing(*sweep.pool(), nullptr);
+    write_file(trace_out, trace.to_chrome_json());
+  }
+  if (!metrics_out.empty()) {
+    obs::record_pool_stats(sweep.pool()->stats(), metrics);
+    write_file(metrics_out, metrics.to_json());
+  }
+  if (!residuals_out.empty()) write_file(residuals_out, residuals.to_json());
   return 0;
 }

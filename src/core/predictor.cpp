@@ -58,23 +58,24 @@ PredictedTime Predictor::predict(const ProfileConfig& target) const {
 
   switch (options_.model) {
     case PredictionModel::NoCommunication: {
-      out.compute = s_ratio * c_ratio * p.t_compute;
+      out.compute_local = s_ratio * c_ratio * p.t_compute;
       break;
     }
     case PredictionModel::ReductionCommunication: {
       const double parallel = p.t_compute - p.t_ro;  // T' (paper §3.3.1)
-      out.compute = s_ratio * c_ratio * parallel + predict_t_ro(target);
+      out.compute_local = s_ratio * c_ratio * parallel;
+      out.ro_comm = predict_t_ro(target);
       break;
     }
     case PredictionModel::GlobalReduction: {
       const double parallel = p.t_compute - p.t_ro - p.t_g;  // T'' (§3.3.2)
-      const double t_g_hat =
-          estimate_global_time(options_.classes.global, p, target);
-      out.compute =
-          s_ratio * c_ratio * parallel + predict_t_ro(target) + t_g_hat;
+      out.compute_local = s_ratio * c_ratio * parallel;
+      out.ro_comm = predict_t_ro(target);
+      out.global_red = estimate_global_time(options_.classes.global, p, target);
       break;
     }
   }
+  out.compute = out.compute_local + out.ro_comm + out.global_red;
   return out;
 }
 

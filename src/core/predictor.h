@@ -26,7 +26,14 @@ enum class PredictionModel {
 struct PredictedTime {
   double disk = 0.0;
   double network = 0.0;
-  double compute = 0.0;
+  double compute = 0.0;  ///< always compute_local + ro_comm + global_red
+  /// Component split of `compute`, for residual reporting against a
+  /// TimingBreakdown. Models that do not separate a term fold it into
+  /// compute_local (e.g. NoCommunication puts everything there;
+  /// ReductionCommunication leaves t_g inside the scaled parallel part).
+  double compute_local = 0.0;
+  double ro_comm = 0.0;
+  double global_red = 0.0;
   double total() const { return disk + network + compute; }
 };
 

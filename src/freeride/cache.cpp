@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fgp::freeride {
@@ -22,9 +23,20 @@ void NodeCache::clear() {
   virtual_bytes_ = 0.0;
 }
 
-CacheSet::CacheSet(int compute_nodes) {
+CacheSet::CacheSet(int compute_nodes, obs::Registry* metrics)
+    : metrics_(metrics) {
   FGP_CHECK(compute_nodes > 0);
   caches_.resize(static_cast<std::size_t>(compute_nodes));
+}
+
+void CacheSet::insert(int i, repository::ChunkId id, double virtual_bytes) {
+  NodeCache& cache = node(i);
+  if (cache.contains(id)) return;
+  cache.insert(id, virtual_bytes);
+  if (metrics_ != nullptr) {
+    metrics_->add("cache.inserted_chunks", 1.0);
+    metrics_->add("cache.inserted_bytes", virtual_bytes);
+  }
 }
 
 NodeCache& CacheSet::node(int i) {

@@ -11,6 +11,10 @@
 
 #include "repository/chunk.h"
 
+namespace fgp::obs {
+class Registry;
+}
+
 namespace fgp::freeride {
 
 /// Per-node cache bookkeeping: which chunks are resident and their virtual
@@ -32,10 +36,17 @@ class NodeCache {
 /// Caches for all compute nodes of one job.
 class CacheSet {
  public:
-  explicit CacheSet(int compute_nodes);
+  /// `metrics` (optional) receives deterministic counters for insertions
+  /// routed through insert(): cache.inserted_chunks / cache.inserted_bytes.
+  /// Recording happens on the runtime master thread, in node order.
+  explicit CacheSet(int compute_nodes, obs::Registry* metrics = nullptr);
   NodeCache& node(int i);
   const NodeCache& node(int i) const;
   int nodes() const { return static_cast<int>(caches_.size()); }
+
+  /// Inserts into node `i`'s cache, counting into the registry when the
+  /// chunk was not already resident.
+  void insert(int i, repository::ChunkId id, double virtual_bytes);
 
   /// True when every node already holds every chunk it will process.
   bool warm() const { return warm_; }
@@ -44,6 +55,7 @@ class CacheSet {
  private:
   std::vector<NodeCache> caches_;
   bool warm_ = false;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace fgp::freeride

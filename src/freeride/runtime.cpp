@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -77,7 +80,15 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
   const sim::InterconnectSpec& ipc = setup.compute_cluster.interconnect;
 
   RunResult result;
-  CacheSet caches(c);
+  CacheSet caches(c, setup.metrics);
+  obs::TraceRecorder* const trace = setup.trace;
+  obs::Registry* const metrics = setup.metrics;
+  const obs::HostSpan run_span(trace, "runtime", "run");
+  // Virtual-time cursor for the trace: passes (and phases within a pass)
+  // are laid out additively, matching TimingBreakdown::total(). With
+  // overlap_phases the *elapsed* accounting shrinks but the decomposition
+  // — which is what the trace visualizes — is unchanged.
+  double vclock = 0.0;
 
   // Host thread pool for the local-reduction phase: either borrowed from
   // the caller (shared across concurrent runs) or owned for this run. One
@@ -209,7 +220,8 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       for (int d = 0; d < cache_nodes; ++d) {
         const auto& v = cache_vol[static_cast<std::size_t>(d)];
         if (v.chunks == 0) continue;
-        t = std::max(t, site.wan_to_compute.transfer_time(
+        t = std::max(t, sim::metered_transfer_time(
+                            site.wan_to_compute, metrics, "cache-compute",
                             v.virtual_bytes, v.chunks, cache_nodes,
                             site.cluster.machine.nic.bandwidth_Bps));
       }
@@ -219,8 +231,10 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       for (int d = 0; d < n; ++d) {
         const auto& v = data_vol[static_cast<std::size_t>(d)];
         if (v.chunks == 0) continue;
-        t = std::max(t, setup.wan.transfer_time(v.virtual_bytes, v.chunks, n,
-                                                data_machine.nic.bandwidth_Bps));
+        t = std::max(t, sim::metered_transfer_time(
+                            setup.wan, metrics, "repo-compute",
+                            v.virtual_bytes, v.chunks, n,
+                            data_machine.nic.bandwidth_Bps));
       }
       rec.timing.network = t;
 
@@ -229,8 +243,7 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
         double tw = 0.0;
         for (int j = 0; j < c; ++j) {
           for (std::size_t ci : dest_part.chunks_of(j))
-            caches.node(j).insert(ds.chunk(ci).id(),
-                                  ds.chunk(ci).virtual_bytes());
+            caches.insert(j, ds.chunk(ci).id(), ds.chunk(ci).virtual_bytes());
           const auto& v = dest_vol[static_cast<std::size_t>(j)];
           if (cfg.charge_cache_write && v.chunks > 0)
             tw = std::max(tw, compute_machine.disk.access_time(v.virtual_bytes,
@@ -247,7 +260,8 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
         for (int d = 0; d < cache_nodes; ++d) {
           const auto& v = cache_vol[static_cast<std::size_t>(d)];
           if (v.chunks == 0) continue;
-          tx = std::max(tx, site.wan_to_compute.transfer_time(
+          tx = std::max(tx, sim::metered_transfer_time(
+                                site.wan_to_compute, metrics, "compute-cache",
                                 v.virtual_bytes, v.chunks, cache_nodes,
                                 compute_machine.nic.bandwidth_Bps));
           if (cfg.charge_cache_write)
@@ -395,6 +409,7 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       t_local = std::max(t_local, node_time[uj]);
     }
     rec.timing.compute_local = t_local;
+    rec.node_compute.assign(node_time.begin(), node_time.end());
 
     // --- Phase 3b: reduction-object gather + merge (serialized) ------
     // Record the master's own object size too: the profile's "r" is the
@@ -437,6 +452,61 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
                         rec.timing.compute_local}) +
                   rec.timing.ro_comm + rec.timing.global_red
             : rec.timing.total();
+
+    // --- Observability (master thread, deterministic program point) ---
+    // All virtual timestamps derive from the finished PassRecord, so the
+    // recorded event set is independent of the host pool size.
+    const int p = result.passes;
+    const char* const source = !cached_pass                        ? "repository"
+                               : cache_mode == CacheMode::LocalDisk ? "local-cache"
+                                                                    : "cache-site";
+    if (trace != nullptr) {
+      const double t0 = vclock;
+      const double t1 = t0 + rec.timing.disk;
+      const double t2 = t1 + rec.timing.network;
+      const double t3 = t2 + rec.timing.compute_local;
+      const double t4 = t3 + rec.timing.ro_comm;
+      const double t5 = t4 + rec.timing.global_red;
+      trace->span("pass", "pass " + std::to_string(p), obs::kJobNode, p, t0,
+                  t5);
+      trace->span("phase", std::string("retrieval/") + source, obs::kJobNode,
+                  p, t0, t1);
+      trace->span("phase", "network-transfer", obs::kJobNode, p, t1, t2);
+      trace->span("phase", "local-reduction", obs::kJobNode, p, t2, t3);
+      trace->span("phase", "ro-comm", obs::kJobNode, p, t3, t4);
+      trace->span("phase", "global-reduction", obs::kJobNode, p, t4, t5);
+      for (int j = 0; j < c; ++j) {
+        const auto uj = static_cast<std::size_t>(j);
+        trace->span("compute", "local-reduction", j, p, t2,
+                    t2 + node_time[uj]);
+        if (threads == 1) {
+          // Chunk-block decomposition of this node's reduction, as "X"
+          // complete events on the node's compute/detail track. The block
+          // times exclude the straggler factor (applied to the node total
+          // only), so the last block may end before the node span does.
+          const auto& bt = scratch[uj].block_time;
+          double cursor = t2;
+          for (std::size_t b = 0; b < bt.size(); ++b) {
+            trace->detail("compute", "block " + std::to_string(b), j, p,
+                          cursor, cursor + bt[b]);
+            cursor += bt[b];
+          }
+        }
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->add("runtime.passes", 1.0);
+      metrics->add(std::string("runtime.chunks.") + source,
+                   static_cast<double>(ds.chunk_count()));
+      metrics->observe("phase.disk", rec.timing.disk);
+      metrics->observe("phase.network", rec.timing.network);
+      metrics->observe("phase.compute_local", rec.timing.compute_local);
+      metrics->observe("phase.ro_comm", rec.timing.ro_comm);
+      metrics->observe("phase.global_red", rec.timing.global_red);
+      metrics->set_max("runtime.max_object_bytes", rec.max_object_bytes);
+    }
+    vclock += rec.timing.total();
+
     result.timing.elapsed += rec.elapsed;
     result.timing.total += rec.timing;
     result.timing.max_object_bytes =

@@ -27,6 +27,11 @@ namespace fgp::util {
 class ThreadPool;
 }  // namespace fgp::util
 
+namespace fgp::obs {
+class Registry;
+class TraceRecorder;
+}  // namespace fgp::obs
+
 namespace fgp::freeride {
 
 /// A non-local caching site: storage "at a location from which [data] can
@@ -52,6 +57,16 @@ struct JobSetup {
   /// Optional non-local cache site used when the compute nodes' local
   /// cache capacity cannot hold their share of the dataset.
   std::optional<CacheSiteSetup> cache_site;
+
+  /// Observability sinks, both off (null) by default. The runtime records
+  /// virtual-time phase spans / deterministic metrics from its master
+  /// thread at deterministic program points, so for a fixed seed the
+  /// exported trace and metrics snapshot are byte-identical across the
+  /// serial runtime and every pool size (tests/test_obs.cpp). Host
+  /// wall-clock spans are only recorded when the recorder itself has
+  /// host recording enabled.
+  obs::TraceRecorder* trace = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Outcome of a job: the timing breakdown the prediction model consumes,

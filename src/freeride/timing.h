@@ -30,10 +30,17 @@ struct PassRecord {
   TimingBreakdown timing;
   double max_object_bytes = 0.0;  ///< largest charged reduction object (r)
   bool from_cache = false;        ///< pass served from a cache (any kind)
-  /// Wall-clock of this pass: the component sum in the default additive
-  /// execution, or max(disk, network, local) + serialized parts when the
-  /// runtime pipelines phases (JobConfig::overlap_phases).
+  /// *Virtual* elapsed time of this pass (not host wall-clock — see
+  /// DESIGN.md §12): the component sum in the default additive execution,
+  /// or max(disk, network, local) + serialized parts when the runtime
+  /// pipelines phases (JobConfig::overlap_phases). In the overlap case
+  /// this is strictly less than timing.total() whenever disk, network and
+  /// local reduction all take non-zero time — pinned by a unit test.
   double elapsed = 0.0;
+  /// Per-compute-node virtual local-reduction time for this pass, indexed
+  /// by node. The slowest entry (plus any straggler slowdown already
+  /// applied) equals timing.compute_local.
+  std::vector<double> node_compute;
 };
 
 /// Everything a finished job reports.

@@ -1,0 +1,388 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace fgp::obs::json {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw util::SerializationError("json: " + what + " at byte " +
+                                 std::to_string(pos));
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing garbage after document");
+    return v;
+  }
+
+ private:
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(pos_ - 1, std::string("expected '") + c + "'");
+  }
+
+  void expect_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w)
+      fail(pos_, "invalid literal");
+    pos_ += w.size();
+  }
+
+  Value parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail(pos_, "nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value::make_string(parse_string());
+      case 't':
+        expect_word("true");
+        return Value::make_bool(true);
+      case 'f':
+        expect_word("false");
+        return Value::make_bool(false);
+      case 'n':
+        expect_word("null");
+        return Value::make_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(std::size_t depth) {
+    expect('{');
+    std::vector<std::pair<std::string, Value>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char sep = take();
+      if (sep == '}') break;
+      if (sep != ',') fail(pos_ - 1, "expected ',' or '}' in object");
+    }
+    return Value::make_object(std::move(members));
+  }
+
+  Value parse_array(std::size_t depth) {
+    expect('[');
+    std::vector<Value> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char sep = take();
+      if (sep == ']') break;
+      if (sep != ',') fail(pos_ - 1, "expected ',' or ']' in array");
+    }
+    return Value::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail(pos_, "expected string");
+    ++pos_;
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail(pos_ - 1, "unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail(pos_ - 1, "invalid \\u escape");
+          }
+          // Encode the (BMP) code point as UTF-8; surrogate halves are kept
+          // as-is rather than paired — report files never emit them, and a
+          // lone surrogate must not crash the reader.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(pos_ - 1, "invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail(start, "invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail(pos_, "digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) fail(pos_, "digits required in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) fail(start, "number out of range");
+    return Value::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t max_depth_;
+};
+
+[[noreturn]] void type_fail(const char* want) {
+  throw util::SerializationError(std::string("json: value is not a ") + want);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_fail("bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) type_fail("number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_fail("string");
+  return str_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (type_ != Type::Array) type_fail("array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::as_object() const {
+  if (type_ != Type::Object) type_fail("object");
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Value Value::make_null() { return Value(); }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.type_ = Type::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double d) {
+  Value v;
+  v.type_ = Type::Number;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.type_ = Type::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::Array;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+Value Value::make_object(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::Object;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+Value parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+void dump_into(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::Null:
+      out += "null";
+      break;
+    case Value::Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::Number:
+      out += format_number(v.as_number());
+      break;
+    case Value::Type::String:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      break;
+    case Value::Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_into(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        dump_into(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_into(v, out);
+  return out;
+}
+
+}  // namespace fgp::obs::json

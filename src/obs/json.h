@@ -1,0 +1,79 @@
+// json.h — a minimal JSON DOM used by the observability layer.
+//
+// The trace/metrics/residual reports are emitted as JSON; fgptrace and the
+// tests must read them back (and survive hostile bytes — test_fuzz feeds
+// this parser a corruption corpus). Parsing throws
+// util::SerializationError on any malformed input; it never crashes and
+// bounds recursion depth, so adversarial files fail cleanly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fgp::obs::json {
+
+/// One JSON value. Objects preserve insertion order (report files are
+/// written in canonical order, and byte-level diffs rely on it).
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw util::SerializationError on a type mismatch so
+  /// validators can treat shape errors uniformly.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Object lookup: nullptr when `key` is absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_number(double d);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Parses one complete JSON document (trailing garbage is an error).
+/// Throws util::SerializationError on malformed input; nesting deeper than
+/// `max_depth` is rejected rather than recursed into.
+Value parse(std::string_view text, std::size_t max_depth = 96);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes).
+std::string escape(std::string_view s);
+
+/// Canonical number formatting shared by every report writer: integral
+/// values within the exact-double range print as integers, everything else
+/// as shortest-round-trip-ish %.17g. Deterministic for identical bits.
+std::string format_number(double v);
+
+/// Canonical compact serialization: insertion-order objects, format_number
+/// numbers, escaped strings. dump(parse(x)) is a normal form — fgptrace
+/// --diff compares documents through it.
+std::string dump(const Value& v);
+
+}  // namespace fgp::obs::json

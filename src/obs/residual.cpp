@@ -1,0 +1,63 @@
+#include "obs/residual.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace fgp::obs {
+
+ComponentTimes ResidualPoint::residual() const {
+  ComponentTimes r;
+  r.disk = predicted.disk - observed.disk;
+  r.network = predicted.network - observed.network;
+  r.compute_local = predicted.compute_local - observed.compute_local;
+  r.ro_comm = predicted.ro_comm - observed.ro_comm;
+  r.global_red = predicted.global_red - observed.global_red;
+  return r;
+}
+
+double ResidualPoint::rel_error_total() const {
+  const double exact = observed.total();
+  if (exact == 0.0) return 0.0;
+  return std::abs(predicted.total() - exact) / exact;
+}
+
+namespace {
+
+void emit_components(std::ostringstream& os, const ComponentTimes& c) {
+  os << "{\"disk\": " << json::format_number(c.disk)
+     << ", \"network\": " << json::format_number(c.network)
+     << ", \"compute_local\": " << json::format_number(c.compute_local)
+     << ", \"ro_comm\": " << json::format_number(c.ro_comm)
+     << ", \"global_red\": " << json::format_number(c.global_red) << "}";
+}
+
+}  // namespace
+
+std::string ResidualReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-residuals-v1\",\n";
+  os << "  \"sweep\": \"" << json::escape(sweep_) << "\",\n";
+  os << "  \"model\": \"" << json::escape(model_) << "\",\n";
+  os << "  \"points\": [";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const ResidualPoint& p = points_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"label\": \"" << json::escape(p.label) << "\",\n";
+    os << "     \"predicted\": ";
+    emit_components(os, p.predicted);
+    os << ",\n     \"observed\": ";
+    emit_components(os, p.observed);
+    os << ",\n     \"residual\": ";
+    emit_components(os, p.residual());
+    os << ",\n     \"rel_error_total\": "
+       << json::format_number(p.rel_error_total()) << "}";
+  }
+  os << (points_.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fgp::obs

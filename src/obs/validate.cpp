@@ -1,0 +1,252 @@
+#include "obs/validate.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fgp::obs {
+
+namespace {
+
+void err(ValidationResult& r, const std::string& what) {
+  if (r.errors.size() < 64) r.errors.push_back(what);
+}
+
+bool finite_number(const json::Value* v) {
+  return v != nullptr && v->is_number() && std::isfinite(v->as_number());
+}
+
+void check_trace_event(ValidationResult& r, const json::Value& ev,
+                       std::size_t index) {
+  const std::string at = "traceEvents[" + std::to_string(index) + "]";
+  if (!ev.is_object()) {
+    err(r, at + ": event is not an object");
+    return;
+  }
+  const json::Value* ph = ev.find("ph");
+  if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1) {
+    err(r, at + ": missing or malformed \"ph\"");
+    return;
+  }
+  const char kind = ph->as_string()[0];
+  if (kind != 'M' && kind != 'B' && kind != 'E' && kind != 'X') {
+    err(r, at + ": unsupported phase '" + ph->as_string() + "'");
+    return;
+  }
+  if (!finite_number(ev.find("pid")) || !finite_number(ev.find("tid"))) {
+    err(r, at + ": missing pid/tid");
+    return;
+  }
+  if (kind == 'M') return;  // metadata carries no timestamp contract
+  const json::Value* ts = ev.find("ts");
+  if (!finite_number(ts) || ts->as_number() < 0.0) {
+    err(r, at + ": missing or negative \"ts\"");
+    return;
+  }
+  if (kind == 'X') {
+    const json::Value* dur = ev.find("dur");
+    if (!finite_number(dur) || dur->as_number() < 0.0)
+      err(r, at + ": X event without non-negative \"dur\"");
+  }
+  if (kind == 'B' || kind == 'X') {
+    const json::Value* name = ev.find("name");
+    if (name == nullptr || !name->is_string())
+      err(r, at + ": " + kind + std::string(" event without a name"));
+  }
+}
+
+}  // namespace
+
+const char* to_string(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::Trace: return "trace";
+    case ReportKind::Metrics: return "metrics";
+    case ReportKind::Residuals: return "residuals";
+    case ReportKind::Unknown: break;
+  }
+  return "unknown";
+}
+
+ValidationResult validate_trace(const json::Value& doc) {
+  ValidationResult r;
+  r.kind = ReportKind::Trace;
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    err(r, "document has no \"traceEvents\" array");
+    return r;
+  }
+
+  // Per-event shape first.
+  const auto& list = events->as_array();
+  for (std::size_t i = 0; i < list.size(); ++i)
+    check_trace_event(r, list[i], i);
+  if (!r.errors.empty()) return r;
+
+  // Per-track contracts: strictly increasing timestamps over non-metadata
+  // events, and balanced B/E with stack discipline.
+  struct TrackState {
+    double last_ts = -1.0;
+    long long open = 0;
+  };
+  std::map<std::pair<long long, long long>, TrackState> tracks;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const json::Value& ev = list[i];
+    const char kind = ev.find("ph")->as_string()[0];
+    if (kind == 'M') continue;
+    const auto key = std::make_pair(
+        static_cast<long long>(ev.find("pid")->as_number()),
+        static_cast<long long>(ev.find("tid")->as_number()));
+    TrackState& t = tracks[key];
+    const double ts = ev.find("ts")->as_number();
+    if (ts <= t.last_ts)
+      err(r, "traceEvents[" + std::to_string(i) +
+                 "]: per-track timestamps not strictly increasing (pid " +
+                 std::to_string(key.first) + " tid " +
+                 std::to_string(key.second) + ")");
+    t.last_ts = ts;
+    if (kind == 'B') {
+      t.open += 1;
+    } else if (kind == 'E') {
+      if (t.open == 0)
+        err(r, "traceEvents[" + std::to_string(i) +
+                   "]: E event without a matching open B");
+      else
+        t.open -= 1;
+    }
+  }
+  for (const auto& [key, t] : tracks)
+    if (t.open != 0)
+      err(r, "track pid " + std::to_string(key.first) + " tid " +
+                 std::to_string(key.second) + " ends with " +
+                 std::to_string(t.open) + " unbalanced B event(s)");
+  return r;
+}
+
+ValidationResult validate_metrics(const json::Value& doc) {
+  ValidationResult r;
+  r.kind = ReportKind::Metrics;
+  const auto check_domain = [&r](const json::Value* domain,
+                                 const std::string& label) {
+    if (domain == nullptr) return;  // "host" may be stripped
+    if (!domain->is_object()) {
+      err(r, "\"" + label + "\" is not an object");
+      return;
+    }
+    for (const auto& [name, m] : domain->as_object()) {
+      const std::string at = label + "." + name;
+      if (!m.is_object()) {
+        err(r, at + ": metric is not an object");
+        continue;
+      }
+      const json::Value* kind = m.find("kind");
+      if (kind == nullptr || !kind->is_string()) {
+        err(r, at + ": missing \"kind\"");
+        continue;
+      }
+      const std::string& k = kind->as_string();
+      if (k == "counter" || k == "gauge") {
+        if (!finite_number(m.find("value")))
+          err(r, at + ": " + k + " without a finite \"value\"");
+      } else if (k == "histogram") {
+        const json::Value* count = m.find("count");
+        const json::Value* buckets = m.find("buckets");
+        if (!finite_number(count) || !finite_number(m.find("sum")) ||
+            !finite_number(m.find("min")) || !finite_number(m.find("max"))) {
+          err(r, at + ": histogram missing count/sum/min/max");
+          continue;
+        }
+        if (buckets == nullptr || !buckets->is_array() ||
+            buckets->as_array().size() !=
+                static_cast<std::size_t>(Histogram::kBuckets)) {
+          err(r, at + ": histogram without its " +
+                     std::to_string(Histogram::kBuckets) + " buckets");
+          continue;
+        }
+        double total = 0.0;
+        bool numeric = true;
+        for (const auto& b : buckets->as_array()) {
+          if (!b.is_number() || b.as_number() < 0.0) {
+            numeric = false;
+            break;
+          }
+          total += b.as_number();
+        }
+        if (!numeric)
+          err(r, at + ": histogram bucket is not a non-negative number");
+        else if (total != count->as_number())
+          err(r, at + ": histogram buckets do not sum to \"count\"");
+      } else {
+        err(r, at + ": unknown metric kind '" + k + "'");
+      }
+    }
+  };
+  if (doc.find("deterministic") == nullptr)
+    err(r, "document has no \"deterministic\" section");
+  check_domain(doc.find("deterministic"), "deterministic");
+  check_domain(doc.find("host"), "host");
+  return r;
+}
+
+ValidationResult validate_residuals(const json::Value& doc) {
+  ValidationResult r;
+  r.kind = ReportKind::Residuals;
+  const json::Value* points = doc.find("points");
+  if (points == nullptr || !points->is_array()) {
+    err(r, "document has no \"points\" array");
+    return r;
+  }
+  static const char* kComponents[] = {"disk", "network", "compute_local",
+                                      "ro_comm", "global_red"};
+  const auto& list = points->as_array();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const std::string at = "points[" + std::to_string(i) + "]";
+    const json::Value& p = list[i];
+    if (!p.is_object()) {
+      err(r, at + ": point is not an object");
+      continue;
+    }
+    const json::Value* label = p.find("label");
+    if (label == nullptr || !label->is_string())
+      err(r, at + ": missing \"label\"");
+    for (const char* section : {"predicted", "observed", "residual"}) {
+      const json::Value* c = p.find(section);
+      if (c == nullptr || !c->is_object()) {
+        err(r, at + ": missing \"" + std::string(section) + "\" components");
+        continue;
+      }
+      for (const char* comp : kComponents)
+        if (!finite_number(c->find(comp)))
+          err(r, at + "." + section + ": component \"" + comp +
+                     "\" missing or not finite");
+    }
+    if (!finite_number(p.find("rel_error_total")))
+      err(r, at + ": missing \"rel_error_total\"");
+  }
+  return r;
+}
+
+ValidationResult validate_report(const json::Value& doc) {
+  const json::Value* schema = doc.is_object() ? doc.find("schema") : nullptr;
+  if (schema == nullptr || !schema->is_string()) {
+    ValidationResult r;
+    err(r, "document has no \"schema\" string");
+    return r;
+  }
+  const std::string& s = schema->as_string();
+  if (s == "fgpred-trace-v1") return validate_trace(doc);
+  if (s == "fgpred-metrics-v1") return validate_metrics(doc);
+  if (s == "fgpred-residuals-v1") return validate_residuals(doc);
+  ValidationResult r;
+  err(r, "unknown schema '" + s + "'");
+  return r;
+}
+
+ValidationResult validate_report_text(std::string_view text) {
+  return validate_report(json::parse(text));
+}
+
+}  // namespace fgp::obs

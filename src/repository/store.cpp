@@ -3,6 +3,8 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -40,6 +42,12 @@ DatasetStore::DatasetStore(fs::path root) : root_(std::move(root)) {
   fs::create_directories(root_);
 }
 
+DatasetStore::DatasetStore(fs::path root, obs::TraceRecorder* trace,
+                           obs::Registry* metrics)
+    : root_(std::move(root)), trace_(trace), metrics_(metrics) {
+  fs::create_directories(root_);
+}
+
 fs::path DatasetStore::dir_for(const std::string& name) const {
   FGP_CHECK_MSG(!name.empty() && name.find('/') == std::string::npos,
                 "dataset name must be a plain identifier: '" << name << "'");
@@ -48,6 +56,7 @@ fs::path DatasetStore::dir_for(const std::string& name) const {
 
 void DatasetStore::save(const ChunkedDataset& ds,
                         util::ThreadPool* pool) const {
+  const obs::HostSpan io_span(trace_, "store", "save " + ds.meta().name);
   const fs::path dir = dir_for(ds.meta().name);
   fs::remove_all(dir);
   fs::create_directories(dir);
@@ -68,6 +77,12 @@ void DatasetStore::save(const ChunkedDataset& ds,
     FGP_CHECK_MSG(os.good(), "cannot open " << p << " for writing");
     ds.chunk(i).write_to(os);
     FGP_CHECK_MSG(os.good(), "short write to " << p);
+    if (metrics_ != nullptr) {
+      // Integral increments: exact under concurrent chunk writes.
+      metrics_->add("store.saved_chunks", 1.0);
+      metrics_->add("store.saved_bytes",
+                    static_cast<double>(fs::file_size(p)));
+    }
   };
   if (pool != nullptr) {
     pool->parallel_for(ds.chunk_count(), write_chunk);
@@ -78,6 +93,7 @@ void DatasetStore::save(const ChunkedDataset& ds,
 
 ChunkedDataset DatasetStore::load(const std::string& name,
                                   util::ThreadPool* pool) const {
+  const obs::HostSpan io_span(trace_, "store", "load " + name);
   const fs::path dir = dir_for(name);
   const auto manifest_bytes = read_file(dir / "manifest.bin");
   util::ByteReader r(manifest_bytes);
@@ -99,6 +115,7 @@ ChunkedDataset DatasetStore::load(const std::string& name,
     if (!is.good())
       throw util::SerializationError("cannot open " + p.string());
     chunks[i] = Chunk::read_from(is, fs::file_size(p));
+    if (metrics_ != nullptr) metrics_->add("store.loaded_chunks", 1.0);
   };
   if (pool != nullptr) {
     pool->parallel_for(static_cast<std::size_t>(count), read_chunk);

@@ -17,11 +17,24 @@ namespace fgp::util {
 class ThreadPool;
 }  // namespace fgp::util
 
+namespace fgp::obs {
+class Registry;
+class TraceRecorder;
+}  // namespace fgp::obs
+
 namespace fgp::repository {
 
 class DatasetStore {
  public:
   explicit DatasetStore(std::filesystem::path root);
+
+  /// As above, plus observability sinks (both may be null). Store IO is
+  /// host-machine work, so save/load record *host-domain* artifacts: a
+  /// wall-clock span per call (when the recorder has host recording on)
+  /// and the integral counters store.saved_chunks / store.saved_bytes /
+  /// store.loaded_chunks — integral so concurrent chunk IO stays exact.
+  DatasetStore(std::filesystem::path root, obs::TraceRecorder* trace,
+               obs::Registry* metrics);
 
   /// Writes `ds` under root/<ds.meta().name>/ (manifest + chunk files).
   /// Overwrites any existing copy. Chunk files are streamed (no
@@ -45,6 +58,8 @@ class DatasetStore {
  private:
   std::filesystem::path dir_for(const std::string& name) const;
   std::filesystem::path root_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace fgp::repository

@@ -1,7 +1,9 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fgp::sim {
@@ -19,6 +21,20 @@ double WanSpec::transfer_time(double bytes, std::uint64_t messages, int senders,
   FGP_CHECK(bytes >= 0.0);
   const double bw = per_sender_bandwidth(senders, sender_nic_Bps);
   return static_cast<double>(messages) * latency_s + bytes / bw;
+}
+
+double metered_transfer_time(const WanSpec& wan, obs::Registry* metrics,
+                             std::string_view pipe, double bytes,
+                             std::uint64_t messages, int senders,
+                             double sender_nic_Bps) {
+  const double t = wan.transfer_time(bytes, messages, senders, sender_nic_Bps);
+  if (metrics != nullptr) {
+    const std::string base = "wan." + std::string(pipe);
+    metrics->add(base + ".bytes", bytes);
+    metrics->add(base + ".messages", static_cast<double>(messages));
+    metrics->add(base + ".transfers", 1.0);
+  }
+  return t;
 }
 
 WanSpec wan_kbps(double kbps) {

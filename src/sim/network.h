@@ -11,6 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+
+namespace fgp::obs {
+class Registry;
+}
 
 namespace fgp::sim {
 
@@ -34,6 +39,17 @@ struct WanSpec {
   double transfer_time(double bytes, std::uint64_t messages, int senders,
                        double sender_nic_Bps) const;
 };
+
+/// transfer_time plus metric accounting. When `metrics` is non-null, bumps
+/// the deterministic counters
+///   wan.<pipe>.bytes / wan.<pipe>.messages / wan.<pipe>.transfers
+/// (`pipe` names the logical link, e.g. "repo-compute" or "cache-compute").
+/// Byte/message counts are integral, so concurrent recording stays exact;
+/// with a null registry this is exactly WanSpec::transfer_time.
+double metered_transfer_time(const WanSpec& wan, obs::Registry* metrics,
+                             std::string_view pipe, double bytes,
+                             std::uint64_t messages, int senders,
+                             double sender_nic_Bps);
 
 /// Convenience constructors matching the paper's setups.
 WanSpec wan_kbps(double kbps);   ///< e.g. wan_kbps(500), wan_kbps(250)

@@ -44,7 +44,8 @@ namespace detail {
 
 [[noreturn]] inline void assert_failure(const char* expr, const char* file,
                                         int line, const char* msg) {
-  std::fprintf(stderr, "fgpred internal invariant violated: %s at %s:%d%s%s\n",
+  // Last words before abort(): the one place a library writes to stderr.
+  std::fprintf(stderr, "fgpred internal invariant violated: %s at %s:%d%s%s\n",  // fgplint: allow
                expr, file, line, msg[0] ? " — " : "", msg);
   std::abort();
 }

@@ -34,14 +34,29 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     FGP_CHECK_MSG(!stop_, "submit on stopped ThreadPool");
     tasks_.push([pt] { (*pt)(); });
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   return fut;
 }
 
-void ThreadPool::ForState::drain() {
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.parallel_for_calls = parallel_for_calls_.load(std::memory_order_relaxed);
+  s.blocks_total = blocks_total_.load(std::memory_order_relaxed);
+  s.blocks_by_helpers = blocks_by_helpers_.load(std::memory_order_relaxed);
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::set_task_observer(TaskObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void ThreadPool::ForState::drain(std::atomic<unsigned long long>* helper_blocks) {
   for (;;) {
     const std::size_t b = next_block.fetch_add(1);
     if (b >= num_blocks) return;
+    if (helper_blocks) helper_blocks->fetch_add(1, std::memory_order_relaxed);
     const std::size_t begin = b * block;
     const std::size_t end = std::min(n, begin + block);
     for (std::size_t i = begin; i < end; ++i) {
@@ -68,6 +83,7 @@ void ThreadPool::ForState::drain() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  const double begin_s = observer_ ? epoch_.seconds() : 0.0;
   auto state = std::make_shared<ForState>();
   state->fn = &fn;
   state->n = n;
@@ -89,11 +105,15 @@ void ThreadPool::parallel_for(std::size_t n,
     std::lock_guard lock(mu_);
     if (!stop_)
       for (std::size_t h = 0; h < helpers; ++h)
-        tasks_.push([state] { state->drain(); });
+        tasks_.push([state, counter = &blocks_by_helpers_] {
+          state->drain(counter);
+        });
   }
   if (helpers > 0) cv_.notify_all();
 
   state->drain();
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
+  blocks_total_.fetch_add(state->num_blocks, std::memory_order_relaxed);
   {
     std::unique_lock lock(state->mu);
     state->done_cv.wait(lock, [&] {
@@ -101,6 +121,7 @@ void ThreadPool::parallel_for(std::size_t n,
     });
     if (state->error) std::rethrow_exception(state->error);
   }
+  if (observer_) observer_(n, begin_s, epoch_.seconds());
 }
 
 void ThreadPool::worker_loop() {

@@ -27,7 +27,20 @@
 #include <thread>
 #include <vector>
 
+#include "util/wallclock.h"
+
 namespace fgp::util {
+
+/// Monotonic pool activity counters. All values are host-side bookkeeping:
+/// blocks_by_helpers depends on scheduling races and MUST NOT feed any
+/// deterministic output (see DESIGN.md §12 — it belongs to the Host metric
+/// domain).
+struct PoolStats {
+  unsigned long long parallel_for_calls = 0;
+  unsigned long long blocks_total = 0;
+  unsigned long long blocks_by_helpers = 0;  ///< claimed off the caller thread
+  unsigned long long tasks_submitted = 0;    ///< submit() calls
+};
 
 class ThreadPool {
  public:
@@ -51,6 +64,20 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Snapshot of the activity counters (atomically consistent per field,
+  /// not across fields — fine for monitoring).
+  PoolStats stats() const;
+
+  /// Observer invoked on the *calling* thread after every parallel_for,
+  /// with the range size and the wall-clock window [begin_s, end_s) in
+  /// seconds since the pool's construction. Wall-clock only: intended for
+  /// host-domain tracing (obs::attach_pool_tracing). Pass nullptr to
+  /// detach. Not thread-safe against concurrent parallel_for callers —
+  /// install before handing the pool out.
+  using TaskObserver =
+      std::function<void(std::size_t n, double begin_s, double end_s)>;
+  void set_task_observer(TaskObserver observer);
+
  private:
   // Shared state of one parallel_for invocation. Helpers hold it via
   // shared_ptr, so a late-dequeued helper outliving the call is harmless:
@@ -67,8 +94,10 @@ class ThreadPool {
     std::size_t first_error_index = 0;
     std::exception_ptr error;
 
-    /// Claims and runs blocks until the range is spent.
-    void drain();
+    /// Claims and runs blocks until the range is spent. `helper_blocks`
+    /// (when non-null) counts blocks claimed by queue helpers rather than
+    /// the owning caller.
+    void drain(std::atomic<unsigned long long>* helper_blocks = nullptr);
   };
 
   void worker_loop();
@@ -78,6 +107,13 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  Stopwatch epoch_;  // wall-clock origin for the task observer
+  TaskObserver observer_;
+  std::atomic<unsigned long long> parallel_for_calls_{0};
+  std::atomic<unsigned long long> blocks_total_{0};
+  std::atomic<unsigned long long> blocks_by_helpers_{0};
+  std::atomic<unsigned long long> tasks_submitted_{0};
 };
 
 }  // namespace fgp::util

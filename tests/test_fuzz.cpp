@@ -18,6 +18,9 @@
 #include "datagen/flowfield.h"
 #include "datagen/lattice.h"
 #include "datagen/transactions.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/validate.h"
 #include "util/rng.h"
 #include "util/serial.h"
 
@@ -301,6 +304,136 @@ TEST(Fuzz, ByteReaderRandomGarbageNeverCrashesTypedOnly) {
     }
   }
   SUCCEED();
+}
+
+// --- Observability report corpora ----------------------------------------
+// The obs JSON parser and report validators read files that may come off
+// disk or a CI artifact store: every hostile input must end in a typed
+// SerializationError (unparseable) or a validation error list (parseable
+// but malformed) — never a crash, hang or unbounded recursion.
+
+/// A small valid metrics report to truncate and corrupt.
+std::string valid_metrics_report() {
+  obs::Registry reg;
+  reg.add("wan.repo-compute.bytes", 4096.0);
+  reg.set("runtime.passes", 3.0);
+  reg.observe("phase.disk", 0.25);
+  reg.add("pool.steals", 7.0, obs::Domain::Host);
+  return reg.to_json(true);
+}
+
+TEST(Fuzz, ObsJsonRejectsMalformedDocumentsTyped) {
+  const char* corpus[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[",
+      "[1,",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{\"a\":1,}",
+      "[1, 2,, 3]",
+      "\"unterminated",
+      "\"bad \\x escape\"",
+      "\"\\u12\"",
+      "tru",
+      "nulll",
+      "+1",
+      "1e",
+      "1.",
+      "- 1",
+      "NaN",
+      "Infinity",
+      "{\"a\":1} trailing",
+      "\x01\x02\x03",
+  };
+  for (const char* text : corpus)
+    EXPECT_THROW(obs::json::parse(text), util::SerializationError) << text;
+}
+
+TEST(Fuzz, ObsJsonBoundsRecursionDepth) {
+  // 4000 nested arrays / objects: far past max_depth, must reject rather
+  // than recurse (the asan preset turns a stack overflow into a crash).
+  std::string arrays(4000, '[');
+  arrays.append(4000, ']');
+  EXPECT_THROW(obs::json::parse(arrays), util::SerializationError);
+
+  std::string objects;
+  for (int i = 0; i < 4000; ++i) objects += "{\"k\":";
+  objects += "1";
+  objects.append(4000, '}');
+  EXPECT_THROW(obs::json::parse(objects), util::SerializationError);
+}
+
+TEST(Fuzz, ReportValidatorSurvivesEveryTruncation) {
+  const std::string report = valid_metrics_report();
+  ASSERT_TRUE(obs::validate_report_text(report).ok());
+  // Cuts that only strip trailing whitespace leave a complete document;
+  // every shorter prefix must fail in a controlled way.
+  const std::size_t meaningful = report.find_last_of('}') + 1;
+  for (std::size_t cut = 0; cut < report.size(); ++cut) {
+    const std::string truncated = report.substr(0, cut);
+    try {
+      // Parseable prefixes must yield an error list, never a crash; a
+      // clean pass is only possible for the whitespace-only cuts.
+      const auto v = obs::validate_report_text(truncated);
+      EXPECT_TRUE(!v.ok() || cut >= meaningful) << "cut=" << cut;
+    } catch (const util::SerializationError&) {
+      // unparseable prefix: typed failure is the expected outcome
+    }
+  }
+}
+
+TEST(Fuzz, ReportValidatorSurvivesRandomCorruption) {
+  const std::string report = valid_metrics_report();
+  util::Rng rng(4711);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = report;
+    const int flips = 1 + static_cast<int>(rng.next_below(6));
+    for (int f = 0; f < flips; ++f)
+      bytes[rng.next_below(bytes.size())] =
+          static_cast<char>(rng.next_below(256));
+    try {
+      (void)obs::validate_report_text(bytes);
+    } catch (const util::SerializationError&) {
+      // controlled outcome; anything else (crash, hang, other exception
+      // type) fails the test run
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, ReportValidatorRejectsWrongShapesWithErrors) {
+  // Parseable documents whose shape is wrong: the validator must return
+  // error lists (kind Unknown or errors non-empty), never throw.
+  const char* corpus[] = {
+      "null",
+      "42",
+      "[]",
+      "{}",
+      "{\"schema\":\"unknown-schema\"}",
+      "{\"schema\":42}",
+      "{\"schema\":\"fgpred-trace-v1\"}",
+      "{\"schema\":\"fgpred-trace-v1\",\"traceEvents\":42}",
+      "{\"schema\":\"fgpred-trace-v1\",\"traceEvents\":[42]}",
+      "{\"schema\":\"fgpred-trace-v1\",\"traceEvents\":[{\"ph\":\"Q\"}]}",
+      "{\"schema\":\"fgpred-trace-v1\",\"traceEvents\":[{\"ph\":\"B\","
+      "\"pid\":0,\"tid\":0,\"ts\":-5,\"name\":\"x\"}]}",
+      "{\"schema\":\"fgpred-metrics-v1\"}",
+      "{\"schema\":\"fgpred-metrics-v1\",\"deterministic\":[]}",
+      "{\"schema\":\"fgpred-metrics-v1\",\"deterministic\":"
+      "{\"a\":{\"type\":\"counter\"}}}",
+      "{\"schema\":\"fgpred-residuals-v1\"}",
+      "{\"schema\":\"fgpred-residuals-v1\",\"points\":[{}]}",
+      "{\"schema\":\"fgpred-residuals-v1\",\"points\":[{\"label\":\"1-1\","
+      "\"predicted\":{},\"observed\":{},\"residual\":{},"
+      "\"rel_error_total\":0}]}",
+  };
+  for (const char* text : corpus) {
+    const auto v = obs::validate_report_text(text);
+    EXPECT_FALSE(v.ok()) << text;
+  }
 }
 
 TEST(Fuzz, ChunkParsersRejectRandomBytes) {

@@ -1,0 +1,323 @@
+// test_obs.cpp — the observability layer's contracts: byte-identical
+// trace/metrics exports across host pool sizes (DESIGN.md §12), Chrome-trace
+// shape via the shared validator, registry semantics, residual reports,
+// per-node pass timing and the overlap-mode elapsed pin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "core/predictor.h"
+#include "core/profile.h"
+#include "core/residuals.h"
+#include "helpers.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/pool.h"
+#include "obs/residual.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace fgp {
+namespace {
+
+struct TracedRun {
+  std::string trace_json;    ///< to_chrome_json(false): host stripped
+  std::string metrics_json;  ///< to_json(false): host stripped
+  freeride::RunResult result;
+};
+
+/// One fixed multi-pass job on the Pentium cluster with both sinks
+/// attached; exports are taken in byte-comparison mode.
+TracedRun run_traced(util::ThreadPool* pool, bool caching = false) {
+  const auto ds = testing::make_sum_dataset(24, 64);
+  testing::SumKernelParams params;
+  params.passes = 3;
+  testing::SumKernel kernel(params);
+  auto setup = testing::pentium_setup(&ds, 2, 4);
+  setup.config.enable_caching = caching;
+  obs::TraceRecorder trace;
+  obs::Registry metrics;
+  setup.trace = &trace;
+  setup.metrics = &metrics;
+  auto result = freeride::Runtime(pool).run(setup, kernel);
+  return {trace.to_chrome_json(false), metrics.to_json(false),
+          std::move(result)};
+}
+
+TEST(Obs, TraceAndMetricsByteIdenticalAcrossPoolSizes) {
+  const TracedRun serial = run_traced(nullptr);
+  ASSERT_FALSE(serial.trace_json.empty());
+  ASSERT_FALSE(serial.metrics_json.empty());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const TracedRun pooled = run_traced(&pool);
+    EXPECT_EQ(serial.trace_json, pooled.trace_json)
+        << "trace diverged at pool size " << threads;
+    EXPECT_EQ(serial.metrics_json, pooled.metrics_json)
+        << "metrics diverged at pool size " << threads;
+  }
+}
+
+TEST(Obs, TraceValidatesAndHostEventsStrip) {
+  const auto ds = testing::make_sum_dataset(8, 32);
+  testing::SumKernel kernel;
+  auto setup = testing::pentium_setup(&ds, 1, 2);
+  obs::TraceRecorder trace;
+  trace.enable_host(true);
+  setup.trace = &trace;
+  freeride::Runtime().run(setup, kernel);
+
+  const std::string with_host = trace.to_chrome_json(true);
+  const std::string without = trace.to_chrome_json(false);
+  for (const std::string& text : {with_host, without}) {
+    const auto v = obs::validate_report_text(text);
+    EXPECT_EQ(v.kind, obs::ReportKind::Trace);
+    EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+  }
+  // The runtime records its HostSpan("runtime", "run") on the host pid;
+  // byte-comparison mode must drop it.
+  EXPECT_NE(with_host.find("\"pid\": 10000"), std::string::npos);
+  EXPECT_EQ(without.find("\"pid\": 10000"), std::string::npos);
+  // Virtual phase spans survive either way.
+  for (const char* needle :
+       {"local-reduction", "network-transfer", "ro-comm", "global-reduction",
+        "retrieval/repository"}) {
+    EXPECT_NE(without.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Obs, RuntimeRecordsExpectedCounters) {
+  const TracedRun run = run_traced(nullptr);
+  const auto doc = obs::json::parse(run.metrics_json);
+  const auto v = obs::validate_report(doc);
+  EXPECT_EQ(v.kind, obs::ReportKind::Metrics);
+  EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+
+  // Re-run to read values straight off a registry.
+  const auto ds = testing::make_sum_dataset(24, 64);
+  testing::SumKernelParams params;
+  params.passes = 3;
+  testing::SumKernel kernel(params);
+  auto setup = testing::pentium_setup(&ds, 2, 4);
+  obs::Registry metrics;
+  setup.metrics = &metrics;
+  freeride::Runtime().run(setup, kernel);
+  EXPECT_DOUBLE_EQ(metrics.value("runtime.passes"), 3.0);
+  // Without caching every pass retrieves all 24 chunks from the repository.
+  EXPECT_DOUBLE_EQ(metrics.value("runtime.chunks.repository"), 72.0);
+  EXPECT_GT(metrics.value("wan.repo-compute.bytes"), 0.0);
+  // One metered transfer per data node per pass: 2 nodes x 3 passes.
+  EXPECT_DOUBLE_EQ(metrics.value("wan.repo-compute.transfers"), 6.0);
+  EXPECT_GT(metrics.value("runtime.max_object_bytes"), 0.0);
+}
+
+TEST(Obs, CachingSplitsChunkCountersByTier) {
+  const auto ds = testing::make_sum_dataset(24, 64);
+  testing::SumKernelParams params;
+  params.passes = 3;
+  testing::SumKernel kernel(params);
+  auto setup = testing::pentium_setup(&ds, 2, 4);
+  setup.config.enable_caching = true;
+  obs::Registry metrics;
+  setup.metrics = &metrics;
+  freeride::Runtime().run(setup, kernel);
+  // Pass 0 populates the per-node caches; passes 1 and 2 hit them.
+  EXPECT_DOUBLE_EQ(metrics.value("cache.inserted_chunks"), 24.0);
+  EXPECT_GT(metrics.value("cache.inserted_bytes"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.value("runtime.chunks.repository"), 24.0);
+  EXPECT_DOUBLE_EQ(metrics.value("runtime.chunks.local-cache"), 48.0);
+}
+
+TEST(Obs, PassRecordTracksPerNodeComputeTime) {
+  const TracedRun run = run_traced(nullptr);
+  const auto& passes = run.result.timing.passes;
+  ASSERT_EQ(passes.size(), 3u);
+  for (const auto& rec : passes) {
+    ASSERT_EQ(rec.node_compute.size(), 4u);
+    double slowest = 0.0;
+    for (const double t : rec.node_compute) {
+      EXPECT_GT(t, 0.0);
+      slowest = std::max(slowest, t);
+    }
+    EXPECT_DOUBLE_EQ(slowest, rec.timing.compute_local);
+  }
+}
+
+// Pins the JobTiming::elapsed contract the header documents: additive mode
+// sums every phase; overlap mode takes max(disk, network, local) + the
+// serialized parts, which is *strictly* less whenever all three pipelined
+// phases take non-zero time.
+TEST(Obs, OverlapElapsedStrictlyBelowAdditiveTotal) {
+  const auto ds = testing::make_sum_dataset(24, 64);
+
+  auto run_with = [&](bool overlap) {
+    testing::SumKernelParams params;
+    params.passes = 2;
+    testing::SumKernel kernel(params);
+    auto setup = testing::pentium_setup(&ds, 2, 4);
+    setup.config.overlap_phases = overlap;
+    return freeride::Runtime().run(setup, kernel);
+  };
+
+  const auto additive = run_with(false);
+  EXPECT_DOUBLE_EQ(additive.timing.elapsed, additive.timing.total.total());
+
+  const auto overlapped = run_with(true);
+  double expected_elapsed = 0.0;
+  for (const auto& rec : overlapped.timing.passes) {
+    ASSERT_GT(rec.timing.disk, 0.0);
+    ASSERT_GT(rec.timing.network, 0.0);
+    ASSERT_GT(rec.timing.compute_local, 0.0);
+    EXPECT_LT(rec.elapsed, rec.timing.total());
+    EXPECT_DOUBLE_EQ(rec.elapsed,
+                     std::max({rec.timing.disk, rec.timing.network,
+                               rec.timing.compute_local}) +
+                         rec.timing.ro_comm + rec.timing.global_red);
+    expected_elapsed += rec.elapsed;
+  }
+  EXPECT_DOUBLE_EQ(overlapped.timing.elapsed, expected_elapsed);
+  EXPECT_LT(overlapped.timing.elapsed, overlapped.timing.total.total());
+}
+
+TEST(Obs, RegistrySemantics) {
+  obs::Registry reg;
+  reg.add("c", 2.0);
+  reg.add("c", 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("c"), 5.0);
+  reg.set("g", 7.0);
+  reg.set("g", 4.0);
+  EXPECT_DOUBLE_EQ(reg.value("g"), 4.0);
+  reg.set_max("m", 1.0);
+  reg.set_max("m", 9.0);
+  reg.set_max("m", 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("m"), 9.0);
+  EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+
+  reg.observe("h", 1e-3);
+  reg.observe("h", 1e2);
+  reg.add("host.only", 1.0, obs::Domain::Host);
+
+  const std::string with_host = reg.to_json(true);
+  const std::string without = reg.to_json(false);
+  for (const std::string& text : {with_host, without}) {
+    const auto v = obs::validate_report_text(text);
+    EXPECT_EQ(v.kind, obs::ReportKind::Metrics);
+    EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+  }
+  EXPECT_NE(with_host.find("host.only"), std::string::npos);
+  EXPECT_EQ(without.find("host.only"), std::string::npos);
+
+  reg.clear();
+  EXPECT_DOUBLE_EQ(reg.value("c"), 0.0);
+}
+
+TEST(Obs, TraceRecorderRejectsOutOfOrderSpans) {
+  obs::TraceRecorder trace;
+  EXPECT_THROW(trace.span("cat", "bad", obs::kJobNode, 0, 2.0, 1.0),
+               util::Error);
+  EXPECT_THROW(trace.span("cat", "bad", obs::kJobNode, 0, -1.0, 1.0),
+               util::Error);
+  trace.span("cat", "good", obs::kJobNode, 0, 1.0, 2.0);
+  EXPECT_EQ(trace.event_count(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(Obs, ResidualReportRoundTrip) {
+  core::PredictedTime predicted;
+  predicted.disk = 1.0;
+  predicted.network = 2.0;
+  predicted.compute_local = 3.0;
+  predicted.ro_comm = 0.5;
+  predicted.global_red = 0.25;
+  predicted.compute =
+      predicted.compute_local + predicted.ro_comm + predicted.global_red;
+
+  freeride::TimingBreakdown observed;
+  observed.disk = 1.1;
+  observed.network = 1.9;
+  observed.compute_local = 3.2;
+  observed.ro_comm = 0.5;
+  observed.global_red = 0.3;
+
+  const auto point = core::make_residual_point("2-4", predicted, observed);
+  EXPECT_EQ(point.label, "2-4");
+  EXPECT_DOUBLE_EQ(point.predicted.total(), predicted.total());
+  EXPECT_DOUBLE_EQ(point.observed.total(), observed.total());
+  EXPECT_NEAR(point.residual().disk, -0.1, 1e-12);
+  EXPECT_NEAR(point.rel_error_total(),
+              std::abs(predicted.total() - observed.total()) / observed.total(),
+              1e-12);
+
+  obs::ResidualReport report("unit-sweep", "global-reduction");
+  report.add(point);
+  const auto v = obs::validate_report_text(report.to_json());
+  EXPECT_EQ(v.kind, obs::ReportKind::Residuals);
+  EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+}
+
+// The predictor's component split must stay consistent with its total —
+// the residual reports subtract these per component.
+TEST(Obs, PredictedTimeComponentSplitSumsToCompute) {
+  const auto ds = testing::make_sum_dataset(16, 32);
+  testing::SumKernel kernel;
+  auto setup = testing::pentium_setup(&ds, 1, 1);
+  util::ThreadPool* const no_pool = nullptr;
+  const auto profile = core::ProfileCollector::collect(setup, kernel, no_pool);
+  for (const auto model : {core::PredictionModel::NoCommunication,
+                           core::PredictionModel::ReductionCommunication,
+                           core::PredictionModel::GlobalReduction}) {
+    core::PredictorOptions opts;
+    opts.model = model;
+    auto target = profile.config;
+    target.data_nodes = 2;
+    target.compute_nodes = 4;
+    const auto t = core::Predictor(profile, opts).predict(target);
+    EXPECT_NEAR(t.compute, t.compute_local + t.ro_comm + t.global_red, 1e-12);
+    EXPECT_GE(t.compute_local, 0.0);
+    EXPECT_GE(t.ro_comm, 0.0);
+    EXPECT_GE(t.global_red, 0.0);
+  }
+}
+
+TEST(Obs, PoolTracingAndHostStats) {
+  util::ThreadPool pool(2);
+  obs::TraceRecorder trace;
+  trace.enable_host(true);
+  obs::attach_pool_tracing(pool, &trace);
+  std::atomic<int> hits{0};
+  pool.parallel_for(64, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 64);
+  EXPECT_GE(trace.event_count(), 1u);
+  obs::attach_pool_tracing(pool, nullptr);
+  pool.submit([] {}).get();
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.parallel_for_calls, 1ull);
+  EXPECT_GE(stats.blocks_total, 1ull);
+  EXPECT_EQ(stats.tasks_submitted, 1ull);
+
+  // Pool stats are host-domain: present with host, gone without.
+  obs::Registry reg;
+  obs::record_pool_stats(stats, reg);
+  EXPECT_NE(reg.to_json(true).find("pool.parallel_for_calls"),
+            std::string::npos);
+  EXPECT_EQ(reg.to_json(false).find("pool.parallel_for_calls"),
+            std::string::npos);
+
+  // The pool span lands on the segregated host pid and strips cleanly.
+  const std::string with_host = trace.to_chrome_json(true);
+  EXPECT_NE(with_host.find("parallel_for"), std::string::npos);
+  EXPECT_EQ(trace.to_chrome_json(false).find("parallel_for"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgp

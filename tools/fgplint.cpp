@@ -23,6 +23,11 @@
 //                   FGP_CHECK, internal invariants use FGP_ASSERT (both
 //                   from util/check.h); recoverable errors throw
 //                   fgp::util::Error subclasses, never raw std exceptions.
+//   console-io      std::cout/std::cerr/std::clog and printf-family calls
+//                   are forbidden in src/ and tests/ — libraries report
+//                   through return values, exceptions and the obs layer;
+//                   only tools/, bench/ and examples/ own stdout/stderr.
+//                   (snprintf-to-buffer formatting is fine.)
 //   formatting      no tabs, no trailing whitespace, no CRLF, newline at
 //                   end of file (the mechanical subset of .clang-format,
 //                   enforced even where clang-format is not installed).
@@ -213,6 +218,7 @@ class Linter {
 
     const bool in_src = starts_with(rel, "src/");
     const bool in_util = starts_with(rel, "src/util/");
+    const bool in_tests = starts_with(rel, "tests/");
     const bool is_header = path.extension() == ".h";
 
     if (is_header && raw.find("#pragma once") == std::string::npos)
@@ -230,6 +236,7 @@ class Linter {
       if (in_src && !in_util) check_wall_clock(rel, ln, cline);
       if (in_src) check_rng(rel, ln, cline);
       if (!in_util) check_check_convention(rel, ln, cline, in_src);
+      if (in_src || in_tests) check_console_io(rel, ln, cline);
       check_naked_new(rel, ln, cline);
     }
   }
@@ -312,6 +319,25 @@ class Linter {
     if (in_src && cline.find("throw std::") != std::string::npos)
       add(rel, ln, "check-convention",
           "raw std exception — throw a fgp::util::Error subclass");
+  }
+
+  void check_console_io(const std::string& rel, std::size_t ln,
+                        const std::string& cline) {
+    static const char* streams[] = {"cout", "cerr", "clog"};
+    for (const char* s : streams)
+      if (has_word(cline, s))
+        add(rel, ln, "console-io",
+            std::string("std::") + s +
+                " outside tools/bench/examples — libraries report through "
+                "return values, exceptions and the obs layer");
+    static const char* calls[] = {"printf", "fprintf", "vfprintf", "puts",
+                                  "fputs", "putchar", "fputc"};
+    for (const char* cfn : calls)
+      if (has_call(cline, cfn))
+        add(rel, ln, "console-io",
+            std::string(cfn) +
+                "() outside tools/bench/examples — format into buffers "
+                "(snprintf) or use the obs layer");
   }
 
   void check_naked_new(const std::string& rel, std::size_t ln,
