@@ -60,6 +60,13 @@ BenchApp make_vortex_app(double virtual_mb, int grid, std::uint64_t seed);
 BenchApp make_defect_app(double virtual_mb, int nx, int ny, int nz,
                          std::uint64_t seed);
 
+/// An aliasing view of `app` at another virtual size: the view's dataset
+/// shares every payload slab with the original (zero payload bytes copied
+/// — DESIGN.md §13), so a size-scaling figure generates its dataset once
+/// and derives every scale point from it. Kernel factory and classes are
+/// shared with the original app.
+BenchApp with_virtual_size(const BenchApp& app, double virtual_mb);
+
 /// The other generalized-reduction algorithms the paper names (§2.2) plus
 /// the volumetric vortex miner.
 BenchApp make_apriori_app(double virtual_mb, std::uint64_t seed);

@@ -17,16 +17,26 @@
 // for bit-identical virtual timings and reduction objects before timing
 // (DESIGN.md §11), and the wall-clock ratio is tracked in BENCH_sweeps.json.
 //
+// A third section times the zero-copy data plane (DESIGN.md §13): a
+// fig07-style multi-scale sweep derives several virtual sizes from one
+// generated dataset, timed as deep payload copies (the pre-shared-slab
+// behavior) vs aliasing views, with resident-set deltas for both; and a
+// store round-trip timed as streamed load vs mmap-backed load_mapped.
+// The report goes to BENCH_dataplane.json (schema fgpred-dataplane-v1).
+//
 // Usage: host_perf [--quick] [--out <path>] [--sweep-out <path>]
-//   --quick      smaller datasets + shorter repetitions (CI smoke)
-//   --out        write the kernel JSON report to <path> instead of stdout
-//   --sweep-out  write the sweep JSON report to <path> instead of stdout
+//                  [--dataplane-out <path>]
+//   --quick          smaller datasets + shorter repetitions (CI smoke)
+//   --out            write the kernel JSON report to <path> instead of stdout
+//   --sweep-out      write the sweep JSON report to <path> instead of stdout
+//   --dataplane-out  write the data-plane JSON report to <path>
 //
 // Wall-clock readings go through util::Stopwatch, the single sanctioned
 // clock access point (tools/fgplint enforces this).
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,6 +44,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
 
 #include "apps/defect.h"
 #include "apps/em.h"
@@ -46,6 +60,7 @@
 #include "datagen/points.h"
 #include "freeride/reduction.h"
 #include "naive_kernels.h"
+#include "repository/store.h"
 #include "util/check.h"
 #include "util/serial.h"
 #include "util/wallclock.h"
@@ -346,6 +361,191 @@ SweepResult bench_sweep(double min_seconds, bool quick) {
   return r;
 }
 
+/// Current resident set size in bytes via /proc/self/statm (0 where the
+/// proc filesystem or sysconf is unavailable).
+double resident_bytes() {
+#if defined(__unix__)
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t vm_pages = 0;
+  std::uint64_t rss_pages = 0;
+  if (!(statm >> vm_pages >> rss_pages)) return 0.0;
+  return static_cast<double>(rss_pages) *
+         static_cast<double>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0.0;
+#endif
+}
+
+/// Rebuilds `ds` with owned payload copies — the pre-shared-slab cost of
+/// giving a concurrent sweep point its own rescalable dataset (allocate,
+/// copy, re-checksum every chunk).
+repository::ChunkedDataset deep_copy_dataset(
+    const repository::ChunkedDataset& ds) {
+  repository::ChunkedDataset out(ds.meta());
+  for (const auto& c : ds.chunks()) {
+    const auto bytes = c.payload();
+    out.add_chunk(repository::Chunk(
+        c.id(), std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+        c.virtual_scale()));
+  }
+  return out;
+}
+
+struct DataPlaneResult {
+  std::string name;
+  std::size_t chunks = 0;
+  double payload_bytes = 0.0;  ///< real bytes moved per baseline sweep
+  double baseline_s = 0.0;
+  double zerocopy_s = 0.0;
+  double baseline_rss_delta = 0.0;
+  double zerocopy_rss_delta = 0.0;
+  double speedup() const { return baseline_s / zerocopy_s; }
+};
+
+/// Times a fig07-style multi-scale sweep's data plane: four virtual sizes
+/// derived from one generated EM dataset, once by deep-copying + rescaling
+/// (what concurrent scale points required when virtual_scale was chunk
+/// state) and once as aliasing views. Both variants are cross-checked for
+/// identical ids, checksums and virtual totals before timing.
+DataPlaneResult bench_clone_rescale(double min_seconds, bool quick) {
+  const auto app = quick ? make_em_app(350.0, 1.0, 42, /*passes=*/2)
+                         : make_em_app(350.0, 4.0, 42, /*passes=*/2);
+  const auto& ds = *app.dataset;
+  const std::vector<double> scales_mb = {350.0, 700.0, 1050.0, 1400.0};
+  const double real = static_cast<double>(ds.total_real_bytes());
+
+  {
+    const double scale = scales_mb[1] * 1e6 / real;
+    const auto view = ds.with_uniform_virtual_scale(scale);
+    auto copy = deep_copy_dataset(ds);
+    copy.set_uniform_virtual_scale(scale);
+    FGP_CHECK(view.chunk_count() == copy.chunk_count());
+    FGP_CHECK(view.total_virtual_bytes() == copy.total_virtual_bytes());
+    for (std::size_t i = 0; i < view.chunk_count(); ++i) {
+      FGP_CHECK(view.chunk(i).id() == copy.chunk(i).id());
+      FGP_CHECK(view.chunk(i).checksum() == copy.chunk(i).checksum());
+      FGP_CHECK(view.chunk(i).virtual_bytes() == copy.chunk(i).virtual_bytes());
+      // The view aliases the original slabs; the deep copy owns fresh ones.
+      FGP_CHECK(view.chunk(i).payload().data() == ds.chunk(i).payload().data());
+      FGP_CHECK(copy.chunk(i).payload().data() != ds.chunk(i).payload().data());
+    }
+  }
+
+  double sink = 0.0;
+  const auto baseline = [&] {
+    for (double mb : scales_mb) {
+      auto copy = deep_copy_dataset(ds);
+      copy.set_uniform_virtual_scale(mb * 1e6 / real);
+      sink += copy.total_virtual_bytes();
+    }
+  };
+  const auto zerocopy = [&] {
+    for (double mb : scales_mb)
+      sink +=
+          ds.with_uniform_virtual_scale(mb * 1e6 / real).total_virtual_bytes();
+  };
+
+  DataPlaneResult r;
+  r.name = "clone-rescale";
+  r.chunks = ds.chunk_count();
+  r.payload_bytes = real * static_cast<double>(scales_mb.size());
+  r.baseline_s = time_sweep(baseline, min_seconds);
+  r.zerocopy_s = time_sweep(zerocopy, min_seconds);
+
+  // Peak-RSS effect of holding every scale point at once, as a concurrent
+  // sweep does. Views first, so retained allocator arenas from the deep
+  // copies cannot inflate the view-side reading.
+  {
+    std::vector<repository::ChunkedDataset> held;
+    const double before = resident_bytes();
+    for (double mb : scales_mb)
+      held.push_back(ds.with_uniform_virtual_scale(mb * 1e6 / real));
+    r.zerocopy_rss_delta = std::max(0.0, resident_bytes() - before);
+  }
+  {
+    std::vector<repository::ChunkedDataset> held;
+    const double before = resident_bytes();
+    for (double mb : scales_mb) {
+      held.push_back(deep_copy_dataset(ds));
+      held.back().set_uniform_virtual_scale(mb * 1e6 / real);
+    }
+    r.baseline_rss_delta = std::max(0.0, resident_bytes() - before);
+  }
+  FGP_CHECK_MSG(sink > 0.0, "data-plane sweeps produced no work");
+  return r;
+}
+
+/// Times a store round trip: streamed load (one heap buffer per chunk) vs
+/// load_mapped (chunks alias the mapped files). Both loads are
+/// cross-checked for byte-identical payloads before timing.
+DataPlaneResult bench_store_load(double min_seconds, bool quick) {
+  const auto app = quick ? make_em_app(350.0, 1.0, 43, /*passes=*/2)
+                         : make_em_app(350.0, 4.0, 43, /*passes=*/2);
+  const auto& ds = *app.dataset;
+  const auto root =
+      std::filesystem::temp_directory_path() / "fgp_dataplane_store";
+  const repository::DatasetStore store(root);
+  store.save(ds);
+
+  const auto streamed = store.load(ds.meta().name);
+  const auto mapped = store.load_mapped(ds.meta().name);
+  FGP_CHECK(streamed.chunk_count() == mapped.chunk_count());
+  for (std::size_t i = 0; i < streamed.chunk_count(); ++i) {
+    const auto a = streamed.chunk(i).payload();
+    const auto b = mapped.chunk(i).payload();
+    FGP_CHECK_MSG(a.size() == b.size() &&
+                      std::equal(a.begin(), a.end(), b.begin()),
+                  "chunk " << i << ": streamed and mapped loads diverged");
+    FGP_CHECK(streamed.chunk(i).checksum() == mapped.chunk(i).checksum());
+  }
+
+  DataPlaneResult r;
+  r.name = "store-load";
+  r.chunks = ds.chunk_count();
+  r.payload_bytes = static_cast<double>(ds.total_real_bytes());
+  r.baseline_s = time_sweep([&] { store.load(ds.meta().name); }, min_seconds);
+  r.zerocopy_s =
+      time_sweep([&] { store.load_mapped(ds.meta().name); }, min_seconds);
+  store.remove(ds.meta().name);
+  return r;
+}
+
+std::string to_dataplane_json(const std::vector<DataPlaneResult>& results,
+                              bool quick) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-dataplane-v1\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"mmap\": "
+     << (fgp::repository::PayloadBuffer::mmap_supported() ? "true" : "false")
+     << ",\n";
+  os << "  \"dataplane\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << r.name << "\",\n";
+    os << "      \"chunks\": " << r.chunks << ",\n";
+    os << "      \"payload_bytes\": " << r.payload_bytes << ",\n";
+    os << "      \"baseline_seconds\": " << r.baseline_s << ",\n";
+    os << "      \"zerocopy_seconds\": " << r.zerocopy_s << ",\n";
+    os << "      \"baseline_bytes_per_second\": "
+       << r.payload_bytes / r.baseline_s << ",\n";
+    os << "      \"zerocopy_bytes_per_second\": "
+       << r.payload_bytes / r.zerocopy_s << ",\n";
+    os << "      \"baseline_rss_delta_bytes\": " << r.baseline_rss_delta
+       << ",\n";
+    os << "      \"zerocopy_rss_delta_bytes\": " << r.zerocopy_rss_delta
+       << ",\n";
+    os << "      \"speedup\": " << r.speedup() << "\n";
+    os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
 std::string to_sweep_json(const std::vector<SweepResult>& results,
                           bool quick) {
   std::ostringstream os;
@@ -355,6 +555,10 @@ std::string to_sweep_json(const std::vector<SweepResult>& results,
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"host_cores\": " << (results.empty() ? 0 : results[0].host_cores)
      << ",\n";
+  os << "  \"note\": \"sweep speedup scales with host_cores (the grid "
+        "configurations are independent); on 1 core the two-level path can "
+        "only break even. bench_diff refuses comparisons across different "
+        "host_cores.\",\n";
   os << "  \"sweeps\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -412,6 +616,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path;
   std::string sweep_out_path;
+  std::string dataplane_out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -419,9 +624,11 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
       sweep_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dataplane-out") == 0 && i + 1 < argc) {
+      dataplane_out_path = argv[++i];
     } else {
-      std::cerr
-          << "usage: host_perf [--quick] [--out <path>] [--sweep-out <path>]\n";
+      std::cerr << "usage: host_perf [--quick] [--out <path>] "
+                   "[--sweep-out <path>] [--dataplane-out <path>]\n";
       return 2;
     }
   }
@@ -460,6 +667,23 @@ int main(int argc, char** argv) {
     std::ofstream f(sweep_out_path);
     f << sweep_json;
     std::cerr << "wrote " << sweep_out_path << "\n";
+  }
+
+  std::vector<fgp::bench::DataPlaneResult> dataplane;
+  dataplane.push_back(fgp::bench::bench_clone_rescale(min_seconds, quick));
+  std::cerr << "dataplane " << dataplane.back().name << ": "
+            << dataplane.back().speedup() << "x\n";
+  dataplane.push_back(fgp::bench::bench_store_load(min_seconds, quick));
+  std::cerr << "dataplane " << dataplane.back().name << ": "
+            << dataplane.back().speedup() << "x\n";
+  const std::string dataplane_json =
+      fgp::bench::to_dataplane_json(dataplane, quick);
+  if (dataplane_out_path.empty()) {
+    std::cout << dataplane_json;
+  } else {
+    std::ofstream f(dataplane_out_path);
+    f << dataplane_json;
+    std::cerr << "wrote " << dataplane_out_path << "\n";
   }
   return 0;
 }

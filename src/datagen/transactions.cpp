@@ -11,8 +11,8 @@
 namespace fgp::datagen {
 
 std::vector<Transaction> parse_transactions(const repository::Chunk& chunk) {
-  const auto& payload = chunk.payload();
-  util::ByteReader r(payload);
+  const auto payload = chunk.payload();
+  util::ByteReader r(payload.data(), payload.size());
   const std::uint32_t count = r.get_u32();
   std::vector<Transaction> out;
   out.reserve(count);

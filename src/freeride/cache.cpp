@@ -1,25 +1,27 @@
 #include "freeride/cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fgp::freeride {
 
-void NodeCache::insert(repository::ChunkId id, double virtual_bytes) {
-  FGP_CHECK(virtual_bytes >= 0.0);
-  if (contains(id)) return;
-  ids_.push_back(id);
-  virtual_bytes_ += virtual_bytes;
+void NodeCache::insert(repository::Chunk chunk) {
+  FGP_CHECK(chunk.virtual_bytes() >= 0.0);
+  if (contains(chunk.id())) return;
+  virtual_bytes_ += chunk.virtual_bytes();
+  chunks_.push_back(std::move(chunk));
 }
 
 bool NodeCache::contains(repository::ChunkId id) const {
-  return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
+  return std::any_of(chunks_.begin(), chunks_.end(),
+                     [id](const repository::Chunk& c) { return c.id() == id; });
 }
 
 void NodeCache::clear() {
-  ids_.clear();
+  chunks_.clear();
   virtual_bytes_ = 0.0;
 }
 
@@ -29,10 +31,11 @@ CacheSet::CacheSet(int compute_nodes, obs::Registry* metrics)
   caches_.resize(static_cast<std::size_t>(compute_nodes));
 }
 
-void CacheSet::insert(int i, repository::ChunkId id, double virtual_bytes) {
+void CacheSet::insert(int i, repository::Chunk chunk) {
   NodeCache& cache = node(i);
-  if (cache.contains(id)) return;
-  cache.insert(id, virtual_bytes);
+  if (cache.contains(chunk.id())) return;
+  const double virtual_bytes = chunk.virtual_bytes();
+  cache.insert(std::move(chunk));
   if (metrics_ != nullptr) {
     metrics_->add("cache.inserted_chunks", 1.0);
     metrics_->add("cache.inserted_bytes", virtual_bytes);

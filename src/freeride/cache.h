@@ -4,6 +4,10 @@
 // retrieves data chunks from local disk, instead of receiving it via
 // network." Each compute node has its own cache; the runtime charges local
 // disk time for cached reads and (optionally) for the initial writes.
+//
+// Caches hold chunk *views*: cheap by-value handles sharing the immutable
+// payload slab with the dataset (DESIGN.md §13), so populating a cache
+// never copies payload bytes.
 #pragma once
 
 #include <cstddef>
@@ -17,19 +21,22 @@ class Registry;
 
 namespace fgp::freeride {
 
-/// Per-node cache bookkeeping: which chunks are resident and their virtual
-/// byte volume (what local-disk time is charged against).
+/// Per-node cache bookkeeping: which chunk views are resident and their
+/// virtual byte volume (what local-disk time is charged against).
 class NodeCache {
  public:
-  void insert(repository::ChunkId id, double virtual_bytes);
+  /// Takes the chunk view by value — a handle copy sharing the payload
+  /// slab, never the bytes. Duplicate ids are ignored.
+  void insert(repository::Chunk chunk);
   bool contains(repository::ChunkId id) const;
 
-  std::size_t chunk_count() const { return ids_.size(); }
+  std::size_t chunk_count() const { return chunks_.size(); }
   double virtual_bytes() const { return virtual_bytes_; }
+  const std::vector<repository::Chunk>& chunks() const { return chunks_; }
   void clear();
 
  private:
-  std::vector<repository::ChunkId> ids_;
+  std::vector<repository::Chunk> chunks_;
   double virtual_bytes_ = 0.0;
 };
 
@@ -44,9 +51,9 @@ class CacheSet {
   const NodeCache& node(int i) const;
   int nodes() const { return static_cast<int>(caches_.size()); }
 
-  /// Inserts into node `i`'s cache, counting into the registry when the
-  /// chunk was not already resident.
-  void insert(int i, repository::ChunkId id, double virtual_bytes);
+  /// Inserts a chunk view into node `i`'s cache, counting into the
+  /// registry when the chunk was not already resident.
+  void insert(int i, repository::Chunk chunk);
 
   /// True when every node already holds every chunk it will process.
   bool warm() const { return warm_; }

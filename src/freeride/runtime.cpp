@@ -242,8 +242,10 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       if (cache_mode == CacheMode::LocalDisk && !caches.warm()) {
         double tw = 0.0;
         for (int j = 0; j < c; ++j) {
+          // Chunk views are by-value handles onto the shared payload slabs:
+          // the cache ends up holding the actual data without copying it.
           for (std::size_t ci : dest_part.chunks_of(j))
-            caches.insert(j, ds.chunk(ci).id(), ds.chunk(ci).virtual_bytes());
+            caches.insert(j, ds.chunk(ci));
           const auto& v = dest_vol[static_cast<std::size_t>(j)];
           if (cfg.charge_cache_write && v.chunks > 0)
             tw = std::max(tw, compute_machine.disk.access_time(v.virtual_bytes,

@@ -70,6 +70,12 @@ double Registry::value(std::string_view name) const {
   return it == det_.end() ? 0.0 : it->second.value;
 }
 
+double Registry::host_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = host_.find(name);
+  return it == host_.end() ? 0.0 : it->second.value;
+}
+
 std::string Registry::to_json(bool include_host) const {
   std::lock_guard lock(mu_);
   std::ostringstream os;

@@ -67,6 +67,9 @@ class Registry {
   /// domain only — meant for tests and report glue, not hot paths.
   double value(std::string_view name) const;
 
+  /// Same read-back for the host domain (0 when absent).
+  double host_value(std::string_view name) const;
+
   /// Snapshot as canonical JSON (schema "fgpred-metrics-v1"): metrics
   /// sorted by name within each domain; `include_host` = false drops the
   /// host section entirely (byte-comparison mode).

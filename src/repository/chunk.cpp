@@ -27,36 +27,52 @@ T read_scalar(std::istream& is) {
 
 Chunk::Chunk(ChunkId id, std::vector<std::uint8_t> payload,
              double virtual_scale)
+    : Chunk(id, PayloadBuffer::from_bytes(std::move(payload)), virtual_scale) {
+}
+
+Chunk::Chunk(ChunkId id, std::shared_ptr<const PayloadBuffer> payload,
+             double virtual_scale)
     : id_(id), payload_(std::move(payload)), virtual_scale_(virtual_scale) {
   FGP_CHECK_MSG(virtual_scale_ > 0.0, "virtual_scale must be positive");
-  virtual_bytes_ = static_cast<double>(payload_.size()) * virtual_scale_;
-  checksum_ = util::fnv1a(payload_.data(), payload_.size());
+  virtual_bytes_ = static_cast<double>(real_bytes()) * virtual_scale_;
+  const auto bytes = this->payload();
+  checksum_ = util::fnv1a(bytes.data(), bytes.size());
 }
 
 void Chunk::set_virtual_scale(double virtual_scale) {
   FGP_CHECK_MSG(virtual_scale > 0.0, "virtual_scale must be positive");
   virtual_scale_ = virtual_scale;
-  virtual_bytes_ = static_cast<double>(payload_.size()) * virtual_scale_;
+  virtual_bytes_ = static_cast<double>(real_bytes()) * virtual_scale_;
+}
+
+Chunk Chunk::with_virtual_scale(double virtual_scale) const {
+  Chunk view = *this;  // handle copy: the payload slab is shared
+  view.set_virtual_scale(virtual_scale);
+  return view;
 }
 
 bool Chunk::verify() const {
-  return checksum_ == util::fnv1a(payload_.data(), payload_.size());
+  const auto bytes = payload();
+  return checksum_ == util::fnv1a(bytes.data(), bytes.size());
 }
 
 void Chunk::serialize(util::ByteWriter& w) const {
+  const auto bytes = payload();
   w.put_u64(id_);
   w.put_f64(virtual_scale_);
   w.put_u64(checksum_);
-  w.put_vector(payload_);
+  w.put_u64(bytes.size());
+  w.put_bytes(bytes.data(), bytes.size());
 }
 
 void Chunk::write_to(std::ostream& os) const {
+  const auto bytes = payload();
   write_scalar(os, id_);
   write_scalar(os, virtual_scale_);
   write_scalar(os, checksum_);
-  write_scalar(os, static_cast<std::uint64_t>(payload_.size()));
-  os.write(reinterpret_cast<const char*>(payload_.data()),
-           static_cast<std::streamsize>(payload_.size()));
+  write_scalar(os, static_cast<std::uint64_t>(bytes.size()));
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
 }
 
 Chunk Chunk::read_from(std::istream& is, std::uint64_t payload_limit) {
@@ -69,10 +85,15 @@ Chunk Chunk::read_from(std::istream& is, std::uint64_t payload_limit) {
         "chunk " + std::to_string(id) + ": payload length " +
         std::to_string(n) + " exceeds limit " + std::to_string(payload_limit));
   std::vector<std::uint8_t> payload(n);
-  is.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(n));
-  if (n != 0 && !is.good())
-    throw util::SerializationError("truncated chunk stream: payload");
+  if (n != 0) {
+    // The n == 0 case skips the read entirely: payload.data() may be null
+    // on an empty vector, and trailing bytes after a zero-length payload
+    // must not poison the stream state.
+    is.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(n));
+    if (!is.good() || static_cast<std::uint64_t>(is.gcount()) != n)
+      throw util::SerializationError("truncated chunk stream: payload");
+  }
   Chunk c(id, std::move(payload), scale);
   if (c.checksum() != stored_checksum)
     throw util::SerializationError("chunk " + std::to_string(id) +

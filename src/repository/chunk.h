@@ -1,12 +1,17 @@
 // chunk.h — the unit of storage, movement and processing.
 //
 // FREERIDE-G "expects data to be stored in chunks, whose size is manageable
-// for the repository nodes". A chunk owns a real byte payload (what the
-// kernels actually process) plus a virtual size: the number of bytes this
-// chunk *represents* at paper scale. The repository charges disk and
-// network time against virtual bytes, and the runtime scales kernel work
-// by the same factor, so MB-scale real payloads faithfully stand in for
-// the paper's GB-scale datasets (see DESIGN.md §2).
+// for the repository nodes". A chunk is a *view*: it holds a refcounted
+// immutable PayloadBuffer (what the kernels actually process) plus a
+// virtual size — the number of bytes this chunk *represents* at paper
+// scale. The repository charges disk and network time against virtual
+// bytes, and the runtime scales kernel work by the same factor, so
+// MB-scale real payloads faithfully stand in for the paper's GB-scale
+// datasets (see DESIGN.md §2).
+//
+// Because the payload is shared and immutable, copying a chunk copies a
+// handle, never bytes: concurrent sweep jobs, caches and rescaled dataset
+// views all alias one slab (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "repository/payload.h"
 #include "util/check.h"
 #include "util/serial.h"
 
@@ -23,33 +29,57 @@ using ChunkId = std::uint64_t;
 
 class Chunk {
  public:
+  /// Fixed wire-header size of write_to/read_from: id, virtual_scale,
+  /// checksum and payload length, 8 bytes each.
+  static constexpr std::uint64_t kWireHeaderBytes = 32;
+
   Chunk() = default;
   Chunk(ChunkId id, std::vector<std::uint8_t> payload, double virtual_scale);
+  /// Wraps an existing (possibly mmap-backed) payload slab without copying.
+  Chunk(ChunkId id, std::shared_ptr<const PayloadBuffer> payload,
+        double virtual_scale);
 
   ChunkId id() const { return id_; }
-  std::size_t real_bytes() const { return payload_.size(); }
+  std::size_t real_bytes() const {
+    return payload_ != nullptr ? payload_->size() : 0;
+  }
   double virtual_bytes() const { return virtual_bytes_; }
   /// virtual_bytes / real_bytes; kernels' work is scaled by this.
   double virtual_scale() const { return virtual_scale_; }
   std::uint64_t checksum() const { return checksum_; }
 
-  const std::vector<std::uint8_t>& payload() const { return payload_; }
+  /// Immutable view of the shared payload bytes. Valid as long as any
+  /// chunk (or other holder) keeps the underlying buffer alive.
+  std::span<const std::uint8_t> payload() const {
+    return payload_ != nullptr ? payload_->bytes()
+                               : std::span<const std::uint8_t>{};
+  }
+
+  /// The refcounted slab backing payload() (null for an empty chunk).
+  const std::shared_ptr<const PayloadBuffer>& payload_buffer() const {
+    return payload_;
+  }
 
   /// Typed view of the payload. Throws if the size is not a multiple of T.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   std::span<const T> as_span() const {
-    FGP_CHECK_MSG(payload_.size() % sizeof(T) == 0,
-                  "chunk " << id_ << " payload (" << payload_.size()
+    const auto bytes = payload();
+    FGP_CHECK_MSG(bytes.size() % sizeof(T) == 0,
+                  "chunk " << id_ << " payload (" << bytes.size()
                            << " bytes) not a whole number of elements");
-    return {reinterpret_cast<const T*>(payload_.data()),
-            payload_.size() / sizeof(T)};
+    return {reinterpret_cast<const T*>(bytes.data()),
+            bytes.size() / sizeof(T)};
   }
 
   /// Rebinds the chunk to a new virtual scale (payload and checksum are
   /// untouched). Lets generators produce data once at scale 1 and rescale
   /// to the requested virtual size instead of generating twice.
   void set_virtual_scale(double virtual_scale);
+
+  /// Aliasing view of this chunk at another virtual scale: shares the
+  /// payload slab and checksum, copies only the handle and metadata.
+  Chunk with_virtual_scale(double virtual_scale) const;
 
   /// Recomputes the FNV checksum and compares to the stored one.
   bool verify() const;
@@ -64,13 +94,15 @@ class Chunk {
   /// Streams a chunk back from `is` (counterpart of write_to), reading the
   /// payload straight into its final buffer. `payload_limit` bounds the
   /// length prefix (e.g. the file size), so a corrupted prefix throws
-  /// SerializationError instead of reaching the allocator. Verifies the
-  /// checksum like deserialize().
+  /// SerializationError instead of reaching the allocator; a prefix the
+  /// stream cannot satisfy (e.g. exactly payload_limit, which still
+  /// includes this header) throws the same way. Verifies the checksum like
+  /// deserialize().
   static Chunk read_from(std::istream& is, std::uint64_t payload_limit);
 
  private:
   ChunkId id_ = 0;
-  std::vector<std::uint8_t> payload_;
+  std::shared_ptr<const PayloadBuffer> payload_;
   double virtual_scale_ = 1.0;
   double virtual_bytes_ = 0.0;
   std::uint64_t checksum_ = 0;

@@ -1,5 +1,7 @@
 #include "repository/dataset.h"
 
+#include "obs/metrics.h"
+
 namespace fgp::repository {
 
 void ChunkedDataset::add_chunk(Chunk c) {
@@ -14,6 +16,17 @@ void ChunkedDataset::set_uniform_virtual_scale(double virtual_scale) {
     c.set_virtual_scale(virtual_scale);
     total_virtual_bytes_ += c.virtual_bytes();
   }
+}
+
+ChunkedDataset ChunkedDataset::with_uniform_virtual_scale(
+    double virtual_scale, obs::Registry* metrics) const {
+  ChunkedDataset view(meta_);
+  for (const auto& c : chunks_)
+    view.add_chunk(c.with_virtual_scale(virtual_scale));
+  if (metrics != nullptr)
+    metrics->add("payload.shared_views",
+                 static_cast<double>(chunks_.size()));
+  return view;
 }
 
 bool ChunkedDataset::verify_all() const {

@@ -7,6 +7,10 @@
 
 #include "repository/chunk.h"
 
+namespace fgp::obs {
+class Registry;
+}  // namespace fgp::obs
+
 namespace fgp::repository {
 
 /// Metadata travelling with a dataset (and recorded into profiles: the
@@ -40,6 +44,15 @@ class ChunkedDataset {
   /// dataset the generator would have produced at that scale, without
   /// generating twice (the probe-then-rescale pattern in bench/common.cpp).
   void set_uniform_virtual_scale(double virtual_scale);
+
+  /// Aliasing *view* of this dataset with every chunk rebound to
+  /// `virtual_scale`: chunk handles are copied, payload slabs are shared
+  /// (zero bytes moved), so concurrent sweep points over many scales all
+  /// read one generated dataset (DESIGN.md §13). `metrics` (optional)
+  /// receives the deterministic counter payload.shared_views — one
+  /// increment per chunk view created.
+  ChunkedDataset with_uniform_virtual_scale(
+      double virtual_scale, obs::Registry* metrics = nullptr) const;
 
   /// True when every chunk's checksum verifies.
   bool verify_all() const;

@@ -1,0 +1,69 @@
+// payload.h — refcounted immutable byte slabs backing chunk payloads.
+//
+// The data plane's hot bytes live in PayloadBuffers: once constructed, a
+// buffer's bytes never change for its lifetime, so any number of chunks,
+// datasets, caches and concurrent sweep jobs may hold views of the same
+// slab without copies or locks (DESIGN.md §13). Two backings exist:
+//
+//   heap   an owned std::vector moved in at construction (generators,
+//          deserializers, the streamed store path);
+//   mmap   a private read-only mapping of a chunk file, exposing the
+//          payload region as a window into the mapping (the store's
+//          load_mapped path). The mapping lives exactly as long as the
+//          buffer, and the buffer lives as long as any chunk view of it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace fgp::repository {
+
+class PayloadBuffer {
+  /// Construction goes through the factories below; this token keeps the
+  /// constructors unusable outside them while staying make_shared-friendly.
+  struct Token {
+    explicit Token() = default;
+  };
+
+ public:
+  /// Wraps an owned heap buffer (moved, never copied).
+  static std::shared_ptr<const PayloadBuffer> from_bytes(
+      std::vector<std::uint8_t> bytes);
+
+  /// Maps `path` read-only (whole file, so no page-alignment constraint on
+  /// the view) and exposes [view_offset, view_offset + view_length) as the
+  /// buffer's bytes. Throws util::SerializationError when the file cannot
+  /// be opened or mapped, or the window exceeds the file; throws on
+  /// platforms where mmap_supported() is false.
+  static std::shared_ptr<const PayloadBuffer> map_file(
+      const std::filesystem::path& path, std::size_t view_offset,
+      std::size_t view_length);
+
+  /// True when this platform has the mmap read path compiled in.
+  static bool mmap_supported();
+
+  std::span<const std::uint8_t> bytes() const { return {data_, size_}; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return map_base_ != nullptr; }
+
+  PayloadBuffer(Token, std::vector<std::uint8_t> heap);
+  PayloadBuffer(Token, void* map_base, std::size_t map_length,
+                std::size_t view_offset, std::size_t view_length);
+  ~PayloadBuffer();
+
+  PayloadBuffer(const PayloadBuffer&) = delete;
+  PayloadBuffer& operator=(const PayloadBuffer&) = delete;
+
+ private:
+  std::vector<std::uint8_t> heap_;
+  void* map_base_ = nullptr;
+  std::size_t map_length_ = 0;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fgp::repository

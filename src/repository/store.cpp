@@ -36,6 +36,22 @@ std::vector<std::uint8_t> read_file(const fs::path& p) {
   return bytes;
 }
 
+/// Reads and validates a manifest, returning its metadata and chunk count.
+std::pair<DatasetMeta, std::uint64_t> read_manifest(const fs::path& dir,
+                                                    const std::string& name) {
+  const auto manifest_bytes = read_file(dir / "manifest.bin");
+  util::ByteReader r(manifest_bytes);
+  DatasetMeta meta;
+  meta.name = r.get_string();
+  meta.schema = r.get_string();
+  meta.seed = r.get_u64();
+  const std::uint64_t count = r.get_u64();
+  if (meta.name != name)
+    throw util::SerializationError("manifest name mismatch: expected " + name +
+                                   ", found " + meta.name);
+  return {std::move(meta), count};
+}
+
 }  // namespace
 
 DatasetStore::DatasetStore(fs::path root) : root_(std::move(root)) {
@@ -77,6 +93,7 @@ void DatasetStore::save(const ChunkedDataset& ds,
     FGP_CHECK_MSG(os.good(), "cannot open " << p << " for writing");
     ds.chunk(i).write_to(os);
     FGP_CHECK_MSG(os.good(), "short write to " << p);
+    os.close();  // flush before sizing the file
     if (metrics_ != nullptr) {
       // Integral increments: exact under concurrent chunk writes.
       metrics_->add("store.saved_chunks", 1.0);
@@ -95,16 +112,7 @@ ChunkedDataset DatasetStore::load(const std::string& name,
                                   util::ThreadPool* pool) const {
   const obs::HostSpan io_span(trace_, "store", "load " + name);
   const fs::path dir = dir_for(name);
-  const auto manifest_bytes = read_file(dir / "manifest.bin");
-  util::ByteReader r(manifest_bytes);
-  DatasetMeta meta;
-  meta.name = r.get_string();
-  meta.schema = r.get_string();
-  meta.seed = r.get_u64();
-  const std::uint64_t count = r.get_u64();
-  if (meta.name != name)
-    throw util::SerializationError("manifest name mismatch: expected " + name +
-                                   ", found " + meta.name);
+  auto [meta, count] = read_manifest(dir, name);
 
   // Each chunk lands at its manifest index, so the reads may fan out over
   // the pool; the payload streams straight into its final buffer.
@@ -114,14 +122,83 @@ ChunkedDataset DatasetStore::load(const std::string& name,
     std::ifstream is(p, std::ios::binary);
     if (!is.good())
       throw util::SerializationError("cannot open " + p.string());
-    chunks[i] = Chunk::read_from(is, fs::file_size(p));
-    if (metrics_ != nullptr) metrics_->add("store.loaded_chunks", 1.0);
+    const std::uint64_t file_size = fs::file_size(p);
+    chunks[i] = Chunk::read_from(is, file_size);
+    if (metrics_ != nullptr) {
+      metrics_->add("store.loaded_chunks", 1.0);
+      metrics_->add("store.loaded_bytes", static_cast<double>(file_size));
+    }
   };
   if (pool != nullptr) {
     pool->parallel_for(static_cast<std::size_t>(count), read_chunk);
   } else {
     for (std::uint64_t i = 0; i < count; ++i)
       read_chunk(static_cast<std::size_t>(i));
+  }
+
+  ChunkedDataset ds(meta);
+  for (auto& c : chunks) ds.add_chunk(std::move(c));
+  return ds;
+}
+
+ChunkedDataset DatasetStore::load_mapped(const std::string& name,
+                                         util::ThreadPool* pool) const {
+  if (!PayloadBuffer::mmap_supported()) return load(name, pool);
+  const obs::HostSpan io_span(trace_, "store", "load-mapped " + name);
+  const fs::path dir = dir_for(name);
+  auto [meta, count] = read_manifest(dir, name);
+
+  // Each chunk file is parsed in place: read the fixed 32-byte wire header,
+  // bound the payload length by the file, then map the file and hand the
+  // payload window to the chunk. The chunk's constructor checksums the
+  // mapped bytes, so corruption is caught exactly like the streamed path —
+  // only after that verification do the chunks alias the mapping.
+  std::vector<Chunk> chunks(count);
+  const auto map_chunk = [&](std::size_t i) {
+    const fs::path p = dir / ("chunk_" + std::to_string(i) + ".bin");
+    std::error_code ec;
+    const std::uint64_t file_size = fs::file_size(p, ec);
+    if (ec)
+      throw util::SerializationError("cannot stat " + p.string() + ": " +
+                                     ec.message());
+    if (file_size < Chunk::kWireHeaderBytes)
+      throw util::SerializationError("truncated chunk file " + p.string());
+    std::ifstream is(p, std::ios::binary);
+    if (!is.good())
+      throw util::SerializationError("cannot open " + p.string());
+    std::uint8_t header[Chunk::kWireHeaderBytes];
+    is.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (!is.good())
+      throw util::SerializationError("truncated chunk stream: header");
+    util::ByteReader hr(header, sizeof(header));
+    const ChunkId id = hr.get_u64();
+    const double scale = hr.get_f64();
+    const std::uint64_t stored_checksum = hr.get_u64();
+    const std::uint64_t n = hr.get_u64();
+    if (n > file_size - Chunk::kWireHeaderBytes)
+      throw util::SerializationError(
+          "chunk " + std::to_string(id) + ": payload length " +
+          std::to_string(n) + " exceeds file " + p.string());
+    auto payload = PayloadBuffer::map_file(p, Chunk::kWireHeaderBytes,
+                                           static_cast<std::size_t>(n));
+    Chunk c(id, std::move(payload), scale);
+    if (c.checksum() != stored_checksum)
+      throw util::SerializationError(
+          "chunk " + std::to_string(id) +
+          ": checksum mismatch (corrupted payload)");
+    chunks[i] = std::move(c);
+    if (metrics_ != nullptr) {
+      metrics_->add("store.loaded_chunks", 1.0);
+      metrics_->add("store.loaded_bytes", static_cast<double>(file_size));
+      metrics_->add("store.mapped_bytes", static_cast<double>(file_size),
+                    obs::Domain::Host);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(count), map_chunk);
+  } else {
+    for (std::uint64_t i = 0; i < count; ++i)
+      map_chunk(static_cast<std::size_t>(i));
   }
 
   ChunkedDataset ds(meta);

@@ -32,7 +32,9 @@ class DatasetStore {
   /// host-machine work, so save/load record *host-domain* artifacts: a
   /// wall-clock span per call (when the recorder has host recording on)
   /// and the integral counters store.saved_chunks / store.saved_bytes /
-  /// store.loaded_chunks — integral so concurrent chunk IO stays exact.
+  /// store.loaded_chunks / store.loaded_bytes — integral so concurrent
+  /// chunk IO stays exact. load_mapped() additionally records the
+  /// host-domain counter store.mapped_bytes (bytes served via mmap).
   DatasetStore(std::filesystem::path root, obs::TraceRecorder* trace,
                obs::Registry* metrics);
 
@@ -49,6 +51,15 @@ class DatasetStore {
   /// indices, so the dataset is identical at any pool size.
   ChunkedDataset load(const std::string& name,
                       util::ThreadPool* pool = nullptr) const;
+
+  /// Zero-copy variant of load(): each chunk file is mapped read-only and
+  /// the returned chunks alias the mapped payload region (no heap copy of
+  /// the bytes), after the same checksum verification as load(). The
+  /// mappings live exactly as long as the chunks' payload buffers. On
+  /// platforms without mmap this falls back to the streamed load() path;
+  /// either way the returned dataset is byte-identical to load()'s.
+  ChunkedDataset load_mapped(const std::string& name,
+                             util::ThreadPool* pool = nullptr) const;
 
   bool exists(const std::string& name) const;
   void remove(const std::string& name) const;

@@ -2,6 +2,7 @@
 // invariants, and parseability of the chunk formats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -11,6 +12,13 @@
 
 namespace fgp::datagen {
 namespace {
+
+/// Byte equality of two payload views (std::span has no operator==).
+bool same_payload(const repository::Chunk& a, const repository::Chunk& b) {
+  const auto pa = a.payload();
+  const auto pb = b.payload();
+  return pa.size() == pb.size() && std::equal(pa.begin(), pa.end(), pb.begin());
+}
 
 // ----------------------------------------------------------------- points
 
@@ -50,8 +58,8 @@ TEST(Points, ParallelGenerationBitIdentical) {
     const auto parallel = generate_points(spec);
     ASSERT_EQ(serial.dataset.chunk_count(), parallel.dataset.chunk_count());
     for (std::size_t i = 0; i < serial.dataset.chunk_count(); ++i) {
-      EXPECT_EQ(serial.dataset.chunk(i).payload(),
-                parallel.dataset.chunk(i).payload())
+      EXPECT_TRUE(
+          same_payload(serial.dataset.chunk(i), parallel.dataset.chunk(i)))
           << "chunk " << i << " differs at threads=" << threads;
     }
   }
@@ -67,8 +75,8 @@ TEST(Points, ParallelLabeledGenerationBitIdentical) {
   const auto parallel = generate_labeled_points(spec);
   ASSERT_EQ(serial.dataset.chunk_count(), parallel.dataset.chunk_count());
   for (std::size_t i = 0; i < serial.dataset.chunk_count(); ++i)
-    EXPECT_EQ(serial.dataset.chunk(i).payload(),
-              parallel.dataset.chunk(i).payload());
+    EXPECT_TRUE(
+        same_payload(serial.dataset.chunk(i), parallel.dataset.chunk(i)));
 }
 
 TEST(Points, DifferentSeedsDiffer) {
@@ -282,8 +290,8 @@ TEST(Lattice, ParallelGenerationBitIdentical) {
     const auto parallel = generate_lattice(spec);
     ASSERT_EQ(serial.dataset.chunk_count(), parallel.dataset.chunk_count());
     for (std::size_t i = 0; i < serial.dataset.chunk_count(); ++i) {
-      EXPECT_EQ(serial.dataset.chunk(i).payload(),
-                parallel.dataset.chunk(i).payload())
+      EXPECT_TRUE(
+          same_payload(serial.dataset.chunk(i), parallel.dataset.chunk(i)))
           << "slab " << i << " differs at threads=" << threads;
     }
   }

@@ -49,11 +49,16 @@ TEST(JobConfig, RejectsNonPositiveCounts) {
 
 // ------------------------------------------------------------------ cache
 
+/// A one-byte chunk whose virtual size is exactly `virtual_bytes`.
+repository::Chunk cache_chunk(repository::ChunkId id, double virtual_bytes) {
+  return repository::Chunk(id, std::vector<std::uint8_t>{0xab}, virtual_bytes);
+}
+
 TEST(NodeCache, TracksChunksAndBytes) {
   NodeCache cache;
-  cache.insert(1, 100.0);
-  cache.insert(2, 50.0);
-  cache.insert(1, 100.0);  // duplicate ignored
+  cache.insert(cache_chunk(1, 100.0));
+  cache.insert(cache_chunk(2, 50.0));
+  cache.insert(cache_chunk(1, 100.0));  // duplicate ignored
   EXPECT_EQ(cache.chunk_count(), 2u);
   EXPECT_DOUBLE_EQ(cache.virtual_bytes(), 150.0);
   EXPECT_TRUE(cache.contains(1));
@@ -62,9 +67,21 @@ TEST(NodeCache, TracksChunksAndBytes) {
   EXPECT_EQ(cache.chunk_count(), 0u);
 }
 
+TEST(NodeCache, HoldsSharedPayloadViewsNotCopies) {
+  // Caching a chunk stores a handle onto the dataset's immutable slab
+  // (DESIGN.md §13): the cached view aliases the source payload bytes.
+  const auto src = repository::make_chunk<double>(7, {1, 2, 3}, 2.0);
+  NodeCache cache;
+  cache.insert(src);
+  ASSERT_EQ(cache.chunk_count(), 1u);
+  EXPECT_EQ(cache.chunks().front().payload().data(), src.payload().data());
+  EXPECT_EQ(cache.chunks().front().payload_buffer().get(),
+            src.payload_buffer().get());
+}
+
 TEST(CacheSet, PerNodeIsolation) {
   CacheSet set(3);
-  set.node(0).insert(1, 10.0);
+  set.node(0).insert(cache_chunk(1, 10.0));
   EXPECT_FALSE(set.node(1).contains(1));
   EXPECT_THROW(set.node(3), util::Error);
   EXPECT_FALSE(set.warm());

@@ -4,8 +4,10 @@
 // they never crash or hang.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <sstream>
 
 #include "apps/ann.h"
 #include "apps/apriori.h"
@@ -21,6 +23,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/validate.h"
+#include "repository/chunk.h"
 #include "util/rng.h"
 #include "util/serial.h"
 
@@ -434,6 +437,83 @@ TEST(Fuzz, ReportValidatorRejectsWrongShapesWithErrors) {
     const auto v = obs::validate_report_text(text);
     EXPECT_FALSE(v.ok()) << text;
   }
+}
+
+// --- Chunk wire-format corpora -------------------------------------------
+// Hostile byte streams against Chunk::read_from, the parser every store
+// load path funnels through. Acceptable outcomes: a verified chunk or a
+// typed SerializationError — never a crash, over-read, or a chunk whose
+// checksum was not validated.
+
+/// The canonical wire image of a small chunk.
+std::string chunk_wire_image(const repository::Chunk& c) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  c.write_to(ss);
+  return ss.str();
+}
+
+TEST(Fuzz, ChunkWireEveryTruncationThrowsTyped) {
+  const auto c = repository::make_chunk<double>(1, {1.0, 2.0, 3.0}, 2.0);
+  const std::string full = chunk_wire_image(c);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream ss(full.substr(0, cut),
+                         std::ios::in | std::ios::binary);
+    EXPECT_THROW(repository::Chunk::read_from(ss, full.size()),
+                 util::SerializationError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Fuzz, ChunkWireZeroLengthPayloadWithTrailingGarbageParses) {
+  // An empty payload followed by junk: the parser must consume exactly the
+  // 32-byte header, skip the payload read entirely (an empty vector's
+  // data() may be null), and leave the garbage untouched in the stream.
+  const repository::Chunk c(3, std::vector<std::uint8_t>{}, 1.0);
+  std::stringstream ss(chunk_wire_image(c) + "\xde\xad\xbe\xef garbage",
+                       std::ios::in | std::ios::binary);
+  const auto back = repository::Chunk::read_from(ss, 1 << 20);
+  EXPECT_EQ(back.id(), 3u);
+  EXPECT_EQ(back.real_bytes(), 0u);
+  EXPECT_TRUE(back.verify());
+}
+
+TEST(Fuzz, ChunkWireLengthPrefixAtLimitThrowsTyped) {
+  // A length prefix exactly equal to payload_limit (the file size, header
+  // included) passes the bound check but can never be satisfied by the
+  // remaining bytes: the short read must throw typed, not return a chunk
+  // built from an under-filled buffer.
+  const auto c = repository::make_chunk<double>(4, {5.0, 6.0}, 1.0);
+  std::string image = chunk_wire_image(c);
+  const std::uint64_t limit = image.size();
+  std::memcpy(image.data() + 24, &limit, sizeof(limit));
+  std::stringstream ss(image, std::ios::in | std::ios::binary);
+  EXPECT_THROW(repository::Chunk::read_from(ss, limit),
+               util::SerializationError);
+}
+
+TEST(Fuzz, ChunkWireRandomCorruptionTypedOnly) {
+  // Random flips anywhere in the image: the checksum (or an earlier bounds
+  // check) must catch payload damage; header damage may also trip the
+  // positive-scale invariant. Any util::Error is controlled; scale flips
+  // that leave a valid positive double can still parse cleanly.
+  const auto c = repository::make_chunk<double>(9, {1.5, 2.5, 3.5}, 4.0);
+  const std::string full = chunk_wire_image(c);
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = full;
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f)
+      bytes[rng.next_below(bytes.size())] ^=
+          static_cast<char>(1 + rng.next_below(255));
+    std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+    try {
+      const auto back = repository::Chunk::read_from(ss, bytes.size());
+      EXPECT_TRUE(back.verify());  // a surviving parse is checksum-clean
+    } catch (const util::Error&) {
+      // typed rejection is the expected outcome
+    }
+  }
+  SUCCEED();
 }
 
 TEST(Fuzz, ChunkParsersRejectRandomBytes) {

@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "apps/kmeans.h"
 #include "apps/knn.h"
 #include "repository/chunk.h"
+#include "repository/store.h"
 #include "util/rng.h"
 #include "util/serial.h"
 #include "util/simd.h"
@@ -451,6 +453,43 @@ TEST(KernelEquivalence, AnnChunkMatchesNaiveScalar) {
   obj->serialize(wa);
   obj2->serialize(wb);
   EXPECT_EQ(wa.bytes(), wb.bytes());
+}
+
+TEST(KernelEquivalence, MmapLoadedChunkBitIdenticalToHeapChunk) {
+  // A kernel must not care where the payload bytes live: processing a
+  // chunk whose payload aliases an mmap'd file region produces serialized
+  // results byte-identical to the same chunk held in heap memory
+  // (DESIGN.md §13 — the data plane is ownership-transparent).
+  util::Rng rng(205);
+  const std::size_t d = 5, k = 3, count = 101;
+  const auto points = random_vec(rng, count * d, -8.0, 8.0);
+
+  apps::KMeansParams params;
+  params.k = static_cast<int>(k);
+  params.dim = static_cast<int>(d);
+  params.initial_centers.assign(points.begin(), points.begin() + k * d);
+  apps::KMeansKernel kernel(params);
+
+  repository::ChunkedDataset ds(repository::DatasetMeta{"mmapeq", "f64", 0});
+  ds.add_chunk(repository::make_chunk(0, points));
+  const auto root =
+      std::filesystem::temp_directory_path() / "fgp_kernel_eq_store";
+  std::filesystem::remove_all(root);
+  repository::DatasetStore store(root);
+  store.save(ds);
+  const auto mapped = store.load_mapped("mmapeq");
+  ASSERT_EQ(mapped.chunk_count(), 1u);
+
+  auto heap_obj = kernel.create_object();
+  kernel.process_chunk(ds.chunk(0), *heap_obj);
+  auto mapped_obj = kernel.create_object();
+  kernel.process_chunk(mapped.chunk(0), *mapped_obj);
+
+  util::ByteWriter heap_bytes, mapped_bytes;
+  heap_obj->serialize(heap_bytes);
+  mapped_obj->serialize(mapped_bytes);
+  EXPECT_EQ(heap_bytes.bytes(), mapped_bytes.bytes());
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

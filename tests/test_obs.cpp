@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <filesystem>
 #include <string>
 #include <utility>
 
@@ -21,6 +22,8 @@
 #include "obs/residual.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
+#include "repository/payload.h"
+#include "repository/store.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -216,6 +219,75 @@ TEST(Obs, RegistrySemantics) {
 
   reg.clear();
   EXPECT_DOUBLE_EQ(reg.value("c"), 0.0);
+}
+
+// --- store counters -------------------------------------------------------
+
+/// A small dataset saved under a fresh temp root with `metrics` attached.
+repository::DatasetStore saved_store(const std::filesystem::path& root,
+                                     obs::Registry* metrics) {
+  std::filesystem::remove_all(root);
+  repository::DatasetStore store(root, nullptr, metrics);
+  repository::ChunkedDataset ds(repository::DatasetMeta{"counters", "f64", 3});
+  ds.add_chunk(repository::make_chunk<double>(0, {1, 2, 3}, 2.0));
+  ds.add_chunk(repository::make_chunk<double>(1, {4, 5}, 2.0));
+  ds.add_chunk(repository::make_chunk<double>(2, {6}, 2.0));
+  store.save(ds);
+  return store;
+}
+
+TEST(Obs, StoreCountersSymmetricAcrossSaveAndLoad) {
+  // Load-side counters mirror save-side ones exactly: every byte written
+  // is read back, so loaded_bytes == saved_bytes and chunk counts match.
+  const auto root =
+      std::filesystem::temp_directory_path() / "fgp_obs_store_sym";
+  obs::Registry metrics;
+  const auto store = saved_store(root, &metrics);
+  (void)store.load("counters");
+  EXPECT_DOUBLE_EQ(metrics.value("store.saved_chunks"), 3.0);
+  EXPECT_DOUBLE_EQ(metrics.value("store.loaded_chunks"),
+                   metrics.value("store.saved_chunks"));
+  EXPECT_GT(metrics.value("store.saved_bytes"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.value("store.loaded_bytes"),
+                   metrics.value("store.saved_bytes"));
+  std::filesystem::remove_all(root);
+}
+
+TEST(Obs, MappedLoadKeepsDeterministicExportIdentical) {
+  // The load path is a host-machine concern: streamed and mapped loads
+  // must produce byte-identical deterministic metric exports. The mmap
+  // accounting (store.mapped_bytes) lives in the host domain and shows
+  // only in to_json(true).
+  const auto root =
+      std::filesystem::temp_directory_path() / "fgp_obs_store_mapped";
+  obs::Registry streamed_metrics;
+  const auto store = saved_store(root, &streamed_metrics);
+  obs::Registry mapped_metrics;
+  const repository::DatasetStore mapped_store(root, nullptr, &mapped_metrics);
+
+  streamed_metrics.clear();  // drop the save-side counters
+  (void)store.load("counters");
+  (void)mapped_store.load_mapped("counters");
+  EXPECT_EQ(streamed_metrics.to_json(false), mapped_metrics.to_json(false));
+  if (repository::PayloadBuffer::mmap_supported()) {
+    EXPECT_DOUBLE_EQ(mapped_metrics.host_value("store.mapped_bytes"),
+                     mapped_metrics.value("store.loaded_bytes"));
+    EXPECT_NE(mapped_metrics.to_json(true).find("store.mapped_bytes"),
+              std::string::npos);
+    EXPECT_EQ(mapped_metrics.to_json(false).find("store.mapped_bytes"),
+              std::string::npos);
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(Obs, SharedViewCounterCountsEveryChunk) {
+  repository::ChunkedDataset ds(repository::DatasetMeta{"views", "f64", 1});
+  ds.add_chunk(repository::make_chunk<double>(0, {1, 2}, 1.0));
+  ds.add_chunk(repository::make_chunk<double>(1, {3, 4}, 1.0));
+  obs::Registry metrics;
+  const auto view = ds.with_uniform_virtual_scale(5.0, &metrics);
+  EXPECT_DOUBLE_EQ(metrics.value("payload.shared_views"), 2.0);
+  EXPECT_DOUBLE_EQ(view.total_virtual_bytes(), 5.0 * 32.0);
 }
 
 TEST(Obs, TraceRecorderRejectsOutOfOrderSpans) {

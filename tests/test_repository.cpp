@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include "repository/chunk.h"
 #include "repository/dataset.h"
 #include "repository/partition.h"
+#include "repository/payload.h"
 #include "repository/store.h"
 #include "util/thread_pool.h"
 
@@ -23,6 +25,13 @@ std::filesystem::path temp_root() {
            ("fgp_store_test_" + std::to_string(::getpid()));
   std::filesystem::remove_all(p);
   return p;
+}
+
+/// Byte equality of two payload views (std::span has no operator==).
+bool same_payload(const Chunk& a, const Chunk& b) {
+  const auto pa = a.payload();
+  const auto pb = b.payload();
+  return pa.size() == pb.size() && std::equal(pa.begin(), pa.end(), pb.begin());
 }
 
 // ------------------------------------------------------------------ chunk
@@ -52,7 +61,7 @@ TEST(Chunk, SerializationRoundTrip) {
   const Chunk back = Chunk::deserialize(r);
   EXPECT_EQ(back.id(), 3u);
   EXPECT_DOUBLE_EQ(back.virtual_scale(), 100.0);
-  EXPECT_EQ(back.payload(), c.payload());
+  EXPECT_TRUE(same_payload(back, c));
   EXPECT_TRUE(back.verify());
 }
 
@@ -72,8 +81,23 @@ TEST(Chunk, RaggedSpanThrows) {
 }
 
 TEST(Chunk, NonPositiveScaleThrows) {
-  EXPECT_THROW(Chunk(0, {}, 0.0), util::Error);
-  EXPECT_THROW(Chunk(0, {}, -1.0), util::Error);
+  EXPECT_THROW(Chunk(0, std::vector<std::uint8_t>{}, 0.0), util::Error);
+  EXPECT_THROW(Chunk(0, std::vector<std::uint8_t>{}, -1.0), util::Error);
+}
+
+TEST(Chunk, CopyAndScaleViewsShareThePayloadSlab) {
+  const Chunk c = make_chunk<double>(4, {1, 2, 3}, 1.0);
+  const Chunk copy = c;
+  const Chunk view = c.with_virtual_scale(8.0);
+  // Handles, not bytes: every view aliases the same immutable slab.
+  EXPECT_EQ(copy.payload().data(), c.payload().data());
+  EXPECT_EQ(view.payload().data(), c.payload().data());
+  EXPECT_EQ(view.payload_buffer().get(), c.payload_buffer().get());
+  EXPECT_EQ(view.checksum(), c.checksum());
+  EXPECT_DOUBLE_EQ(view.virtual_bytes(), 8.0 * 24.0);
+  // The original's metadata is untouched by the view.
+  EXPECT_DOUBLE_EQ(c.virtual_scale(), 1.0);
+  EXPECT_TRUE(view.verify());
 }
 
 TEST(Chunk, SetVirtualScaleRecomputesVirtualBytes) {
@@ -92,7 +116,7 @@ TEST(Chunk, StreamRoundTripMatchesSerialize) {
   const Chunk back = Chunk::read_from(ss, wire.size());
   EXPECT_EQ(back.id(), 9u);
   EXPECT_DOUBLE_EQ(back.virtual_scale(), 5.0);
-  EXPECT_EQ(back.payload(), c.payload());
+  EXPECT_TRUE(same_payload(back, c));
   EXPECT_TRUE(back.verify());
 
   // The streamed wire format is the same one ByteWriter serialization
@@ -109,6 +133,34 @@ TEST(Chunk, ReadFromRejectsOversizedLengthPrefix) {
   // A hostile length prefix larger than the file itself must be rejected
   // before any allocation the size of the claimed payload.
   EXPECT_THROW(Chunk::read_from(ss, 4), util::SerializationError);
+}
+
+TEST(Chunk, ReadFromAcceptsZeroLengthPayloadWithTrailingGarbage) {
+  const Chunk c(5, std::vector<std::uint8_t>{}, 2.0);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  c.write_to(ss);
+  ss << "trailing-garbage-after-the-empty-payload";
+  const Chunk back = Chunk::read_from(ss, 64);
+  EXPECT_EQ(back.id(), 5u);
+  EXPECT_EQ(back.real_bytes(), 0u);
+  EXPECT_TRUE(back.verify());
+  EXPECT_EQ(back.checksum(), c.checksum());
+}
+
+TEST(Chunk, ReadFromRejectsLengthPrefixEqualToLimit) {
+  // payload_limit is the file size, which includes the 32-byte wire
+  // header, so a prefix claiming payload_limit payload bytes cannot be
+  // satisfied: the stream must throw a typed error, never read past the
+  // file or under-fill the buffer.
+  const Chunk c = make_chunk<double>(2, {1.0, 2.0, 3.0});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  c.write_to(ss);
+  const std::uint64_t file_size = ss.str().size();
+  // Rewrite the length prefix (bytes 24..31) to exactly file_size.
+  ss.seekp(24);
+  ss.write(reinterpret_cast<const char*>(&file_size), sizeof(file_size));
+  ss.seekg(0);
+  EXPECT_THROW(Chunk::read_from(ss, file_size), util::SerializationError);
 }
 
 // ---------------------------------------------------------------- dataset
@@ -225,7 +277,7 @@ TEST(Store, SaveLoadRoundTrip) {
   EXPECT_EQ(back.meta().seed, 7u);
   EXPECT_EQ(back.chunk_count(), 2u);
   EXPECT_DOUBLE_EQ(back.total_virtual_bytes(), ds.total_virtual_bytes());
-  EXPECT_EQ(back.chunk(1).payload(), ds.chunk(1).payload());
+  EXPECT_TRUE(same_payload(back.chunk(1), ds.chunk(1)));
   store.remove("roundtrip");
   std::filesystem::remove_all(store.root());
 }
@@ -252,9 +304,9 @@ TEST(Store, ParallelSaveLoadMatchesSerial) {
   EXPECT_DOUBLE_EQ(pooled_load.total_virtual_bytes(),
                    ds.total_virtual_bytes());
   for (std::size_t i = 0; i < ds.chunk_count(); ++i) {
-    EXPECT_EQ(serial_load.chunk(i).payload(), ds.chunk(i).payload());
+    EXPECT_TRUE(same_payload(serial_load.chunk(i), ds.chunk(i)));
     EXPECT_EQ(pooled_load.chunk(i).id(), ds.chunk(i).id());
-    EXPECT_EQ(pooled_load.chunk(i).payload(), ds.chunk(i).payload());
+    EXPECT_TRUE(same_payload(pooled_load.chunk(i), ds.chunk(i)));
     EXPECT_DOUBLE_EQ(pooled_load.chunk(i).virtual_scale(), 3.0);
   }
   std::filesystem::remove_all(store.root());
@@ -291,6 +343,81 @@ TEST(Store, CorruptedChunkFileDetected) {
 TEST(Store, RejectsPathTraversalNames) {
   DatasetStore store(temp_root());
   EXPECT_THROW(store.load("../etc"), util::Error);
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, MappedLoadMatchesStreamedLoad) {
+  util::ThreadPool pool(3);
+  DatasetStore store(temp_root());
+  ChunkedDataset ds(DatasetMeta{"mapped", "f64", 13});
+  ds.add_chunk(make_chunk<double>(0, {1, 2, 3}, 2.0));
+  ds.add_chunk(make_chunk<double>(1, {}, 2.0));  // zero-length payload
+  ds.add_chunk(make_chunk<double>(2, {4, 5, 6, 7}, 2.0));
+  store.save(ds);
+
+  const ChunkedDataset streamed = store.load("mapped");
+  const ChunkedDataset mapped = store.load_mapped("mapped");
+  const ChunkedDataset pooled_mapped = store.load_mapped("mapped", &pool);
+  ASSERT_EQ(mapped.chunk_count(), ds.chunk_count());
+  ASSERT_EQ(pooled_mapped.chunk_count(), ds.chunk_count());
+  EXPECT_DOUBLE_EQ(mapped.total_virtual_bytes(), ds.total_virtual_bytes());
+  for (std::size_t i = 0; i < ds.chunk_count(); ++i) {
+    EXPECT_EQ(mapped.chunk(i).id(), streamed.chunk(i).id());
+    EXPECT_EQ(mapped.chunk(i).checksum(), streamed.chunk(i).checksum());
+    EXPECT_TRUE(same_payload(mapped.chunk(i), streamed.chunk(i)));
+    EXPECT_TRUE(same_payload(pooled_mapped.chunk(i), streamed.chunk(i)));
+    EXPECT_TRUE(mapped.chunk(i).verify());
+  }
+  if (PayloadBuffer::mmap_supported()) {
+    // Non-empty payloads alias the mapped file region, not a heap copy.
+    EXPECT_TRUE(mapped.chunk(0).payload_buffer()->mapped());
+  }
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, MappedLoadDetectsCorruption) {
+  DatasetStore store(temp_root());
+  ChunkedDataset ds(DatasetMeta{"mcorrupt", "f64", 0});
+  ds.add_chunk(make_chunk<double>(0, {9, 8, 7}));
+  store.save(ds);
+  const auto path = store.root() / "mcorrupt" / "chunk_0.bin";
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  char last;
+  f.seekg(-1, std::ios::end);
+  f.get(last);
+  f.seekp(-1, std::ios::end);
+  f.put(static_cast<char>(last ^ 0x1));
+  f.close();
+  EXPECT_THROW(store.load_mapped("mcorrupt"), util::SerializationError);
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, ExistsFalseForManifestlessDirectoryAndMissingName) {
+  DatasetStore store(temp_root());
+  EXPECT_FALSE(store.exists("never-saved"));
+  // A bare directory without a manifest is not a dataset.
+  std::filesystem::create_directories(store.root() / "bare");
+  EXPECT_FALSE(store.exists("bare"));
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, MissingChunkFileThrowsWhileManifestExists) {
+  DatasetStore store(temp_root());
+  ChunkedDataset ds(DatasetMeta{"holey", "f64", 0});
+  ds.add_chunk(make_chunk<double>(0, {1}));
+  ds.add_chunk(make_chunk<double>(1, {2}));
+  store.save(ds);
+  std::filesystem::remove(store.root() / "holey" / "chunk_1.bin");
+  EXPECT_TRUE(store.exists("holey"));  // manifest still present
+  EXPECT_THROW(store.load("holey"), util::SerializationError);
+  EXPECT_THROW(store.load_mapped("holey"), util::SerializationError);
+  std::filesystem::remove_all(store.root());
+}
+
+TEST(Store, RemoveOfNeverSavedNameIsNoOp) {
+  DatasetStore store(temp_root());
+  store.remove("ghost");  // must not throw
+  EXPECT_FALSE(store.exists("ghost"));
   std::filesystem::remove_all(store.root());
 }
 

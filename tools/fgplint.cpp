@@ -28,6 +28,11 @@
 //                   through return values, exceptions and the obs layer;
 //                   only tools/, bench/ and examples/ own stdout/stderr.
 //                   (snprintf-to-buffer formatting is fine.)
+//   payload-const-cast  const_cast on the same line as `payload` is
+//                   forbidden everywhere — chunk payload slabs are shared
+//                   immutable views (DESIGN.md §13); writing through one
+//                   corrupts every aliasing chunk and any mmap'd file
+//                   region behind it.
 //   formatting      no tabs, no trailing whitespace, no CRLF, newline at
 //                   end of file (the mechanical subset of .clang-format,
 //                   enforced even where clang-format is not installed).
@@ -238,6 +243,7 @@ class Linter {
       if (!in_util) check_check_convention(rel, ln, cline, in_src);
       if (in_src || in_tests) check_console_io(rel, ln, cline);
       check_naked_new(rel, ln, cline);
+      check_payload_cast(rel, ln, cline);
     }
   }
 
@@ -361,6 +367,16 @@ class Linter {
       }
       pos += 6;
     }
+  }
+
+  void check_payload_cast(const std::string& rel, std::size_t ln,
+                          const std::string& cline) {
+    if (has_word(cline, "const_cast") &&
+        cline.find("payload") != std::string::npos)
+      add(rel, ln, "payload-const-cast",
+          "const_cast on a payload — chunk payload slabs are shared "
+          "immutable views (DESIGN.md §13); copy the bytes instead of "
+          "writing through an alias");
   }
 
   fs::path root_;
