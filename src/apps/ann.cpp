@@ -215,16 +215,21 @@ std::int32_t AnnKernel::forward(const double* x, std::vector<double>& a1,
   const auto h = static_cast<std::size_t>(params_.hidden);
   const auto cc = static_cast<std::size_t>(params_.classes);
   a1.resize(h);
+  // The two strided dot products below are serial per output unit, so
+  // their accumulation order is already pinned; simd::dot cannot be used
+  // because w1_/w2_ are laid out column-major (stride h / cc).
   for (std::size_t k = 0; k < h; ++k) {
     double z = b1_[k];
-    for (std::size_t j = 0; j < d; ++j) z += w1_[j * h + k] * x[j];
+    for (std::size_t j = 0; j < d; ++j)
+      z += w1_[j * h + k] * x[j];  // fgpcheck: allow(float-accumulation)
     a1[k] = std::tanh(z);
   }
   p.resize(cc);
   std::int32_t best = 0;
   for (std::size_t c = 0; c < cc; ++c) {
     double z = b2_[c];
-    for (std::size_t k = 0; k < h; ++k) z += w2_[k * cc + c] * a1[k];
+    for (std::size_t k = 0; k < h; ++k)
+      z += w2_[k * cc + c] * a1[k];  // fgpcheck: allow(float-accumulation)
     p[c] = z;
     if (z > p[static_cast<std::size_t>(best)])
       best = static_cast<std::int32_t>(c);

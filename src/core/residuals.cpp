@@ -1,0 +1,25 @@
+#include "core/residuals.h"
+
+#include <utility>
+
+namespace fgp::core {
+
+obs::ResidualPoint make_residual_point(
+    std::string label, const PredictedTime& predicted,
+    const freeride::TimingBreakdown& observed) {
+  obs::ResidualPoint point;
+  point.label = std::move(label);
+  point.predicted.disk = predicted.disk;
+  point.predicted.network = predicted.network;
+  point.predicted.compute_local = predicted.compute_local;
+  point.predicted.ro_comm = predicted.ro_comm;
+  point.predicted.global_red = predicted.global_red;
+  point.observed.disk = observed.disk;
+  point.observed.network = observed.network;
+  point.observed.compute_local = observed.compute_local;
+  point.observed.ro_comm = observed.ro_comm;
+  point.observed.global_red = observed.global_red;
+  return point;
+}
+
+}  // namespace fgp::core

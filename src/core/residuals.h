@@ -1,0 +1,31 @@
+// residuals.h — bridge from the predictor's component split to the
+// observability layer's residual reports.
+//
+// core::PredictedTime (predictor.h) and freeride::TimingBreakdown
+// (freeride/timing.h) both carry the model's five components — disk,
+// network, compute_local, ro_comm, global_red — but are deliberately
+// separate types (the predictor must not depend on runtime internals and
+// vice versa). make_residual_point projects one (predicted, observed)
+// pair onto obs::ResidualPoint so a sweep can report per-component
+// residuals (DESIGN.md §12) without either side learning about the
+// other.
+#pragma once
+
+#include <string>
+
+#include "core/predictor.h"
+#include "freeride/timing.h"
+#include "obs/residual.h"
+
+namespace fgp::core {
+
+/// Builds one residual sweep point from the model's predicted component
+/// split and the virtual cluster's observed per-component times. The
+/// projected predicted total equals PredictedTime::total() because
+/// `compute` is by contract the sum of its three split parts (pinned by
+/// tests/test_obs.cpp PredictedTimeComponentSplitSumsToCompute).
+obs::ResidualPoint make_residual_point(
+    std::string label, const PredictedTime& predicted,
+    const freeride::TimingBreakdown& observed);
+
+}  // namespace fgp::core

@@ -1,0 +1,25 @@
+// Fixture for the allow-annotation syntax: a named allow suppresses its
+// rule on that line and is counted in the exemption summary; a blanket
+// allow (no rule name) is an allow-hygiene error and suppresses nothing.
+#include <cstddef>
+#include <vector>
+
+namespace fgp {
+
+double allowed_dot(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += a[i] * b[i];  // fgpcheck: allow(float-accumulation)
+  return acc;
+}
+
+double blanket_dot(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += a[i] * b[i];  // fgpcheck: allow
+  return acc;
+}
+
+}  // namespace fgp

@@ -1,0 +1,27 @@
+// POSITIVE fixture: raw dot-product accumulation into a float/double
+// scalar inside a src/apps kernel — the §10 contract requires the
+// util/simd.h blocked helpers. Analyzed as "src/apps/fixture.cpp".
+#include <cstddef>
+#include <vector>
+
+namespace fgp {
+
+double raw_dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];  // finding: unblocked dot product
+  }
+  return acc;
+}
+
+float raw_sqdist(const float* a, const float* b, std::size_t n) {
+  float d = 0.0F;
+  std::size_t i = 0;
+  while (i < n) {
+    d -= a[i] * b[i];  // finding: '-=' counts too
+    ++i;
+  }
+  return d;
+}
+
+}  // namespace fgp

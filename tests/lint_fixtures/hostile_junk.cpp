@@ -1,0 +1,6 @@
+// Hostile input: trigraph-era junk, an unterminated character literal,
+// an unterminated string literal, an unterminated block comment.
+??=include ??(??)??<??>??-??/
+int x = ';
+const char* s = "never closed
+/* and this block comment never ends

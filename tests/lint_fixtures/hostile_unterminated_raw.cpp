@@ -1,0 +1,5 @@
+// Hostile input: a raw string literal whose close delimiter never
+// appears. The tokenizer must diagnose and consume to EOF — no hang.
+static const char* kPayload = R"fgp(this raw string never terminates
+and the rest of the file is swallowed by it
+int not_a_real_declaration;

@@ -1,0 +1,10 @@
+// NEGATIVE fixture: strictly-downward include edges. Analyzed under
+// "src/core/fixture.cpp" (rank 5) — freeride (4), grid (3) and util (0)
+// are all lower layers, so fgpcheck must report nothing.
+#include "freeride/runtime.h"
+#include "grid/grid.h"
+#include "util/check.h"
+
+namespace fgp {
+int fixture_marker();
+}  // namespace fgp

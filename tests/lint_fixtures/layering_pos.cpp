@@ -1,0 +1,13 @@
+// POSITIVE fixture: include edges that violate the src/ layer order
+// (util < obs < sim < repository|grid < datagen|freeride < apps|core).
+// The self-test analyzes this file twice: under "src/util/fixture.cpp"
+// both project includes below are upward edges; under
+// "src/grid/fixture.cpp" the repository include is an illegal same-rank
+// cross-module edge (one commit away from a cycle).
+#include "sim/engine.h"
+#include "repository/store.h"
+#include "util/check.h"
+
+namespace fgp {
+int fixture_marker();
+}  // namespace fgp

@@ -1,0 +1,47 @@
+// NEGATIVE fixture: parallel lambdas that follow the DESIGN §11 sharing
+// protocol — index-owned slots, locals, atomics, copy captures. fgpcheck
+// must report nothing here. Analyzed as "src/freeride/fixture.cpp".
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace fgp {
+
+void block_reduction(util::ThreadPool& pool, const std::vector<double>& xs,
+                     std::vector<double>& partial) {
+  pool.parallel_for(partial.size(), [&](std::size_t b) {
+    double acc = 0.0;           // local accumulator: fine
+    for (std::size_t i = b; i < xs.size(); i += partial.size())
+      acc += xs[i];
+    partial[b] = acc;           // index-owned slot: fine
+  });
+}
+
+void atomic_counter(util::ThreadPool& pool) {
+  std::atomic<int> done{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    ++done;                     // atomic: fine
+  });
+}
+
+void copy_capture(util::ThreadPool& pool, std::vector<int>& out) {
+  int scale = 3;
+  pool.parallel_for(out.size(), [&out, scale](std::size_t i) mutable {
+    scale = static_cast<int>(i);  // mutates the lambda's own copy: fine
+    out[i] = scale;
+  });
+}
+
+void nested_blocks(util::ThreadPool& pool, std::vector<double>& block_sum,
+                   const std::vector<double>& xs) {
+  auto reduce_block = [&](std::size_t b) {
+    double t = 0.0;
+    for (std::size_t i = b; i < xs.size(); i += block_sum.size()) t += xs[i];
+    block_sum[b] = t;           // slot write through nested lambda: fine
+  };
+  pool.parallel_for(block_sum.size(), reduce_block);
+}
+
+}  // namespace fgp

@@ -1,0 +1,36 @@
+// POSITIVE fixture: lambdas handed to a parallel fan-out that assign to
+// by-reference captures. Every write below races across pool helpers.
+// Analyzed under the virtual path "src/freeride/fixture.cpp".
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace fgp {
+
+void bad_sum(util::ThreadPool& pool, const std::vector<double>& xs) {
+  double sum = 0.0;
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    sum += xs[i];  // finding: '+=' to by-ref capture 'sum'
+  });
+  (void)sum;
+}
+
+void bad_count(util::ThreadPool& pool) {
+  int done = 0;
+  auto task = [&done](std::size_t) {
+    ++done;  // finding: '++' on by-ref capture 'done'
+  };
+  pool.parallel_for(8, task);  // bound-name lambda reaches the sink too
+}
+
+void bad_flag(util::ThreadPool& pool, std::vector<int>& out) {
+  bool seen = false;
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = 1;    // fine: index-owned slot
+    seen = true;   // finding: '=' to by-ref capture 'seen'
+  });
+  (void)seen;
+}
+
+}  // namespace fgp

@@ -1,0 +1,30 @@
+// NEGATIVE fixture: unordered containers used as lookup tables (point
+// queries only) plus iteration over *ordered* containers — all fine.
+// Analyzed as "src/grid/fixture.cpp".
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fgp {
+
+double lookup_only(const std::unordered_map<std::uint64_t, double>& table,
+                   const std::vector<std::uint64_t>& keys) {
+  std::unordered_map<std::uint64_t, double> cache = table;
+  double sum = 0.0;
+  for (std::uint64_t k : keys) {          // ordered driver: fine
+    auto it = cache.find(k);              // point query: fine
+    if (it != cache.end()) sum += it->second;
+  }
+  cache.try_emplace(0, sum);              // mutation without walk: fine
+  return sum;
+}
+
+double ordered_fold(const std::map<std::uint64_t, double>& cells) {
+  double sum = 0.0;
+  for (const auto& kv : cells) sum += kv.second;  // std::map: pinned order
+  return sum;
+}
+
+}  // namespace fgp

@@ -1,0 +1,31 @@
+// POSITIVE fixture: iteration over unordered containers inside src/
+// deterministic code. Order is implementation-defined, so any fold over
+// it breaks bit-identity. Analyzed as "src/grid/fixture.cpp".
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fgp {
+
+using CellIndex = std::unordered_map<std::uint64_t, double>;
+
+double fold_cells(const CellIndex& cells) {
+  CellIndex scratch = cells;
+  double sum = 0.0;
+  for (const auto& kv : scratch) {  // finding: range-for over unordered
+    sum += kv.second;
+  }
+  return sum;
+}
+
+std::size_t walk_names(const std::unordered_set<std::string>& names) {
+  std::unordered_set<std::string> live = names;
+  std::size_t n = 0;
+  for (auto it = live.begin(); it != live.end(); ++it) {  // finding
+    n += it->size();
+  }
+  return n;
+}
+
+}  // namespace fgp

@@ -22,9 +22,9 @@ namespace {
 
 TEST(ThreadPool, ParallelForZeroTasksIsANoOp) {
   ThreadPool pool(2);
-  int calls = 0;
+  std::atomic<int> calls{0};
   pool.parallel_for(0, [&](std::size_t) { ++calls; });
-  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(ThreadPool, ZeroThreadsDefaultsToAtLeastOneWorker) {

@@ -1,0 +1,76 @@
+// fgpcheck CLI — contract-aware static analysis over the repo tree.
+//
+//   fgpcheck [root]                 run all source rules (default: cwd)
+//   fgpcheck --suppressions [root]  audit tools/sanitizers/*.supp for
+//                                   dead patterns
+//
+// Exit code 0 when clean, 1 on findings, 2 on usage errors. See
+// fgpcheck.h for the rule catalogue and DESIGN.md §14 for the contract
+// mapping.
+#include "fgpcheck.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+int main(int argc, char** argv) {
+  bool suppressions = false;
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--suppressions") {
+      suppressions = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: fgpcheck [--suppressions] [repo-root]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fgpcheck: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      root = arg;
+    }
+  }
+
+  // A wrong root must fail loudly, not pass as "0 files scanned": CI
+  // gates on our exit code, so a silently-empty scan would green-light
+  // anything.
+  if (!std::filesystem::is_directory(std::filesystem::path(root) / "src")) {
+    std::fprintf(stderr,
+                 "fgpcheck: %s does not look like the fgpred repo root "
+                 "(no src/)\n",
+                 root.c_str());
+    return 2;
+  }
+
+  if (suppressions) {
+    const auto findings = fgpcheck::audit_suppressions(root);
+    for (const auto& f : findings)
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+    if (findings.empty()) {
+      std::printf("fgpcheck --suppressions: all sanitizer suppressions "
+                  "are live\n");
+      return 0;
+    }
+    std::fprintf(stderr, "fgpcheck --suppressions: %zu finding(s)\n",
+                 findings.size());
+    return 1;
+  }
+
+  const fgpcheck::TreeAnalysis result = fgpcheck::analyze_tree(root);
+  for (const auto& f : result.findings)
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+
+  std::size_t exempted = 0;
+  for (const auto& [rule, count] : result.exemptions) exempted += count;
+  std::printf("fgpcheck: %zu file(s) scanned, %zu finding(s), %zu "
+              "exemption(s)\n",
+              result.files, result.findings.size(), exempted);
+  if (!result.exemptions.empty()) {
+    std::printf("fgpcheck: exemptions by rule:\n");
+    for (const auto& [rule, count] : result.exemptions)
+      std::printf("  %-24s %zu\n", rule.c_str(), count);
+  }
+  return result.findings.empty() ? 0 : 1;
+}
