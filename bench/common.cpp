@@ -1,6 +1,9 @@
 #include "common.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <utility>
 
@@ -23,6 +26,7 @@
 #include "obs/metrics.h"
 #include "obs/residual.h"
 #include "obs/trace.h"
+#include "repository/store.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -172,6 +176,60 @@ BenchApp make_defect_app(double virtual_mb, int nx, int ny, int nz,
   app.classes = {core::RoSizeClass::LinearWithData,
                  core::GlobalReductionClass::ConstantLinear};
   return app;
+}
+
+namespace {
+
+/// Forwarding ChunkSource that owns the throwaway store directory backing
+/// a streamed bench dataset: views share the source, so the directory
+/// lives exactly as long as any of them and is removed with the last one.
+class ScopedStoreSource final : public repository::ChunkSource {
+ public:
+  ScopedStoreSource(std::shared_ptr<const repository::ChunkSource> inner,
+                    std::filesystem::path dir)
+      : inner_(std::move(inner)), dir_(std::move(dir)) {}
+  ~ScopedStoreSource() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // best effort
+  }
+  repository::Chunk fetch(std::size_t index) const override {
+    return inner_->fetch(index);
+  }
+  void prefetch(std::size_t index) const override {
+    inner_->prefetch(index);
+  }
+
+ private:
+  std::shared_ptr<const repository::ChunkSource> inner_;
+  std::filesystem::path dir_;
+};
+
+}  // namespace
+
+BenchApp streamed_copy(const BenchApp& app, std::size_t budget_bytes,
+                       obs::Registry* metrics) {
+  namespace fs = std::filesystem;
+  // One directory per streamed copy: a process-local sequence number keeps
+  // copies within a run apart, the address salt keeps concurrent bench
+  // processes from clobbering each other's stores.
+  static std::atomic<unsigned> sequence{0};
+  const unsigned seq = sequence.fetch_add(1);
+  const auto salt = reinterpret_cast<std::uintptr_t>(&sequence);
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("fgp_streamed_" + std::to_string(salt) + "_" + std::to_string(seq));
+  const repository::DatasetStore store(root, nullptr, metrics);
+  store.save(*app.dataset);
+
+  repository::StreamConfig cfg;
+  if (budget_bytes != 0) cfg.budget_bytes = budget_bytes;
+  auto ds = store.load_streamed(app.dataset->meta().name, cfg);
+  ds.attach_source(
+      std::make_shared<const ScopedStoreSource>(ds.source(), root));
+
+  BenchApp out = app;
+  out.dataset = std::make_shared<repository::ChunkedDataset>(std::move(ds));
+  return out;
 }
 
 BenchApp with_virtual_size(const BenchApp& app, double virtual_mb) {

@@ -5,13 +5,17 @@
 // The two dataset sizes are views of ONE generated dataset: the target app
 // generates the points once, and the profile app rebinds the same payload
 // slabs to the smaller virtual size (bench::with_virtual_size, zero-copy —
-// DESIGN.md §13).
+// DESIGN.md §13). Both views stream their payloads out-of-core through
+// budget-bounded mmap windows (bench::streamed_copy — DESIGN.md §15), so
+// the scaling figure's memory footprint stays flat in the dataset size;
+// results are bit-identical to the in-memory path (tests/test_dataplane).
 #include "common.h"
 
 int main() {
   using namespace fgp;
   const bench::SweepRunner sweep;
-  const auto target_app = bench::make_em_app(1400.0, 4.0, 42);
+  const auto target_app =
+      bench::streamed_copy(bench::make_em_app(1400.0, 4.0, 42));
   const auto profile_app = bench::with_virtual_size(target_app, 350.0);
   bench::global_model_figure(
       sweep,

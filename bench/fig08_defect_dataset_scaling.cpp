@@ -1,12 +1,17 @@
 // Figure 8: dataset-size scaling for molecular defect detection — profile
-// at 1-1 on 130 MB, predictions for a 1.8 GB dataset.
+// at 1-1 on 130 MB, predictions for a 1.8 GB dataset. Both datasets pull
+// their payloads through the out-of-core streaming plane
+// (bench::streamed_copy — DESIGN.md §15): flat memory in the dataset size,
+// bit-identical results to the in-memory path.
 #include "common.h"
 
 int main() {
   using namespace fgp;
   const bench::SweepRunner sweep;
-  const auto profile_app = bench::make_defect_app(130.0, 24, 24, 96, 11);
-  const auto target_app = bench::make_defect_app(1800.0, 32, 32, 144, 11);
+  const auto profile_app =
+      bench::streamed_copy(bench::make_defect_app(130.0, 24, 24, 96, 11));
+  const auto target_app =
+      bench::streamed_copy(bench::make_defect_app(1800.0, 32, 32, 144, 11));
   bench::global_model_figure(
       sweep,
       "Figure 8: Prediction Errors for Molecular Defect Detection, 1.8 GB "

@@ -22,14 +22,25 @@
 // generated dataset, timed as deep payload copies (the pre-shared-slab
 // behavior) vs aliasing views, with resident-set deltas for both; and a
 // store round-trip timed as streamed load vs mmap-backed load_mapped.
-// The report goes to BENCH_dataplane.json (schema fgpred-dataplane-v1).
+//
+// A fourth section measures the out-of-core streaming plane (DESIGN.md
+// §15): one generated dataset is replicated 10–100x on disk (payload slabs
+// shared in memory, so only the store grows) and scanned through
+// DatasetStore::load_streamed under a fixed window budget, recording
+// streamed throughput, sampled peak RSS and getrusage(ru_maxrss) growth
+// per size — the proof that memory stays flat while the dataset scales.
+// The combined report goes to BENCH_dataplane.json (schema
+// fgpred-dataplane-v2).
 //
 // Usage: host_perf [--quick] [--out <path>] [--sweep-out <path>]
-//                  [--dataplane-out <path>]
-//   --quick          smaller datasets + shorter repetitions (CI smoke)
-//   --out            write the kernel JSON report to <path> instead of stdout
-//   --sweep-out      write the sweep JSON report to <path> instead of stdout
-//   --dataplane-out  write the data-plane JSON report to <path>
+//                  [--dataplane-out <path>] [--assert-flat-rss]
+//   --quick           smaller datasets + shorter repetitions (CI smoke)
+//   --out             write the kernel JSON report to <path> instead of stdout
+//   --sweep-out       write the sweep JSON report to <path> instead of stdout
+//   --dataplane-out   write the data-plane JSON report to <path>
+//   --assert-flat-rss fail (exit nonzero) unless peak RSS growth across the
+//                     streaming size ladder stays bounded by the window
+//                     budget instead of the dataset size (CI gate)
 //
 // Wall-clock readings go through util::Stopwatch, the single sanctioned
 // clock access point (tools/fgplint enforces this).
@@ -46,6 +57,7 @@
 #include <vector>
 
 #if defined(__unix__)
+#include <sys/resource.h>
 #include <unistd.h>
 #endif
 
@@ -60,6 +72,7 @@
 #include "datagen/points.h"
 #include "freeride/reduction.h"
 #include "naive_kernels.h"
+#include "obs/metrics.h"
 #include "repository/store.h"
 #include "util/check.h"
 #include "util/serial.h"
@@ -510,12 +523,189 @@ DataPlaneResult bench_store_load(double min_seconds, bool quick) {
   return r;
 }
 
+/// Process-lifetime peak resident set in bytes via getrusage (0 where
+/// unavailable). Monotone: growth between two readings bounds how much the
+/// peak moved in between — the flat-RSS proof compares readings taken
+/// after each streaming size.
+double peak_rss_bytes() {
+#if defined(__unix__)
+  struct rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;  // Linux reports KB
+#else
+  return 0.0;
+#endif
+}
+
+struct StreamingResult {
+  std::string name;
+  std::size_t chunks = 0;
+  double payload_bytes = 0.0;  ///< real bytes on disk (and per scan)
+  std::size_t budget_bytes = 0;
+  std::size_t window_bytes = 0;
+  double streamed_s = 0.0;  ///< one full materializing scan
+  double sampled_rss_delta = 0.0;  ///< statm peak during one scan
+  double ru_maxrss_delta = 0.0;    ///< peak growth vs the smallest size
+  double prefetch_hits = 0.0;
+  double prefetch_misses = 0.0;
+  double window_recycles = 0.0;
+  double stitched_chunks = 0.0;
+  double bytes_per_second() const { return payload_bytes / streamed_s; }
+};
+
+/// `base` replicated `factor` times under a new name: every replica chunk
+/// aliases the original payload slab (DESIGN.md §13), so the in-memory
+/// cost of building a 100x dataset stays one copy of the base — only the
+/// saved store grows. Chunk ids are renumbered to stay unique.
+repository::ChunkedDataset replicate_dataset(
+    const repository::ChunkedDataset& base, std::size_t factor,
+    const std::string& name) {
+  repository::DatasetMeta meta = base.meta();
+  meta.name = name;
+  repository::ChunkedDataset out(meta);
+  repository::ChunkId next = 0;
+  for (std::size_t rep = 0; rep < factor; ++rep)
+    for (const auto& c : base.chunks())
+      out.add_chunk(
+          repository::Chunk(next++, c.payload_buffer(), c.virtual_scale()));
+  return out;
+}
+
+/// The out-of-core streaming ladder (DESIGN.md §15): one generated point
+/// dataset, replicated x1 .. x40 on disk, scanned through load_streamed
+/// under a fixed window budget. Records streamed throughput and two
+/// independent memory readings per size (sampled /proc RSS during the
+/// scan, getrusage peak growth after it). With `assert_flat_rss` the
+/// ladder FAILS unless the largest size is >=10x the smallest and peak
+/// growth beyond the smallest size stays bounded by the window budget —
+/// i.e. memory is flat in the dataset size. An EM job over the same
+/// streamed plane is cross-checked bit-identical to its in-memory run
+/// first, so the numbers always describe correct streaming.
+std::vector<StreamingResult> bench_streaming(double min_seconds, bool quick,
+                                             bool assert_flat_rss) {
+  obs::Registry metrics;
+  repository::StreamConfig cfg;  // default 8 MiB budget, 256 KiB windows
+
+  // Correctness gate: runtime passes over the streamed plane (block
+  // prefetch overlapping kernel compute on the shared pool) must be
+  // bit-identical to the in-memory dataset.
+  {
+    const auto app = quick ? make_em_app(80.0, 1.0, 42, /*passes=*/2)
+                           : make_em_app(350.0, 4.0, 42, /*passes=*/2);
+    const auto streamed = streamed_copy(app, cfg.budget_bytes, &metrics);
+    const auto cluster = sim::cluster_pentium_myrinet();
+    const auto wan = sim::wan_mbps(800.0);
+    const auto mem = simulate(app, cluster, cluster, wan, {2, 4});
+    const auto str = simulate(streamed, cluster, cluster, wan, {2, 4});
+    util::ByteWriter wa, wb;
+    mem.result->serialize(wa);
+    str.result->serialize(wb);
+    FGP_CHECK_MSG(
+        mem.timing.elapsed == str.timing.elapsed && wa.bytes() == wb.bytes(),
+        "streamed EM run diverged from the in-memory run");
+  }
+
+  datagen::PointsSpec spec;
+  spec.num_points = quick ? 20000 : 40000;
+  spec.dim = 8;
+  spec.points_per_chunk = quick ? 2000 : 4000;
+  spec.num_components = 4;
+  spec.seed = 71;
+  const auto base = datagen::generate_points(spec);
+
+  const auto root =
+      std::filesystem::temp_directory_path() / "fgp_streaming_ladder";
+  const repository::DatasetStore store(root, nullptr, &metrics);
+  const std::vector<std::size_t> factors =
+      quick ? std::vector<std::size_t>{1, 4, 10}
+            : std::vector<std::size_t>{1, 10, 40};
+
+  std::vector<StreamingResult> results;
+  double sink = 0.0;
+  double ru_base = 0.0;
+  for (const std::size_t factor : factors) {
+    const std::string name = "points-x" + std::to_string(factor);
+    store.save(replicate_dataset(base.dataset, factor, name));
+    const auto ds = store.load_streamed(name, cfg);
+
+    const auto scan = [&] {
+      double bytes = 0.0;
+      for (std::size_t i = 0; i < ds.chunk_count(); ++i)
+        bytes += static_cast<double>(ds.materialize(i).payload().size());
+      sink += bytes;
+    };
+
+    StreamingResult r;
+    r.name = name;
+    r.chunks = ds.chunk_count();
+    r.payload_bytes = static_cast<double>(ds.total_real_bytes());
+    r.budget_bytes = cfg.budget_bytes;
+    r.window_bytes = cfg.window_bytes;
+    const double hits0 = metrics.host_value("store.prefetch_hits");
+    const double miss0 = metrics.host_value("store.prefetch_misses");
+    const double rec0 = metrics.host_value("store.window_recycles");
+    const double stitch0 = metrics.value("store.stitched_chunks");
+    r.streamed_s = time_sweep(scan, min_seconds);
+
+    // One extra scan with per-chunk RSS sampling: the high-water mark the
+    // stream actually reaches while chunks materialize and drop.
+    {
+      const double before = resident_bytes();
+      double peak = before;
+      for (std::size_t i = 0; i < ds.chunk_count(); ++i) {
+        sink += static_cast<double>(ds.materialize(i).payload().size());
+        peak = std::max(peak, resident_bytes());
+      }
+      r.sampled_rss_delta = std::max(0.0, peak - before);
+    }
+    r.prefetch_hits = metrics.host_value("store.prefetch_hits") - hits0;
+    r.prefetch_misses = metrics.host_value("store.prefetch_misses") - miss0;
+    r.window_recycles = metrics.host_value("store.window_recycles") - rec0;
+    r.stitched_chunks = metrics.value("store.stitched_chunks") - stitch0;
+
+    if (results.empty()) {
+      // The smallest size's run absorbs every one-time allocation (pools,
+      // window budget, allocator arenas); later sizes are measured as
+      // growth beyond this baseline.
+      ru_base = peak_rss_bytes();
+      r.ru_maxrss_delta = 0.0;
+    } else {
+      r.ru_maxrss_delta = std::max(0.0, peak_rss_bytes() - ru_base);
+    }
+    results.push_back(r);
+    store.remove(name);
+  }
+  FGP_CHECK_MSG(sink > 0.0, "streaming scans produced no work");
+
+  if (assert_flat_rss) {
+    FGP_CHECK_MSG(
+        results.back().payload_bytes >= 10.0 * results.front().payload_bytes,
+        "streaming ladder spans less than 10x: "
+            << results.front().payload_bytes << " .. "
+            << results.back().payload_bytes);
+    const double bound =
+        std::max(64.0 * 1024.0 * 1024.0,
+                 4.0 * static_cast<double>(cfg.budget_bytes));
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      FGP_CHECK_MSG(results[i].ru_maxrss_delta <= bound,
+                    results[i].name << ": peak RSS grew by "
+                                    << results[i].ru_maxrss_delta
+                                    << " bytes over the x"
+                                    << factors.front()
+                                    << " baseline (bound " << bound
+                                    << ") — streaming is not flat");
+    }
+  }
+  return results;
+}
+
 std::string to_dataplane_json(const std::vector<DataPlaneResult>& results,
+                              const std::vector<StreamingResult>& streaming,
                               bool quick) {
   std::ostringstream os;
   os.precision(6);
   os << "{\n";
-  os << "  \"schema\": \"fgpred-dataplane-v1\",\n";
+  os << "  \"schema\": \"fgpred-dataplane-v2\",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
   os << "  \"mmap\": "
@@ -540,6 +730,31 @@ std::string to_dataplane_json(const std::vector<DataPlaneResult>& results,
        << ",\n";
     os << "      \"speedup\": " << r.speedup() << "\n";
     os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"streaming\": [\n";
+  for (std::size_t i = 0; i < streaming.size(); ++i) {
+    const auto& s = streaming[i];
+    const double issued = s.prefetch_hits + s.prefetch_misses;
+    os << "    {\n";
+    os << "      \"name\": \"" << s.name << "\",\n";
+    os << "      \"chunks\": " << s.chunks << ",\n";
+    os << "      \"payload_bytes\": " << s.payload_bytes << ",\n";
+    os << "      \"budget_bytes\": " << s.budget_bytes << ",\n";
+    os << "      \"window_bytes\": " << s.window_bytes << ",\n";
+    os << "      \"streamed_seconds\": " << s.streamed_s << ",\n";
+    os << "      \"streamed_bytes_per_second\": " << s.bytes_per_second()
+       << ",\n";
+    os << "      \"sampled_rss_delta_bytes\": " << s.sampled_rss_delta
+       << ",\n";
+    os << "      \"ru_maxrss_delta_bytes\": " << s.ru_maxrss_delta << ",\n";
+    os << "      \"prefetch_hits\": " << s.prefetch_hits << ",\n";
+    os << "      \"prefetch_misses\": " << s.prefetch_misses << ",\n";
+    os << "      \"prefetch_hit_rate\": "
+       << (issued > 0.0 ? s.prefetch_hits / issued : 0.0) << ",\n";
+    os << "      \"window_recycles\": " << s.window_recycles << ",\n";
+    os << "      \"stitched_chunks\": " << s.stitched_chunks << "\n";
+    os << "    }" << (i + 1 < streaming.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";
@@ -614,12 +829,15 @@ std::string to_json(const std::vector<KernelResult>& results, bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool assert_flat_rss = false;
   std::string out_path;
   std::string sweep_out_path;
   std::string dataplane_out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--assert-flat-rss") == 0) {
+      assert_flat_rss = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-out") == 0 && i + 1 < argc) {
@@ -628,7 +846,8 @@ int main(int argc, char** argv) {
       dataplane_out_path = argv[++i];
     } else {
       std::cerr << "usage: host_perf [--quick] [--out <path>] "
-                   "[--sweep-out <path>] [--dataplane-out <path>]\n";
+                   "[--sweep-out <path>] [--dataplane-out <path>] "
+                   "[--assert-flat-rss]\n";
       return 2;
     }
   }
@@ -676,8 +895,14 @@ int main(int argc, char** argv) {
   dataplane.push_back(fgp::bench::bench_store_load(min_seconds, quick));
   std::cerr << "dataplane " << dataplane.back().name << ": "
             << dataplane.back().speedup() << "x\n";
+  const auto streaming =
+      fgp::bench::bench_streaming(min_seconds, quick, assert_flat_rss);
+  for (const auto& s : streaming)
+    std::cerr << "streaming " << s.name << ": "
+              << s.bytes_per_second() / 1e6 << " MB/s, ru_maxrss growth "
+              << s.ru_maxrss_delta / 1e6 << " MB\n";
   const std::string dataplane_json =
-      fgp::bench::to_dataplane_json(dataplane, quick);
+      fgp::bench::to_dataplane_json(dataplane, streaming, quick);
   if (dataplane_out_path.empty()) {
     std::cout << dataplane_json;
   } else {

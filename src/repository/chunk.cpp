@@ -39,6 +39,18 @@ Chunk::Chunk(ChunkId id, std::shared_ptr<const PayloadBuffer> payload,
   checksum_ = util::fnv1a(bytes.data(), bytes.size());
 }
 
+Chunk Chunk::metadata_only(ChunkId id, std::uint64_t real_bytes,
+                           std::uint64_t checksum, double virtual_scale) {
+  FGP_CHECK_MSG(virtual_scale > 0.0, "virtual_scale must be positive");
+  Chunk c;
+  c.id_ = id;
+  c.declared_real_bytes_ = real_bytes;
+  c.virtual_scale_ = virtual_scale;
+  c.virtual_bytes_ = static_cast<double>(real_bytes) * virtual_scale;
+  c.checksum_ = checksum;
+  return c;
+}
+
 void Chunk::set_virtual_scale(double virtual_scale) {
   FGP_CHECK_MSG(virtual_scale > 0.0, "virtual_scale must be positive");
   virtual_scale_ = virtual_scale;

@@ -39,9 +39,24 @@ class Chunk {
   Chunk(ChunkId id, std::shared_ptr<const PayloadBuffer> payload,
         double virtual_scale);
 
+  /// A payload-less handle carrying only wire metadata — the streamed
+  /// store's resident form (DESIGN.md §15). It sizes, partitions and
+  /// rescales exactly like a loaded chunk (real_bytes/virtual_bytes come
+  /// from the declared size), but payload access throws until the owning
+  /// dataset materializes the bytes through its ChunkSource.
+  static Chunk metadata_only(ChunkId id, std::uint64_t real_bytes,
+                             std::uint64_t checksum, double virtual_scale);
+
+  /// False only for a metadata_only handle with a non-empty declared
+  /// payload; such a chunk must be materialized before its bytes are read.
+  bool loaded() const {
+    return payload_ != nullptr || declared_real_bytes_ == 0;
+  }
+
   ChunkId id() const { return id_; }
   std::size_t real_bytes() const {
-    return payload_ != nullptr ? payload_->size() : 0;
+    return payload_ != nullptr ? payload_->size()
+                               : static_cast<std::size_t>(declared_real_bytes_);
   }
   double virtual_bytes() const { return virtual_bytes_; }
   /// virtual_bytes / real_bytes; kernels' work is scaled by this.
@@ -49,8 +64,12 @@ class Chunk {
   std::uint64_t checksum() const { return checksum_; }
 
   /// Immutable view of the shared payload bytes. Valid as long as any
-  /// chunk (or other holder) keeps the underlying buffer alive.
+  /// chunk (or other holder) keeps the underlying buffer alive. Throws on
+  /// an unloaded metadata_only handle: the bytes are still on disk, and
+  /// silently returning an empty span would corrupt any kernel result.
   std::span<const std::uint8_t> payload() const {
+    FGP_CHECK_MSG(loaded(), "chunk " << id_ << ": payload access on an "
+                  "unloaded streamed chunk (materialize it via its dataset)");
     return payload_ != nullptr ? payload_->bytes()
                                : std::span<const std::uint8_t>{};
   }
@@ -103,6 +122,7 @@ class Chunk {
  private:
   ChunkId id_ = 0;
   std::shared_ptr<const PayloadBuffer> payload_;
+  std::uint64_t declared_real_bytes_ = 0;  ///< metadata_only payload size
   double virtual_scale_ = 1.0;
   double virtual_bytes_ = 0.0;
   std::uint64_t checksum_ = 0;

@@ -23,6 +23,10 @@ ChunkedDataset ChunkedDataset::with_uniform_virtual_scale(
   ChunkedDataset view(meta_);
   for (const auto& c : chunks_)
     view.add_chunk(c.with_virtual_scale(virtual_scale));
+  // A view of a streamed dataset streams from the same source (and shares
+  // its window pool/budget); materialize() rebinds fetched chunks to the
+  // view's scale.
+  view.source_ = source_;
   if (metrics != nullptr)
     metrics->add("payload.shared_views",
                  static_cast<double>(chunks_.size()));
@@ -30,9 +34,25 @@ ChunkedDataset ChunkedDataset::with_uniform_virtual_scale(
 }
 
 bool ChunkedDataset::verify_all() const {
-  for (const auto& c : chunks_)
-    if (!c.verify()) return false;
+  for (std::size_t i = 0; i < chunks_.size(); ++i)
+    if (!materialize(i).verify()) return false;
   return true;
+}
+
+Chunk ChunkedDataset::materialize(std::size_t i) const {
+  const Chunk& c = chunks_.at(i);
+  if (c.loaded() || source_ == nullptr) return c;
+  Chunk fetched = source_->fetch(i);
+  // Rescaled views keep metadata at the view's scale; the source serves
+  // the stored scale, so rebind (metadata-only — payload untouched).
+  if (fetched.virtual_scale() != c.virtual_scale())
+    fetched.set_virtual_scale(c.virtual_scale());
+  return fetched;
+}
+
+void ChunkedDataset::prefetch(std::size_t i) const {
+  const Chunk& c = chunks_.at(i);
+  if (!c.loaded() && source_ != nullptr) source_->prefetch(i);
 }
 
 }  // namespace fgp::repository

@@ -21,6 +21,29 @@ struct DatasetMeta {
   std::uint64_t seed = 0;
 };
 
+/// Lazy payload provider for a streamed dataset (DESIGN.md §15): the
+/// dataset holds metadata_only chunk handles and pulls bytes through its
+/// source on demand. Implementations must be thread-safe — the runtime
+/// fetches and prefetches from pool workers concurrently — and must verify
+/// the fetched bytes against the stored checksum (throwing
+/// util::SerializationError on mismatch), so a materialized chunk is as
+/// trustworthy as a loaded one.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// Returns chunk `index` with its payload resident, at the scale the
+  /// chunk was stored with. Throws on IO errors or corruption.
+  virtual Chunk fetch(std::size_t index) const = 0;
+
+  /// Hint that chunk `index` is about to be fetched: readies whatever
+  /// backing state makes the fetch cheap (mapped windows, page cache).
+  /// Never throws and never affects results — a prefetch is free to be a
+  /// no-op, and a failed prefetch just makes the later fetch slower (the
+  /// fetch re-raises any real error).
+  virtual void prefetch(std::size_t index) const = 0;
+};
+
 class ChunkedDataset {
  public:
   ChunkedDataset() = default;
@@ -54,12 +77,37 @@ class ChunkedDataset {
   ChunkedDataset with_uniform_virtual_scale(
       double virtual_scale, obs::Registry* metrics = nullptr) const;
 
-  /// True when every chunk's checksum verifies.
+  /// True when every chunk's checksum verifies (streamed chunks are
+  /// materialized to be checked; the fetch itself throws on corruption).
   bool verify_all() const;
+
+  /// Attaches the lazy payload source the metadata_only chunks of a
+  /// streamed dataset resolve through. Views made by
+  /// with_uniform_virtual_scale share the source (and its window pool).
+  void attach_source(std::shared_ptr<const ChunkSource> source) {
+    source_ = std::move(source);
+  }
+  const std::shared_ptr<const ChunkSource>& source() const { return source_; }
+  /// True when chunk payloads live behind a ChunkSource.
+  bool streamed() const { return source_ != nullptr; }
+
+  /// Chunk `i` with its payload guaranteed resident: loaded chunks (and
+  /// datasets without a source) come back as plain handle copies; unloaded
+  /// streamed chunks are fetched through the source and rebound to this
+  /// dataset's virtual scale for `i` (so rescaled views materialize at the
+  /// view's scale, not the stored one). The returned handle owns the bytes
+  /// for its lifetime — dropping it releases them, which is what keeps a
+  /// streamed pass's resident set flat (DESIGN.md §15).
+  Chunk materialize(std::size_t i) const;
+
+  /// Forwards a prefetch hint for chunk `i` to the source (no-op when the
+  /// dataset is not streamed or the chunk is already loaded).
+  void prefetch(std::size_t i) const;
 
  private:
   DatasetMeta meta_;
   std::vector<Chunk> chunks_;
+  std::shared_ptr<const ChunkSource> source_;
   double total_virtual_bytes_ = 0.0;
   std::size_t total_real_bytes_ = 0;
 };

@@ -21,6 +21,17 @@ std::shared_ptr<const PayloadBuffer> PayloadBuffer::from_bytes(
 
 bool PayloadBuffer::mmap_supported() { return FGP_HAVE_MMAP != 0; }
 
+std::shared_ptr<const PayloadBuffer> PayloadBuffer::from_view(
+    std::shared_ptr<const void> owner, const std::uint8_t* data,
+    std::size_t size) {
+  return std::make_shared<const PayloadBuffer>(Token{}, std::move(owner),
+                                               data, size);
+}
+
+PayloadBuffer::PayloadBuffer(Token, std::shared_ptr<const void> owner,
+                             const std::uint8_t* data, std::size_t size)
+    : owner_(std::move(owner)), data_(data), size_(size) {}
+
 PayloadBuffer::PayloadBuffer(Token, std::vector<std::uint8_t> heap)
     : heap_(std::move(heap)), data_(heap_.data()), size_(heap_.size()) {}
 

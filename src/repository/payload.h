@@ -11,6 +11,11 @@
 //          payload region as a window into the mapping (the store's
 //          load_mapped path). The mapping lives exactly as long as the
 //          buffer, and the buffer lives as long as any chunk view of it.
+//
+// A third, borrowed backing supports the streaming window layer
+// (stream.h): the buffer aliases memory owned by someone else (a mapped
+// window) and holds a refcounted keep-alive so the owner cannot vanish
+// under the view (DESIGN.md §15).
 #pragma once
 
 #include <cstdint>
@@ -45,14 +50,27 @@ class PayloadBuffer {
   /// True when this platform has the mmap read path compiled in.
   static bool mmap_supported();
 
+  /// Aliases `size` bytes at `data` owned by `owner` (e.g. a mapped
+  /// window): the buffer copies nothing and keeps `owner` alive for its
+  /// own lifetime, so the bytes stay valid as long as any chunk view of
+  /// this buffer does. The bytes must be immutable for that lifetime —
+  /// the same contract every other backing obeys (DESIGN.md §13).
+  static std::shared_ptr<const PayloadBuffer> from_view(
+      std::shared_ptr<const void> owner, const std::uint8_t* data,
+      std::size_t size);
+
   std::span<const std::uint8_t> bytes() const { return {data_, size_}; }
   const std::uint8_t* data() const { return data_; }
   std::size_t size() const { return size_; }
   bool mapped() const { return map_base_ != nullptr; }
+  /// True for a from_view buffer borrowing another owner's bytes.
+  bool borrowed() const { return owner_ != nullptr; }
 
   PayloadBuffer(Token, std::vector<std::uint8_t> heap);
   PayloadBuffer(Token, void* map_base, std::size_t map_length,
                 std::size_t view_offset, std::size_t view_length);
+  PayloadBuffer(Token, std::shared_ptr<const void> owner,
+                const std::uint8_t* data, std::size_t size);
   ~PayloadBuffer();
 
   PayloadBuffer(const PayloadBuffer&) = delete;
@@ -62,6 +80,7 @@ class PayloadBuffer {
   std::vector<std::uint8_t> heap_;
   void* map_base_ = nullptr;
   std::size_t map_length_ = 0;
+  std::shared_ptr<const void> owner_;  ///< keep-alive for from_view buffers
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
 };

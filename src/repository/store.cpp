@@ -206,6 +206,39 @@ ChunkedDataset DatasetStore::load_mapped(const std::string& name,
   return ds;
 }
 
+ChunkedDataset DatasetStore::load_streamed(const std::string& name,
+                                           const StreamConfig& cfg,
+                                           util::ThreadPool* pool) const {
+  if (!PayloadBuffer::mmap_supported()) return load(name, pool);
+  const obs::HostSpan io_span(trace_, "store", "load-streamed " + name);
+  const fs::path dir = dir_for(name);
+  auto [meta, count] = read_manifest(dir, name);
+
+  // Metadata scan: only each chunk file's fixed wire header is read here
+  // — 32 bytes per chunk regardless of payload size, so the scan touches
+  // O(chunks) bytes where load() touches O(dataset). Entries land at
+  // their manifest indices, so the scan may fan out over the pool.
+  std::vector<StoreStreamSource::Entry> entries(count);
+  const auto scan_chunk = [&](std::size_t i) {
+    entries[i] = StoreStreamSource::read_entry(
+        dir / ("chunk_" + std::to_string(i) + ".bin"));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(count), scan_chunk);
+  } else {
+    for (std::uint64_t i = 0; i < count; ++i)
+      scan_chunk(static_cast<std::size_t>(i));
+  }
+
+  ChunkedDataset ds(meta);
+  for (const auto& e : entries)
+    ds.add_chunk(Chunk::metadata_only(e.id, e.payload_bytes, e.checksum,
+                                      e.virtual_scale));
+  ds.attach_source(std::make_shared<const StoreStreamSource>(
+      std::move(entries), cfg, metrics_));
+  return ds;
+}
+
 bool DatasetStore::exists(const std::string& name) const {
   return fs::exists(dir_for(name) / "manifest.bin");
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "repository/dataset.h"
+#include "repository/stream.h"
 
 namespace fgp::util {
 class ThreadPool;
@@ -60,6 +61,20 @@ class DatasetStore {
   /// either way the returned dataset is byte-identical to load()'s.
   ChunkedDataset load_mapped(const std::string& name,
                              util::ThreadPool* pool = nullptr) const;
+
+  /// Out-of-core variant of load_mapped(): only the fixed 32-byte wire
+  /// headers are read up front (a non-null `pool` scans them
+  /// concurrently); the returned dataset holds metadata-only chunk
+  /// handles plus a StoreStreamSource that materializes payloads on
+  /// demand through budget-bounded mmap windows (stream.h, DESIGN.md
+  /// §15). Checksums are verified lazily, at each materialize — reading
+  /// everything eagerly is exactly what this mode exists to avoid. Peak
+  /// memory for a sequential sweep is ~cfg.budget_bytes + the chunks held
+  /// live, independent of dataset size. On platforms without mmap this
+  /// falls back to the fully-resident load().
+  ChunkedDataset load_streamed(const std::string& name,
+                               const StreamConfig& cfg = {},
+                               util::ThreadPool* pool = nullptr) const;
 
   bool exists(const std::string& name) const;
   void remove(const std::string& name) const;

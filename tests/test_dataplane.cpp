@@ -105,6 +105,60 @@ TEST(DataPlane, SharedViewSweepBitIdenticalToDeepCopyAcrossPools) {
       << "shared-view profile, serial";
 }
 
+TEST(DataPlane, StreamedSweepBitIdenticalToInMemoryAcrossPools) {
+  // The out-of-core plane (DESIGN.md §15): the same fig07-style figure
+  // driven through budget-bounded mmap windows with block prefetch must
+  // reproduce the in-memory artifacts bit for bit at pools 1, 2 and 8 —
+  // prefetch and window recycling only move host wall-clock time.
+  const BenchApp target = make_em_app(80.0, 1.0, 42, 2);
+  const BenchApp profile = with_virtual_size(target, 20.0);
+  // A deliberately tight budget, so the sweep recycles windows constantly
+  // while it runs.
+  const BenchApp streamed_target = streamed_copy(target, 1u << 20);
+  const BenchApp streamed_profile =
+      with_virtual_size(streamed_target, 20.0);
+  ASSERT_TRUE(streamed_target.dataset->streamed());
+  ASSERT_TRUE(streamed_profile.dataset->streamed());
+
+  const FigureArtifacts reference = run_figure(profile, target, nullptr);
+  EXPECT_TRUE(reference ==
+              run_figure(streamed_profile, streamed_target, nullptr))
+      << "streamed plane, serial";
+  for (const std::size_t n : {1, 2, 8}) {
+    util::ThreadPool pool(n);
+    EXPECT_TRUE(reference ==
+                run_figure(streamed_profile, streamed_target, &pool))
+        << "streamed plane, pool of " << n;
+  }
+}
+
+TEST(DataPlane, PrefetchTasksDrainBeforeRunReturns) {
+  // Regression: the runtime's block-prefetch tasks go to the (often
+  // long-lived) shared pool, but the streamed source records into a
+  // caller-scoped metrics registry. A task that outlived run() once
+  // dereferenced a destroyed registry mid-bench — and a straggler could
+  // equally wedge the pool's worker on a destroyed mutex at process
+  // exit. Every pass now drains its own tasks, so the registry, the
+  // dataset handle and its temp store may all die the moment run()
+  // returns. Under the sanitizer presets any straggler task turns the
+  // churn below into a hard failure.
+  util::ThreadPool pool(2);
+  const BenchApp base = make_em_app(40.0, 1.0, 42, 2);
+  for (int round = 0; round < 4; ++round) {
+    {
+      obs::Registry metrics;
+      const BenchApp streamed = streamed_copy(base, 1u << 20, &metrics);
+      ASSERT_TRUE(streamed.dataset->streamed());
+      (void)simulate(streamed, sim::cluster_pentium_myrinet(),
+                     sim::cluster_pentium_myrinet(), sim::wan_mbps(800.0),
+                     {4, 8}, false, &pool, nullptr, &metrics);
+    }  // registry, streamed dataset and its temp store are gone here
+    // Churn the pool: a leftover prefetch task would now run against the
+    // destroyed registry/window pool instead of these no-ops.
+    for (int i = 0; i < 32; ++i) pool.submit([] {}).wait();
+  }
+}
+
 TEST(DataPlane, WithVirtualSizeRescalesWithoutTouchingTheOriginal) {
   const BenchApp app = make_kmeans_app(40.0, 1.0, 7, 2);
   const double before = app.dataset->total_virtual_bytes();

@@ -4,7 +4,11 @@
 // they never crash or hang.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <sstream>
@@ -24,6 +28,9 @@
 #include "obs/metrics.h"
 #include "obs/validate.h"
 #include "repository/chunk.h"
+#include "repository/payload.h"
+#include "repository/store.h"
+#include "repository/stream.h"
 #include "util/rng.h"
 #include "util/serial.h"
 
@@ -514,6 +521,91 @@ TEST(Fuzz, ChunkWireRandomCorruptionTypedOnly) {
     }
   }
   SUCCEED();
+}
+
+// --- Streamed-reader corpus ----------------------------------------------
+// The out-of-core reader (DatasetStore::load_streamed + materialize,
+// DESIGN.md §15) parses chunk files in two stages — a 32-byte header scan,
+// then windowed payload mapping with a checksum re-verify — and both must
+// hold the same line as Chunk::read_from: a hostile store directory ends
+// in a typed error or a checksum-clean chunk, never a crash, SIGBUS or
+// unverified bytes.
+
+TEST(Fuzz, StreamedReaderSurvivesHostileStoreDirectories) {
+  if (!repository::PayloadBuffer::mmap_supported())
+    GTEST_SKIP() << "no mmap on this platform; load_streamed falls back";
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() /
+                        ("fgp_fuzz_stream_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  const repository::DatasetStore store(root);
+
+  repository::DatasetMeta meta;
+  meta.name = "hostile";
+  meta.schema = "bytes";
+  repository::ChunkedDataset ds(meta);
+  util::Rng rng(4242);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    std::vector<std::uint8_t> bytes(600 + 997 * i);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    ds.add_chunk(repository::Chunk(i, std::move(bytes), 2.0));
+  }
+  store.save(ds);
+  const fs::path dir = root / "hostile";
+
+  repository::StreamConfig cfg;
+  cfg.window_bytes = 1;  // one page: payloads straddle windows
+  cfg.budget_bytes = 8192;
+  const auto original =
+      [&](std::size_t i) { return ds.chunk(i).payload(); };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    // Re-save pristine files, then mutate one chunk file: byte flips,
+    // truncation, or header-only junk, chosen per trial.
+    store.save(ds);
+    const std::size_t victim = rng.next_below(4);
+    const fs::path p = dir / ("chunk_" + std::to_string(victim) + ".bin");
+    const auto mode = rng.next_below(3);
+    if (mode == 0) {
+      std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+      const std::uint64_t size = fs::file_size(p);
+      const int flips = 1 + static_cast<int>(rng.next_below(4));
+      for (int k = 0; k < flips; ++k) {
+        const auto off = static_cast<std::streamoff>(rng.next_below(size));
+        f.seekg(off);
+        const int byte = f.get();
+        f.seekp(off);
+        f.put(static_cast<char>(byte ^ (1 + rng.next_below(255))));
+      }
+    } else if (mode == 1) {
+      fs::resize_file(p, rng.next_below(fs::file_size(p)));
+    } else {
+      std::ofstream f(p, std::ios::binary | std::ios::trunc);
+      std::vector<char> junk(32 + rng.next_below(128));
+      for (auto& b : junk) b = static_cast<char>(rng.next_below(256));
+      f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+    }
+
+    try {
+      const auto streamed = store.load_streamed("hostile", cfg);
+      for (std::size_t i = 0; i < streamed.chunk_count(); ++i) {
+        const auto chunk = streamed.materialize(i);
+        // A chunk that materializes cleanly must carry verified bytes;
+        // untouched chunks must be byte-exact.
+        EXPECT_TRUE(chunk.verify()) << "trial " << trial << " chunk " << i;
+        if (i != victim) {
+          const auto got = chunk.payload();
+          const auto want = original(i);
+          EXPECT_TRUE(got.size() == want.size() &&
+                      std::equal(got.begin(), got.end(), want.begin()))
+              << "trial " << trial << " chunk " << i;
+        }
+      }
+    } catch (const util::Error&) {
+      // typed rejection is the expected outcome for damaged files
+    }
+  }
+  fs::remove_all(root);
 }
 
 TEST(Fuzz, ChunkParsersRejectRandomBytes) {

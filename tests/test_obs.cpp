@@ -24,6 +24,7 @@
 #include "obs/validate.h"
 #include "repository/payload.h"
 #include "repository/store.h"
+#include "repository/stream.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -277,6 +278,78 @@ TEST(Obs, MappedLoadKeepsDeterministicExportIdentical) {
     EXPECT_EQ(mapped_metrics.to_json(false).find("store.mapped_bytes"),
               std::string::npos);
   }
+  std::filesystem::remove_all(root);
+}
+
+TEST(Obs, StreamerCountersSplitDomains) {
+  // The streaming window layer (DESIGN.md §15) records its byte totals in
+  // the deterministic domain (fixed by the fetch sequence) and its
+  // timing-dependent pool activity (maps, recycles, prefetch outcomes) in
+  // the host domain, so streamed runs export byte-identically.
+  if (!repository::PayloadBuffer::mmap_supported())
+    GTEST_SKIP() << "no mmap on this platform; load_streamed falls back";
+  const auto root =
+      std::filesystem::temp_directory_path() / "fgp_obs_store_streamer";
+  obs::Registry metrics;
+  const auto store = saved_store(root, &metrics);
+  metrics.clear();  // drop the save-side counters
+
+  const auto streamed = store.load_streamed("counters");
+  for (std::size_t i = 0; i < streamed.chunk_count(); ++i)
+    streamed.prefetch(i);
+  for (std::size_t i = 0; i < streamed.chunk_count(); ++i)
+    (void)streamed.materialize(i);
+
+  EXPECT_DOUBLE_EQ(metrics.value("store.windowed_bytes"), 48.0);  // 6 f64
+  EXPECT_DOUBLE_EQ(metrics.value("store.stitched_chunks"), 0.0);
+  EXPECT_GT(metrics.host_value("store.window_maps"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.host_value("store.prefetch_issued"), 3.0);
+  EXPECT_GT(metrics.host_value("store.prefetch_hits"), 0.0);
+
+  const std::string deterministic = metrics.to_json(false);
+  EXPECT_NE(deterministic.find("store.windowed_bytes"), std::string::npos);
+  EXPECT_EQ(deterministic.find("store.window_maps"), std::string::npos);
+  EXPECT_EQ(deterministic.find("store.prefetch_hits"), std::string::npos);
+  // Both export modes stay valid metrics snapshots.
+  EXPECT_TRUE(obs::validate_report_text(deterministic).ok());
+  EXPECT_TRUE(obs::validate_report_text(metrics.to_json(true)).ok());
+  std::filesystem::remove_all(root);
+}
+
+TEST(Obs, StreamedRuntimeKeepsDeterministicExportsByteIdentical) {
+  // Streaming is purely a host IO concern: a runtime pass pulling chunks
+  // through budget-bounded windows with prefetch leaves the virtual-time
+  // trace and deterministic metrics byte-identical to the in-memory run.
+  if (!repository::PayloadBuffer::mmap_supported())
+    GTEST_SKIP() << "no mmap on this platform; load_streamed falls back";
+  const TracedRun reference = run_traced(nullptr);
+
+  const auto root =
+      std::filesystem::temp_directory_path() / "fgp_obs_streamed_run";
+  std::filesystem::remove_all(root);
+  const repository::DatasetStore store(root);
+  const auto ds = testing::make_sum_dataset(24, 64);
+  store.save(ds);
+  repository::StreamConfig cfg;
+  cfg.window_bytes = 1;  // one page per window
+  cfg.budget_bytes = 8192;
+  const auto streamed = store.load_streamed(ds.meta().name, cfg);
+  ASSERT_TRUE(streamed.streamed());
+
+  testing::SumKernelParams params;
+  params.passes = 3;
+  testing::SumKernel kernel(params);
+  auto setup = testing::pentium_setup(&streamed, 2, 4);
+  obs::TraceRecorder trace;
+  obs::Registry metrics;
+  setup.trace = &trace;
+  setup.metrics = &metrics;
+  util::ThreadPool pool(4);
+  const auto result = freeride::Runtime(&pool).run(setup, kernel);
+
+  EXPECT_EQ(trace.to_chrome_json(false), reference.trace_json);
+  EXPECT_EQ(metrics.to_json(false), reference.metrics_json);
+  EXPECT_EQ(result.timing.elapsed, reference.result.timing.elapsed);
   std::filesystem::remove_all(root);
 }
 
