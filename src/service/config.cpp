@@ -1,0 +1,106 @@
+#include "service/config.h"
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace fgp::service {
+
+namespace {
+
+/// A bounded positive integer field: present => number, integral, in
+/// [1, bound]. ConfigError spells out which field failed.
+int int_field(const obs::json::Value& v, const char* name, int fallback,
+              int bound) {
+  const auto* field = v.find(name);
+  if (field == nullptr) return fallback;
+  if (!field->is_number())
+    throw util::ConfigError(std::string("service config field '") + name +
+                            "' must be a number");
+  const double d = field->as_number();
+  if (!(d >= 1.0) || d > static_cast<double>(bound) ||
+      d != std::floor(d))
+    throw util::ConfigError(std::string("service config field '") + name +
+                            "' must be an integer in [1, " +
+                            std::to_string(bound) + "]");
+  return static_cast<int>(d);
+}
+
+}  // namespace
+
+ServiceConfig parse_service_config(std::string_view json_text) {
+  const obs::json::Value doc = obs::json::parse(json_text);
+  if (!doc.is_object())
+    throw util::ConfigError("service config must be a JSON object");
+  for (const auto& member : doc.as_object()) {
+    const std::string& key = member.first;
+    if (key != "shards" && key != "max_top_k" && key != "max_batch")
+      throw util::ConfigError("unknown service config field '" + key + "'");
+  }
+  ServiceConfig out;
+  out.shards = int_field(doc, "shards", out.shards, 4096);
+  out.max_top_k = int_field(doc, "max_top_k", out.max_top_k, 1 << 20);
+  out.max_batch = int_field(doc, "max_batch", out.max_batch, 1 << 24);
+  return out;
+}
+
+std::vector<SelectionQuery> parse_query_batch(std::string_view json_text,
+                                              const ServiceConfig& config) {
+  const obs::json::Value doc = obs::json::parse(json_text);
+  if (!doc.is_array())
+    throw util::ConfigError("query batch must be a JSON array");
+  const auto& items = doc.as_array();
+  if (items.size() > static_cast<std::size_t>(config.max_batch))
+    throw util::ConfigError("query batch of " + std::to_string(items.size()) +
+                            " exceeds max_batch " +
+                            std::to_string(config.max_batch));
+
+  std::vector<SelectionQuery> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    const std::string at = "query " + std::to_string(i) + ": ";
+    if (!item.is_object())
+      throw util::ConfigError(at + "must be a JSON object");
+    for (const auto& member : item.as_object()) {
+      const std::string& key = member.first;
+      if (key != "app" && key != "dataset" && key != "dataset_bytes" &&
+          key != "top_k")
+        throw util::ConfigError(at + "unknown field '" + key + "'");
+    }
+    SelectionQuery q;
+    const auto* app = item.find("app");
+    if (app == nullptr || !app->is_string() || app->as_string().empty())
+      throw util::ConfigError(at + "needs a non-empty string 'app'");
+    q.app = app->as_string();
+    const auto* dataset = item.find("dataset");
+    if (dataset == nullptr || !dataset->is_string() ||
+        dataset->as_string().empty())
+      throw util::ConfigError(at + "needs a non-empty string 'dataset'");
+    q.dataset = dataset->as_string();
+    const auto* bytes = item.find("dataset_bytes");
+    if (bytes == nullptr || !bytes->is_number())
+      throw util::ConfigError(at + "needs a number 'dataset_bytes'");
+    q.dataset_bytes = bytes->as_number();
+    if (!(q.dataset_bytes > 0.0) || !std::isfinite(q.dataset_bytes))
+      throw util::ConfigError(at + "'dataset_bytes' must be positive and "
+                                   "finite");
+    const auto* top_k = item.find("top_k");
+    if (top_k != nullptr) {
+      if (!top_k->is_number())
+        throw util::ConfigError(at + "'top_k' must be a number");
+      const double k = top_k->as_number();
+      if (!(k >= 1.0) || k > static_cast<double>(config.max_top_k) ||
+          k != std::floor(k))
+        throw util::ConfigError(at + "'top_k' must be an integer in [1, " +
+                                std::to_string(config.max_top_k) + "]");
+      q.top_k = static_cast<int>(k);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace fgp::service

@@ -1,0 +1,43 @@
+// config.h — external configuration surface of the selection service.
+//
+// A deployed prediction service is driven by files: a service config
+// (shard count, batch limits) and query batches submitted as JSON. Both
+// arrive from outside the trust boundary, so parsing follows the
+// repository's hostile-bytes contract (DESIGN.md §8, tests/test_fuzz.cpp):
+// malformed documents throw util::SerializationError, documents that
+// parse but violate a documented constraint throw util::ConfigError, and
+// nothing crashes or hangs. The JSON layer is obs::json — the same
+// bounded-recursion parser the report files go through.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "service/selection_service.h"
+
+namespace fgp::service {
+
+struct ServiceConfig {
+  /// Shard count for the replica catalog (ShardedCatalog bounds:
+  /// [1, 4096]).
+  int shards = 16;
+  /// Upper bound a single query's top_k may request.
+  int max_top_k = 64;
+  /// Upper bound on queries per submitted batch.
+  int max_batch = 65536;
+};
+
+/// Parses `{"shards": N, "max_top_k": N, "max_batch": N}` (every field
+/// optional, defaults above; unknown fields rejected so a typo cannot
+/// silently configure nothing).
+ServiceConfig parse_service_config(std::string_view json_text);
+
+/// Parses a query batch:
+///   [{"app": "...", "dataset": "...", "dataset_bytes": N,
+///     "top_k": N}, ...]
+/// top_k is optional (default 1). Enforces `config` limits: batch size,
+/// top_k bound, positive finite dataset_bytes, non-empty names.
+std::vector<SelectionQuery> parse_query_batch(std::string_view json_text,
+                                              const ServiceConfig& config);
+
+}  // namespace fgp::service

@@ -1,0 +1,195 @@
+#include "service/selection_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/wallclock.h"
+
+namespace fgp::service {
+
+namespace {
+
+/// Deterministic total order on ranked candidates: predicted total time,
+/// then the candidate's identity. std::sort is not stable, so without the
+/// identity tie-break two equal-cost candidates could legally come back
+/// in either order — the bit-identity contract needs exactly one.
+bool ranked_less(const core::RankedCandidate& a,
+                 const core::RankedCandidate& b) {
+  const double ta = a.predicted.total();
+  const double tb = b.predicted.total();
+  if (ta != tb) return ta < tb;
+  const auto& ca = a.candidate;
+  const auto& cb = b.candidate;
+  if (ca.replica.repository != cb.replica.repository)
+    return ca.replica.repository < cb.replica.repository;
+  if (ca.compute_site != cb.compute_site)
+    return ca.compute_site < cb.compute_site;
+  if (ca.replica.storage_nodes != cb.replica.storage_nodes)
+    return ca.replica.storage_nodes < cb.replica.storage_nodes;
+  return ca.compute_nodes < cb.compute_nodes;
+}
+
+/// Everything one query needs for its (pure) evaluate phase.
+struct PreparedQuery {
+  const SelectionQuery* query = nullptr;
+  std::shared_ptr<const CompiledApp> compiled;  ///< null: unknown app
+  std::shared_ptr<const ReplicaShard> shard;
+  std::string error;  ///< non-empty: fail without evaluating
+};
+
+/// Ranks one prepared query against its captured snapshots. Pure: touches
+/// nothing but the snapshots, so concurrent evaluation is free of shared
+/// state.
+SelectionResult evaluate(const PreparedQuery& p) {
+  SelectionResult out;
+  if (!p.error.empty()) {
+    out.error = p.error;
+    return out;
+  }
+  const SelectionQuery& q = *p.query;
+  const Topology& topo = *p.compiled->topology;
+  const auto replicas = p.shard->replicas_of(q.dataset);
+  if (replicas.empty()) {
+    out.error = "no replica of dataset '" + q.dataset + "'";
+    return out;
+  }
+
+  std::vector<core::RankedCandidate> ranked;
+  for (const auto& replica : replicas) {
+    const auto* repo = topo.find_repository(replica.repository);
+    FGP_ASSERT(repo != nullptr);  // catalog validated at registration
+    for (std::size_t s = 0; s < topo.compute_sites.size(); ++s) {
+      const auto& site = topo.compute_sites[s];
+      const SitePredictor& predictor = p.compiled->site_predictors[s];
+      if (!predictor.predictable()) continue;
+      const auto* wan = topo.find_link(replica.repository, site.id);
+      if (wan == nullptr) continue;  // unreachable pair
+
+      core::ProfileConfig target;
+      target.data_nodes = replica.storage_nodes;
+      target.dataset_bytes = q.dataset_bytes;
+      target.bandwidth_Bps = wan->per_link_Bps;
+      target.data_cluster = repo->cluster.name;
+      target.compute_cluster = site.cluster.name;
+      for (int c = 1; c <= site.available_nodes; c *= 2) {
+        if (c < replica.storage_nodes) continue;  // FREERIDE-G: M >= N
+        ++out.candidates_considered;
+        target.compute_nodes = c;
+        core::RankedCandidate rc;
+        rc.candidate = {replica, site.id, c, *wan};
+        rc.predicted = predictor.predict(target);
+        rc.used_hetero_scaling = predictor.uses_hetero_scaling();
+        ranked.push_back(std::move(rc));
+      }
+    }
+  }
+  if (ranked.empty()) {
+    out.error = "no predictable candidate for dataset '" + q.dataset + "'";
+    return out;
+  }
+
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(q.top_k), ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    ranked_less);
+  ranked.resize(k);
+  out.ranked = std::move(ranked);
+  return out;
+}
+
+}  // namespace
+
+const core::RankedCandidate& SelectionResult::best() const {
+  FGP_CHECK_MSG(ok() && !ranked.empty(),
+                "no selection result: " << (error.empty() ? "empty ranking"
+                                                          : error));
+  return ranked.front();
+}
+
+SelectionService::SelectionService(const ShardedCatalog* catalog,
+                                   util::ThreadPool* pool,
+                                   obs::Registry* metrics)
+    : catalog_(catalog), pool_(pool), metrics_(metrics) {
+  FGP_CHECK_MSG(catalog_ != nullptr, "service needs a sharded catalog");
+}
+
+void SelectionService::register_app(
+    core::Profile profile, core::PredictorOptions options,
+    std::map<std::string, core::ScalingFactors> scalers) {
+  cache_.register_app(std::move(profile), options, std::move(scalers));
+}
+
+std::vector<SelectionResult> SelectionService::query_batch(
+    std::span<const SelectionQuery> queries) const {
+  const util::Stopwatch batch_clock;
+
+  // --- serial prepare phase (deterministic counters live here) ----------
+  const auto topo = catalog_->topology();
+  unsigned long long hits = 0;
+  unsigned long long misses = 0;
+  // Each touched shard is loaded exactly once per batch, so every query on
+  // the same dataset ranks against the same snapshot even while writers
+  // publish. The map size is the batch's shard fan-out.
+  std::map<std::size_t, std::shared_ptr<const ReplicaShard>> shards_touched;
+  std::vector<PreparedQuery> prepared(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const SelectionQuery& q = queries[i];
+    PreparedQuery& p = prepared[i];
+    p.query = &q;
+    if (q.app.empty() || q.dataset.empty()) {
+      p.error = "query needs an app and a dataset";
+      continue;
+    }
+    if (!(q.dataset_bytes > 0.0) || !std::isfinite(q.dataset_bytes)) {
+      p.error = "query needs positive finite dataset_bytes";
+      continue;
+    }
+    if (q.top_k < 1) {
+      p.error = "query needs top_k >= 1";
+      continue;
+    }
+    p.compiled = cache_.resolve(q.app, topo, &hits, &misses);
+    if (p.compiled == nullptr) {
+      p.error = "no profile registered for app '" + q.app + "'";
+      continue;
+    }
+    const std::size_t shard_index = shard_of(q.dataset, catalog_->shard_count());
+    auto [slot, inserted] = shards_touched.try_emplace(shard_index);
+    if (inserted) slot->second = catalog_->shard(shard_index);
+    p.shard = slot->second;
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->add("service.queries", static_cast<double>(queries.size()));
+    metrics_->add("service.cache_hits", static_cast<double>(hits));
+    metrics_->add("service.cache_misses", static_cast<double>(misses));
+    metrics_->add("service.shard_fanout",
+                  static_cast<double>(shards_touched.size()));
+  }
+
+  // --- parallel evaluate phase (indexed result slots) --------------------
+  std::vector<SelectionResult> results(queries.size());
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < prepared.size(); ++i)
+      results[i] = evaluate(prepared[i]);
+  } else {
+    pool_->parallel_for(prepared.size(), [&](std::size_t i) {
+      results[i] = evaluate(prepared[i]);
+    });
+  }
+
+  if (metrics_ != nullptr)
+    metrics_->observe("service.batch_seconds", batch_clock.seconds(),
+                      obs::Domain::Host);
+  return results;
+}
+
+SelectionResult SelectionService::query(const SelectionQuery& q) const {
+  return query_batch({&q, 1}).front();
+}
+
+}  // namespace fgp::service

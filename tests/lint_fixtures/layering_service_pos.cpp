@@ -1,0 +1,12 @@
+// POSITIVE fixture: include edges *into* src/service from lower layers.
+// service sits at the top of the layer order (rank 6), so nothing in
+// src/ may include it. The self-test analyzes this file twice: under
+// "src/core/fixture.cpp" (rank 5) and "src/grid/fixture.cpp" (rank 3)
+// both service includes below are upward edges.
+#include "service/sharded_catalog.h"
+#include "service/selection_service.h"
+#include "util/check.h"
+
+namespace fgp {
+int fixture_marker();
+}  // namespace fgp

@@ -148,6 +148,29 @@ TEST(FgpcheckLayering, DownwardIncludesAreClean) {
   EXPECT_EQ(rule_lines(fa.findings), RL{});
 }
 
+TEST(FgpcheckLayering, ServiceIsTheTopLayerNothingMayIncludeIt) {
+  // service (rank 6) caps the layer order: an include of service/ from
+  // any other layered module is an upward edge.
+  {
+    const auto fa = analyze_fixture("layering_service_pos.cpp",
+                                    "src/core/fixture.cpp");
+    const RL expected = {{"layering", 6}, {"layering", 7}};
+    EXPECT_EQ(rule_lines(fa.findings), expected);
+  }
+  {
+    const auto fa = analyze_fixture("layering_service_pos.cpp",
+                                    "src/grid/fixture.cpp");
+    const RL expected = {{"layering", 6}, {"layering", 7}};
+    EXPECT_EQ(rule_lines(fa.findings), expected);
+  }
+}
+
+TEST(FgpcheckLayering, ServiceMayIncludeEveryLowerLayer) {
+  const auto fa = analyze_fixture("layering_service_neg.cpp",
+                                  "src/service/fixture.cpp");
+  EXPECT_EQ(rule_lines(fa.findings), RL{});
+}
+
 TEST(FgpcheckLayering, RanksMirrorTheCmakeLinkGraph) {
   EXPECT_EQ(fgpcheck::layer_rank("src/util/check.h"), 0);
   EXPECT_EQ(fgpcheck::layer_rank("src/obs/metrics.h"), 1);
@@ -158,6 +181,7 @@ TEST(FgpcheckLayering, RanksMirrorTheCmakeLinkGraph) {
   EXPECT_EQ(fgpcheck::layer_rank("src/freeride/runtime.h"), 4);
   EXPECT_EQ(fgpcheck::layer_rank("src/apps/kmeans.h"), 5);
   EXPECT_EQ(fgpcheck::layer_rank("src/core/predictor.h"), 5);
+  EXPECT_EQ(fgpcheck::layer_rank("src/service/selection_service.h"), 6);
   EXPECT_EQ(fgpcheck::layer_rank("tests/test_util.cpp"), -1);
   EXPECT_EQ(fgpcheck::layer_rank("bench/sweep.h"), -1);
 }

@@ -31,6 +31,7 @@
 #include "repository/payload.h"
 #include "repository/store.h"
 #include "repository/stream.h"
+#include "service/config.h"
 #include "util/rng.h"
 #include "util/serial.h"
 
@@ -606,6 +607,123 @@ TEST(Fuzz, StreamedReaderSurvivesHostileStoreDirectories) {
     }
   }
   fs::remove_all(root);
+}
+
+// --- Prediction-service configuration corpora ----------------------------
+// The selection service is configured by files and fed query batches from
+// outside the trust boundary (src/service/config.h). Contract: malformed
+// JSON throws SerializationError, parseable documents violating a
+// documented bound throw ConfigError — never a crash, hang, or a config
+// silently clamped to something the caller did not write.
+
+TEST(Fuzz, ServiceConfigRejectsHostileDocumentsTyped) {
+  // Unparseable bytes: the JSON layer's typed rejection.
+  const char* unparseable[] = {"", "{", "{\"shards\":}", "\x01\x02", "tru"};
+  for (const char* text : unparseable)
+    EXPECT_THROW(service::parse_service_config(text),
+                 util::SerializationError)
+        << text;
+
+  // Parseable but out of contract: typed ConfigError.
+  const char* invalid[] = {
+      "[]",
+      "null",
+      "42",
+      "{\"shards\": 0}",
+      "{\"shards\": -4}",
+      "{\"shards\": 4097}",
+      "{\"shards\": 2.5}",
+      "{\"shards\": \"many\"}",
+      "{\"shards\": 1e300}",
+      "{\"max_top_k\": 0}",
+      "{\"max_batch\": -1}",
+      "{\"unknown_field\": 1}",
+      "{\"shards\": 4, \"sharks\": 4}",
+  };
+  for (const char* text : invalid)
+    EXPECT_THROW(service::parse_service_config(text), util::ConfigError)
+        << text;
+}
+
+TEST(Fuzz, ServiceQueryBatchRejectsHostileDocumentsTyped) {
+  const service::ServiceConfig config;  // defaults: max_top_k 64
+  const char* invalid[] = {
+      "{}",
+      "42",
+      "[42]",
+      "[{}]",
+      "[{\"app\": \"a\"}]",
+      "[{\"app\": \"\", \"dataset\": \"d\", \"dataset_bytes\": 1}]",
+      "[{\"app\": \"a\", \"dataset\": \"\", \"dataset_bytes\": 1}]",
+      "[{\"app\": 42, \"dataset\": \"d\", \"dataset_bytes\": 1}]",
+      "[{\"app\": \"a\", \"dataset\": \"d\", \"dataset_bytes\": 0}]",
+      "[{\"app\": \"a\", \"dataset\": \"d\", \"dataset_bytes\": -5}]",
+      "[{\"app\": \"a\", \"dataset\": \"d\", \"dataset_bytes\": \"big\"}]",
+      "[{\"app\": \"a\", \"dataset\": \"d\", \"dataset_bytes\": 1,"
+      " \"top_k\": 0}]",
+      "[{\"app\": \"a\", \"dataset\": \"d\", \"dataset_bytes\": 1,"
+      " \"top_k\": 65}]",
+      "[{\"app\": \"a\", \"dataset\": \"d\", \"dataset_bytes\": 1,"
+      " \"top_k\": 1.5}]",
+      "[{\"app\": \"a\", \"dataset\": \"d\", \"dataset_bytes\": 1,"
+      " \"extra\": 1}]",
+  };
+  for (const char* text : invalid)
+    EXPECT_THROW(service::parse_query_batch(text, config), util::ConfigError)
+        << text;
+  EXPECT_THROW(service::parse_query_batch("[{", config),
+               util::SerializationError);
+
+  // Batch-size cap: one query over the limit is refused whole.
+  service::ServiceConfig tiny;
+  tiny.max_batch = 2;
+  EXPECT_THROW(service::parse_query_batch(
+                   "[{\"app\":\"a\",\"dataset\":\"d\",\"dataset_bytes\":1},"
+                   "{\"app\":\"a\",\"dataset\":\"d\",\"dataset_bytes\":1},"
+                   "{\"app\":\"a\",\"dataset\":\"d\",\"dataset_bytes\":1}]",
+                   tiny),
+               util::ConfigError);
+}
+
+TEST(Fuzz, ServiceConfigEveryTruncationThrowsTyped) {
+  const std::string full =
+      R"({"shards": 64, "max_top_k": 8, "max_batch": 4096})";
+  ASSERT_EQ(service::parse_service_config(full).shards, 64);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_THROW((void)service::parse_service_config(full.substr(0, cut)),
+                 util::Error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Fuzz, ServiceQueryBatchSurvivesRandomCorruption) {
+  const service::ServiceConfig config;
+  const std::string valid =
+      R"([{"app": "em", "dataset": "ds-1", "dataset_bytes": 1e9,
+           "top_k": 4},
+          {"app": "kmeans", "dataset": "ds-2", "dataset_bytes": 2e8}])";
+  ASSERT_EQ(service::parse_query_batch(valid, config).size(), 2u);
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = valid;
+    const int flips = 1 + static_cast<int>(rng.next_below(6));
+    for (int f = 0; f < flips; ++f)
+      bytes[rng.next_below(bytes.size())] =
+          static_cast<char>(rng.next_below(256));
+    try {
+      // A surviving parse must still respect the documented bounds.
+      const auto queries = service::parse_query_batch(bytes, config);
+      for (const auto& q : queries) {
+        EXPECT_FALSE(q.app.empty());
+        EXPECT_FALSE(q.dataset.empty());
+        EXPECT_GT(q.dataset_bytes, 0.0);
+        EXPECT_GE(q.top_k, 1);
+        EXPECT_LE(q.top_k, config.max_top_k);
+      }
+    } catch (const util::Error&) {
+      // typed rejection is the expected outcome for damaged documents
+    }
+  }
 }
 
 TEST(Fuzz, ChunkParsersRejectRandomBytes) {

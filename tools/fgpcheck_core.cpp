@@ -739,7 +739,7 @@ struct ModuleRank {
 
 /// Layer ranks mirroring the target link graph in src/CMakeLists.txt:
 ///   util(0) → obs(1) → sim(2) → repository|grid(3) → datagen|freeride(4)
-///   → apps|core(5).
+///   → apps|core(5) → service(6).
 /// An include edge is legal only into a strictly lower rank (or the same
 /// module); equal-rank cross-module edges are rejected because they are
 /// one commit away from a cycle.
@@ -747,6 +747,7 @@ constexpr ModuleRank kRanks[] = {
     {"util", 0},    {"obs", 1},      {"sim", 2},
     {"repository", 3}, {"grid", 3},  {"datagen", 4},
     {"freeride", 4},  {"apps", 5},   {"core", 5},
+    {"service", 6},
 };
 
 std::string_view module_of(std::string_view rel_path) {
@@ -839,7 +840,7 @@ FileAnalysis analyze_source(std::string_view src, const std::string& rel_path,
             << ") must not include \"" << target << "\" (layer "
             << target_rank << "): the src/CMakeLists.txt layering is "
             << "util < obs < sim < repository|grid < datagen|freeride < "
-            << "apps|core, and "
+            << "apps|core < service, and "
             << (target_rank == my_rank ? "equal-rank cross-module"
                                        : "upward")
             << " edges create cycles";
