@@ -61,7 +61,12 @@ SelectionResult evaluate(const PreparedQuery& p) {
   std::vector<core::RankedCandidate> ranked;
   for (const auto& replica : replicas) {
     const auto* repo = topo.find_repository(replica.repository);
-    FGP_ASSERT(repo != nullptr);  // catalog validated at registration
+    // Snapshot skew: the batch captures the topology before its shards, so
+    // a writer that registers a new repository site and then a replica on
+    // it can publish a shard entry whose repository is absent from this
+    // batch's (older) topology. That replica is unreachable for this
+    // batch — the next batch's fresher topology will rank it.
+    if (repo == nullptr) continue;
     for (std::size_t s = 0; s < topo.compute_sites.size(); ++s) {
       const auto& site = topo.compute_sites[s];
       const SitePredictor& predictor = p.compiled->site_predictors[s];
@@ -75,12 +80,15 @@ SelectionResult evaluate(const PreparedQuery& p) {
       target.bandwidth_Bps = wan->per_link_Bps;
       target.data_cluster = repo->cluster.name;
       target.compute_cluster = site.cluster.name;
-      for (int c = 1; c <= site.available_nodes; c *= 2) {
+      // 64-bit sweep counter: `c *= 2` on an int is UB once
+      // available_nodes exceeds INT_MAX/2.
+      for (long long c = 1; c <= site.available_nodes; c *= 2) {
         if (c < replica.storage_nodes) continue;  // FREERIDE-G: M >= N
         ++out.candidates_considered;
-        target.compute_nodes = c;
+        const int nodes = static_cast<int>(c);
+        target.compute_nodes = nodes;
         core::RankedCandidate rc;
-        rc.candidate = {replica, site.id, c, *wan};
+        rc.candidate = {replica, site.id, nodes, *wan};
         rc.predicted = predictor.predict(target);
         rc.used_hetero_scaling = predictor.uses_hetero_scaling();
         ranked.push_back(std::move(rc));

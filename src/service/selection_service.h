@@ -53,7 +53,9 @@ struct SelectionQuery {
 struct SelectionResult {
   /// Up to top_k candidates, cheapest predicted total first.
   std::vector<core::RankedCandidate> ranked;
-  /// Candidates enumerated for the query (includes unpredictable ones).
+  /// Candidates enumerated for the query. Compute sites whose predictor
+  /// cannot predict are skipped whole, so their candidates are not
+  /// counted; unreachable pairs (no WAN link) are likewise excluded.
   std::size_t candidates_considered = 0;
   /// Empty on success. A bad query (unknown app, no replicas, invalid
   /// bytes) fails alone; it never throws the batch away.

@@ -25,6 +25,16 @@ bool link_less(const Topology::Link& a, const Topology::Link& b) {
   return a.compute < b.compute;
 }
 
+/// Runs before shards_ is sized in the member-init list, so an absurd
+/// shard count throws the documented ConfigError instead of attempting a
+/// giant vector allocation (bad_alloc).
+std::size_t validated_shard_count(std::size_t shards) {
+  if (shards < 1 || shards > 4096)
+    throw util::ConfigError("shard count must be in [1, 4096], got " +
+                            std::to_string(shards));
+  return shards;
+}
+
 }  // namespace
 
 const grid::ComputeSite* Topology::find_compute(std::string_view id) const {
@@ -75,10 +85,8 @@ std::size_t shard_of(std::string_view dataset, std::size_t shard_count) {
   return static_cast<std::size_t>(fnv1a(dataset) % shard_count);
 }
 
-ShardedCatalog::ShardedCatalog(std::size_t shards) : shards_(shards) {
-  if (shards < 1 || shards > 4096)
-    throw util::ConfigError("shard count must be in [1, 4096], got " +
-                            std::to_string(shards));
+ShardedCatalog::ShardedCatalog(std::size_t shards)
+    : shards_(validated_shard_count(shards)) {
   topology_.store(std::make_shared<const Topology>());
   for (auto& s : shards_) s.store(std::make_shared<const ReplicaShard>());
 }
@@ -200,9 +208,11 @@ std::vector<grid::Candidate> ShardedCatalog::enumerate_candidates(
     for (const auto& site : topo.compute_sites) {
       const auto* wan = topo.find_link(replica.repository, site.id);
       if (wan == nullptr) continue;  // unreachable pair
-      for (int c = 1; c <= site.available_nodes; c *= 2) {
+      // 64-bit sweep counter: `c *= 2` on an int is UB once
+      // available_nodes exceeds INT_MAX/2.
+      for (long long c = 1; c <= site.available_nodes; c *= 2) {
         if (c < replica.storage_nodes) continue;  // FREERIDE-G: M >= N
-        out.push_back({replica, site.id, c, *wan});
+        out.push_back({replica, site.id, static_cast<int>(c), *wan});
       }
     }
   }

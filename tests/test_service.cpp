@@ -92,6 +92,9 @@ bool same_candidate(const grid::Candidate& a, const grid::Candidate& b) {
 TEST(ShardedCatalog, ShardCountBoundsAreEnforced) {
   EXPECT_THROW(ShardedCatalog(0), util::ConfigError);
   EXPECT_THROW(ShardedCatalog(4097), util::ConfigError);
+  // Validation must run before the shard vector is sized: a count this
+  // large would otherwise die in allocation (bad_alloc), not ConfigError.
+  EXPECT_THROW(ShardedCatalog(std::size_t{1} << 60), util::ConfigError);
   EXPECT_NO_THROW(ShardedCatalog(1));
   EXPECT_NO_THROW(ShardedCatalog(4096));
 }
@@ -438,6 +441,15 @@ TEST(SelectionService, ConcurrentQueriesRaceSnapshotSwaps) {
                                    1 << (i % 3)});
       fx.catalog.register_compute_site(
           {"swap-" + std::to_string(i), sim::cluster_pentium_myrinet(), 4});
+      // Snapshot-skew window: a batch that captured the topology before
+      // these three publishes but loads the shard after them sees a "hot"
+      // replica whose repository is missing from its topology. The service
+      // must rank it as unreachable for that batch, not abort.
+      const std::string fresh = "fresh-" + std::to_string(i);
+      fx.catalog.register_repository_site(
+          {fresh, sim::cluster_pentium_myrinet(), 4});
+      fx.catalog.register_link(fresh, "hpc-1", sim::wan_mbps(40.0));
+      fx.catalog.register_replica({"hot", fresh, 1});
     }
   });
 
