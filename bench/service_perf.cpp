@@ -17,13 +17,33 @@
 // stream through — the report records RSS after build, after warmup and
 // after the full ladder so regressions show up in bench_diff.
 //
+// Observability (PR 9): before timing, every ladder rung re-runs one
+// stream with the *full* observer set attached — per-query tracing, the
+// slow-query log, the HDR latency recorder, a deterministically-fed
+// residual drift monitor and a per-batch snapshot ring — and its
+// deterministic-domain exports are byte-compared against the serial
+// instrumented reference (DESIGN.md §17). The timed streams then carry
+// only the lightweight HDR latency recorder, so the ladder's
+// queries/sec stays comparable with earlier baselines while each rung
+// also reports p50/p99 query latency.
+//
 // Usage: service_perf [--quick] [--out <path>] [--metrics-out <path>]
-//                     [--config <path>]
-//   --quick        small catalog + short repetitions (CI smoke)
-//   --out          write the JSON report to <path> instead of stdout
-//   --metrics-out  write the service's obs::Registry snapshot
-//                  (fgpred-metrics-v1, validatable by fgptrace --validate)
-//   --config       read a service::ServiceConfig JSON (shard count etc.)
+//                     [--config <path>] [--trace-out <path>]
+//                     [--slowlog-out <path>] [--drift-out <path>]
+//                     [--snapshots-out <path>] [--latency-out <path>]
+//   --quick         small catalog + short repetitions (CI smoke)
+//   --out           write the JSON report to <path> instead of stdout
+//   --metrics-out   write the service's obs::Registry snapshot
+//                   (fgpred-metrics-v1, validatable by fgptrace --validate)
+//   --config        read a service::ServiceConfig JSON (shard count,
+//                   slow-query threshold, ...)
+//   --trace-out     write the instrumented reference pass's trace
+//                   (fgpred-trace-v1)
+//   --slowlog-out   write its slow-query log (fgpred-slowlog-v1)
+//   --drift-out     write its drift-monitor state (fgpred-drift-v1)
+//   --snapshots-out write its snapshot ring (fgpred-snapshots-v1)
+//   --latency-out   write the per-rung latency quantile report
+//                   (fgpred-servicelat-v1, the BENCH_servicelat.json feed)
 //
 // Wall-clock readings go through util::Stopwatch, the single sanctioned
 // clock access point (tools/fgplint enforces this).
@@ -42,7 +62,12 @@
 #endif
 
 #include "core/ipc_probe.h"
+#include "obs/drift.h"
+#include "obs/hdr.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/snapshot_ring.h"
+#include "obs/trace.h"
 #include "service/config.h"
 #include "service/selection_service.h"
 #include "service/sharded_catalog.h"
@@ -219,7 +244,111 @@ struct LadderRung {
   std::size_t pool_threads = 0;  ///< 0 = serial evaluate phase
   double seconds_per_stream = 0.0;
   double queries_per_second = 0.0;
+  double p50_s = 0.0;  ///< per-query latency quantiles from the timed
+  double p99_s = 0.0;  ///< streams (obs::HdrHistogram, <= ~3.1% error)
+  std::string latency_json;  ///< full HDR export for the latency report
 };
+
+const char* rung_mode(const LadderRung& r) {
+  return r.pool_threads == 0 ? "serial" : "pool";
+}
+
+/// One full stream with every observer attached. The deterministic-domain
+/// exports (`*_det`) must come back byte-identical from every ladder rung
+/// (DESIGN.md §17); the full exports feed the --trace-out/--slowlog-out/
+/// --drift-out/--snapshots-out artifacts from the serial reference rung.
+struct InstrumentedRun {
+  std::string metrics_det;
+  std::string trace_det;
+  std::string drift_det;
+  std::string snapshots_det;
+  std::string trace_full;
+  std::string slowlog_full;
+  std::string drift_full;
+  std::string snapshots_full;
+  std::uint64_t latency_count = 0;
+};
+
+InstrumentedRun run_instrumented(const Workload& w,
+                                 const service::ServiceConfig& config,
+                                 util::ThreadPool* pool) {
+  obs::Registry registry;
+  service::SelectionService svc(w.catalog.get(), pool, &registry);
+  register_apps(svc);
+
+  obs::TraceRecorder trace;
+  trace.enable_host(true);
+  obs::SlowQueryLog slowlog(config.slow_query_threshold_s,
+                            static_cast<std::size_t>(config.slowlog_capacity));
+  obs::HdrHistogram latency;
+  service::ServiceObservers observers;
+  observers.trace = &trace;
+  observers.slowlog = &slowlog;
+  observers.latency = &latency;
+  svc.set_observers(observers);
+
+  // The drift monitor wants predicted-vs-observed pairs, but a selection
+  // bench has no observed execution; synthesize the observation as a
+  // seeded perturbation of the prediction, fed *in query order* so the
+  // monitor's state is a pool-independent fact.
+  obs::DriftMonitor drift;
+  obs::SnapshotRing snapshots(64);
+  const util::Stopwatch clock;
+  util::Rng noise(20260808);
+  std::size_t query_index = 0;
+  for (std::size_t off = 0; off < w.queries.size(); off += w.batch_size) {
+    const std::size_t n = std::min(w.batch_size, w.queries.size() - off);
+    const auto results = svc.query_batch({w.queries.data() + off, n});
+    for (const auto& r : results) {
+      ++query_index;
+      if (!r.ok() || r.ranked.empty()) continue;
+      const auto& best = r.ranked.front();
+      obs::ResidualPoint pt;
+      pt.label = "q-" + std::to_string(query_index - 1);
+      pt.predicted.disk = best.predicted.disk;
+      pt.predicted.network = best.predicted.network;
+      pt.predicted.compute_local = best.predicted.compute;
+      const double eps = noise.uniform(-0.05, 0.05);
+      pt.observed.disk = pt.predicted.disk * (1.0 + eps);
+      pt.observed.network = pt.predicted.network * (1.0 + eps);
+      pt.observed.compute_local = pt.predicted.compute_local * (1.0 + eps);
+      drift.observe(pt);
+    }
+    // Per-batch snapshots make the ring a rate-over-time series; the
+    // deterministic scalars at batch boundaries are pool-independent.
+    snapshots.capture(registry, clock.seconds());
+  }
+
+  InstrumentedRun out;
+  out.metrics_det = registry.to_json(false);
+  out.trace_det = trace.to_chrome_json(false);
+  out.drift_det = drift.to_json();
+  out.snapshots_det = snapshots.to_json(false);
+  out.trace_full = trace.to_chrome_json(true);
+  out.slowlog_full = slowlog.to_json();
+  out.drift_full = drift.to_json();
+  out.snapshots_full = snapshots.to_json(true);
+  out.latency_count = latency.count();
+  return out;
+}
+
+void check_instrumented_identical(const InstrumentedRun& got,
+                                  const InstrumentedRun& ref,
+                                  std::size_t pool_threads) {
+  FGP_CHECK_MSG(got.metrics_det == ref.metrics_det,
+                "pool=" << pool_threads
+                        << ": deterministic metrics diverged under "
+                           "instrumentation");
+  FGP_CHECK_MSG(got.trace_det == ref.trace_det,
+                "pool=" << pool_threads
+                        << ": deterministic trace diverged under "
+                           "instrumentation");
+  FGP_CHECK_MSG(got.drift_det == ref.drift_det,
+                "pool=" << pool_threads << ": drift state diverged");
+  FGP_CHECK_MSG(got.snapshots_det == ref.snapshots_det,
+                "pool=" << pool_threads
+                        << ": deterministic snapshots diverged");
+}
 
 /// Times one full query stream: warm up once, then repeat until
 /// `min_seconds` of accumulated runtime and return mean per-stream seconds.
@@ -265,15 +394,45 @@ std::string to_json(const Workload& w, const service::ServiceConfig& config,
   for (std::size_t i = 0; i < ladder.size(); ++i) {
     const auto& r = ladder[i];
     os << "    {\n";
-    os << "      \"mode\": \"" << (r.pool_threads == 0 ? "serial" : "pool")
-       << "\",\n";
+    os << "      \"mode\": \"" << rung_mode(r) << "\",\n";
     os << "      \"pool_threads\": " << r.pool_threads << ",\n";
     os << "      \"seconds_per_stream\": " << r.seconds_per_stream << ",\n";
-    os << "      \"queries_per_second\": " << r.queries_per_second << "\n";
+    os << "      \"queries_per_second\": " << r.queries_per_second << ",\n";
+    os << "      \"p50_s\": " << r.p50_s << ",\n";
+    os << "      \"p99_s\": " << r.p99_s << "\n";
     os << "    }" << (i + 1 < ladder.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   os << "  \"queries_per_second\": " << best << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// The per-rung latency quantile report (schema "fgpred-servicelat-v1"),
+/// the feed for BENCH_servicelat.json / tools/bench_diff. Latencies are
+/// wall-clock, so like fgpred-service-v1 the report is machine-bound:
+/// bench_diff refuses comparisons across different host_cores.
+std::string latency_to_json(const std::vector<LadderRung>& ladder,
+                            bool quick) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-servicelat-v1\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"note\": \"per-query wall-clock latency quantiles from the "
+        "timed streams (obs::HdrHistogram, <= ~3.1% quantile error). "
+        "Machine-bound: bench_diff refuses comparison across different "
+        "host_cores; regression direction is a p99 rise.\",\n";
+  os << "  \"rungs\": [\n";
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const auto& r = ladder[i];
+    os << "    {\n";
+    os << "      \"mode\": \"" << rung_mode(r) << "\",\n";
+    os << "      \"pool_threads\": " << r.pool_threads << ",\n";
+    os << "      \"latency\": " << r.latency_json << "\n";
+    os << "    }" << (i + 1 < ladder.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
   os << "}\n";
   return os.str();
 }
@@ -294,6 +453,11 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string metrics_out_path;
   std::string config_path;
+  std::string trace_out_path;
+  std::string slowlog_out_path;
+  std::string drift_out_path;
+  std::string snapshots_out_path;
+  std::string latency_out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -303,9 +467,22 @@ int main(int argc, char** argv) {
       metrics_out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
       config_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slowlog-out") == 0 && i + 1 < argc) {
+      slowlog_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--drift-out") == 0 && i + 1 < argc) {
+      drift_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshots-out") == 0 && i + 1 < argc) {
+      snapshots_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--latency-out") == 0 && i + 1 < argc) {
+      latency_out_path = argv[++i];
     } else {
       std::cerr << "usage: service_perf [--quick] [--out <path>] "
-                   "[--metrics-out <path>] [--config <path>]\n";
+                   "[--metrics-out <path>] [--config <path>] "
+                   "[--trace-out <path>] [--slowlog-out <path>] "
+                   "[--drift-out <path>] [--snapshots-out <path>] "
+                   "[--latency-out <path>]\n";
       return 2;
     }
   }
@@ -338,14 +515,33 @@ int main(int argc, char** argv) {
   // are a reproducible fact, the timed repetitions are not.
   const std::string metrics_json = metrics.to_json(true);
 
+  // Instrumented reference pass: full observer set attached, serial
+  // evaluate. Its deterministic exports are the yardstick every pool
+  // rung must reproduce byte-for-byte; its full exports become the
+  // --trace-out/--slowlog-out/--drift-out/--snapshots-out artifacts.
+  const auto instrumented_ref =
+      fgp::bench::run_instrumented(workload, config, nullptr);
+  FGP_CHECK_MSG(instrumented_ref.latency_count == workload.queries.size(),
+                "HDR latency recorder missed queries: "
+                    << instrumented_ref.latency_count << " of "
+                    << workload.queries.size());
+
   std::vector<fgp::bench::LadderRung> ladder;
   {
+    fgp::obs::HdrHistogram latency;
+    fgp::service::ServiceObservers timed_observers;
+    timed_observers.latency = &latency;
+    serial.set_observers(timed_observers);
     fgp::bench::LadderRung rung;
     rung.seconds_per_stream = fgp::bench::time_stream(
         [&] { fgp::bench::run_stream(serial, workload, nullptr); },
         min_seconds);
+    serial.set_observers({});
     rung.queries_per_second =
         static_cast<double>(workload.queries.size()) / rung.seconds_per_stream;
+    rung.p50_s = latency.quantile(0.50);
+    rung.p99_s = latency.quantile(0.99);
+    rung.latency_json = latency.to_json_object();
     ladder.push_back(rung);
     std::cerr << "serial: " << rung.queries_per_second << " queries/sec\n";
   }
@@ -357,16 +553,28 @@ int main(int argc, char** argv) {
     std::vector<fgp::service::SelectionResult> results;
     fgp::bench::run_stream(svc, workload, &results);
     fgp::bench::check_bit_identical(results, reference, threads);
+    fgp::bench::check_instrumented_identical(
+        fgp::bench::run_instrumented(workload, config, &pool),
+        instrumented_ref, threads);
 
+    fgp::obs::HdrHistogram latency;
+    fgp::service::ServiceObservers timed_observers;
+    timed_observers.latency = &latency;
+    svc.set_observers(timed_observers);
     fgp::bench::LadderRung rung;
     rung.pool_threads = threads;
     rung.seconds_per_stream = fgp::bench::time_stream(
         [&] { fgp::bench::run_stream(svc, workload, nullptr); }, min_seconds);
+    svc.set_observers({});
     rung.queries_per_second =
         static_cast<double>(workload.queries.size()) / rung.seconds_per_stream;
+    rung.p50_s = latency.quantile(0.50);
+    rung.p99_s = latency.quantile(0.99);
+    rung.latency_json = latency.to_json_object();
     ladder.push_back(rung);
     std::cerr << "pool=" << threads << ": " << rung.queries_per_second
-              << " queries/sec\n";
+              << " queries/sec (p50 " << rung.p50_s * 1e6 << " us, p99 "
+              << rung.p99_s * 1e6 << " us)\n";
   }
   const double rss_after = fgp::bench::resident_bytes();
 
@@ -384,5 +592,18 @@ int main(int argc, char** argv) {
     f << metrics_json;
     std::cerr << "wrote " << metrics_out_path << "\n";
   }
+  const auto write_artifact = [](const std::string& path,
+                                 const std::string& content) {
+    if (path.empty()) return;
+    std::ofstream f(path);
+    f << content;
+    std::cerr << "wrote " << path << "\n";
+  };
+  write_artifact(trace_out_path, instrumented_ref.trace_full);
+  write_artifact(slowlog_out_path, instrumented_ref.slowlog_full);
+  write_artifact(drift_out_path, instrumented_ref.drift_full);
+  write_artifact(snapshots_out_path, instrumented_ref.snapshots_full);
+  write_artifact(latency_out_path,
+                 fgp::bench::latency_to_json(ladder, quick));
   return 0;
 }

@@ -1,0 +1,120 @@
+#include "obs/drift.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace fgp::obs {
+
+namespace {
+
+std::array<double, DriftMonitor::kComponents> components_of(
+    const ComponentTimes& t) {
+  return {t.disk, t.network, t.compute_local, t.ro_comm, t.global_red};
+}
+
+}  // namespace
+
+const std::array<const char*, DriftMonitor::kComponents>
+    DriftMonitor::kComponentNames = {"disk", "network", "compute_local",
+                                     "ro_comm", "global_red"};
+
+DriftMonitor::DriftMonitor(DriftConfig config) : config_(config) {
+  if (!(config_.alpha > 0.0) || config_.alpha > 1.0 ||
+      !std::isfinite(config_.alpha))
+    throw util::ConfigError("drift config alpha must be in (0, 1]");
+  if (config_.window < 1 || config_.window > (1 << 20))
+    throw util::ConfigError("drift config window must be in [1, 1048576]");
+  if (!(config_.band >= 0.0) || !std::isfinite(config_.band))
+    throw util::ConfigError("drift config band must be >= 0");
+}
+
+void DriftMonitor::observe(const ResidualPoint& point) {
+  points_ += 1;
+  const double observed_total = point.observed.total();
+  if (!(observed_total > 0.0) || !std::isfinite(observed_total)) return;
+  const auto predicted = components_of(point.predicted);
+  const auto observed = components_of(point.observed);
+  for (int c = 0; c < kComponents; ++c) {
+    const double r = (predicted[static_cast<std::size_t>(c)] -
+                      observed[static_cast<std::size_t>(c)]) /
+                     observed_total;
+    ComponentState& s = state_[static_cast<std::size_t>(c)];
+    if (!s.seeded) {
+      s.ewma = r;
+      s.seeded = true;
+    } else {
+      s.ewma = config_.alpha * r + (1.0 - config_.alpha) * s.ewma;
+    }
+    if (s.window.size() < static_cast<std::size_t>(config_.window)) {
+      s.window.push_back(r);
+    } else {
+      s.window[s.next] = r;
+      s.next = (s.next + 1) % s.window.size();
+    }
+  }
+}
+
+double DriftMonitor::ewma(int component) const {
+  return state_[static_cast<std::size_t>(component)].ewma;
+}
+
+double DriftMonitor::window_mean(int component) const {
+  const ComponentState& s = state_[static_cast<std::size_t>(component)];
+  if (s.window.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double r : s.window) sum += r;
+  return sum / static_cast<double>(s.window.size());
+}
+
+double DriftMonitor::window_variance(int component) const {
+  const ComponentState& s = state_[static_cast<std::size_t>(component)];
+  if (s.window.empty()) return 0.0;
+  const double mean = window_mean(component);
+  double sum = 0.0;
+  for (const double r : s.window) sum += (r - mean) * (r - mean);
+  return sum / static_cast<double>(s.window.size());
+}
+
+bool DriftMonitor::drifting(int component) const {
+  const ComponentState& s = state_[static_cast<std::size_t>(component)];
+  return s.seeded && std::abs(s.ewma) > config_.band;
+}
+
+bool DriftMonitor::any_drifting() const {
+  for (int c = 0; c < kComponents; ++c)
+    if (drifting(c)) return true;
+  return false;
+}
+
+void DriftMonitor::clear() {
+  for (ComponentState& s : state_) s = ComponentState{};
+  points_ = 0;
+}
+
+std::string DriftMonitor::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-drift-v1\",\n";
+  os << "  \"alpha\": " << json::format_number(config_.alpha) << ",\n";
+  os << "  \"window\": " << config_.window << ",\n";
+  os << "  \"band\": " << json::format_number(config_.band) << ",\n";
+  os << "  \"points\": " << points_ << ",\n";
+  os << "  \"components\": {";
+  for (int c = 0; c < kComponents; ++c) {
+    os << (c == 0 ? "\n    " : ",\n    ");
+    os << "\"" << kComponentNames[static_cast<std::size_t>(c)]
+       << "\": {\"ewma\": " << json::format_number(ewma(c))
+       << ", \"window_mean\": " << json::format_number(window_mean(c))
+       << ", \"window_var\": " << json::format_number(window_variance(c))
+       << ", \"drifting\": " << (drifting(c) ? "true" : "false") << "}";
+  }
+  os << "\n  },\n";
+  os << "  \"drifting\": " << (any_drifting() ? "true" : "false") << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fgp::obs

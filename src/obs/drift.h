@@ -1,0 +1,90 @@
+// drift.h — the residual drift monitor.
+//
+// A prediction service is only as good as its model stays: once disk or
+// WAN behaviour shifts under the profile, every selection it makes is
+// quietly wrong. The DriftMonitor watches the live stream of
+// predicted-vs-observed residual points (core::make_residual_point's
+// output) and keeps, per model component, an EWMA and a sliding-window
+// mean/variance of the *signed relative residual*
+//
+//     r_c = (predicted_c - observed_c) / observed_total
+//
+// normalized by the observed total so a 2 ms miss on a 3 ms disk phase
+// and on a 3 s run don't read the same. A component is flagged as
+// drifting while |EWMA| exceeds the configured band — the signal the
+// ROADMAP's feedback-driven rescheduler (and online re-fitting) will
+// consume.
+//
+// Determinism (DESIGN.md §17): the monitor's state is a pure function of
+// the observed point sequence, so feeding it in a deterministic order
+// keeps to_json() (schema "fgpred-drift-v1") byte-identical across pool
+// sizes. It has no internal lock: the owner feeds it from one serial
+// program point (batch end, sweep loop), matching every other
+// deterministic-domain recorder.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/residual.h"
+
+namespace fgp::obs {
+
+struct DriftConfig {
+  /// EWMA weight of the newest residual, in (0, 1].
+  double alpha = 0.2;
+  /// Sliding-window length for mean/variance, >= 1.
+  int window = 64;
+  /// |EWMA| above this flags the component as drifting.
+  double band = 0.1;
+};
+
+class DriftMonitor {
+ public:
+  /// Throws util::ConfigError on an out-of-range config.
+  explicit DriftMonitor(DriftConfig config = {});
+
+  static constexpr int kComponents = 5;
+  /// Component order everywhere (state, JSON): matches the residual
+  /// report schema.
+  static const std::array<const char*, kComponents> kComponentNames;
+
+  const DriftConfig& config() const { return config_; }
+
+  /// Feeds one predicted-vs-observed point. Points with a non-positive
+  /// observed total carry no usable signal and are counted but skipped.
+  void observe(const ResidualPoint& point);
+
+  std::uint64_t points() const { return points_; }
+
+  /// Component state, index per kComponentNames order.
+  double ewma(int component) const;
+  double window_mean(int component) const;
+  /// Population variance over the window.
+  double window_variance(int component) const;
+  bool drifting(int component) const;
+  /// True while any component drifts.
+  bool any_drifting() const;
+
+  void clear();
+
+  /// Canonical JSON (schema "fgpred-drift-v1"). Deterministic-domain: a
+  /// pure function of the observed point sequence.
+  std::string to_json() const;
+
+ private:
+  struct ComponentState {
+    double ewma = 0.0;
+    bool seeded = false;          ///< first sample initializes the EWMA
+    std::vector<double> window;   ///< ring of the last `config.window` r_c
+    std::size_t next = 0;
+  };
+
+  DriftConfig config_;
+  std::array<ComponentState, kComponents> state_;
+  std::uint64_t points_ = 0;
+};
+
+}  // namespace fgp::obs

@@ -1,0 +1,109 @@
+#include "obs/hdr.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace fgp::obs {
+
+std::size_t HdrHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  // Shift so the value lands in [kSubBucketHalf, kSubBuckets): the top
+  // kSubBucketBits bits index the sub-bucket, everything below is the
+  // (bounded) rounding error.
+  const int shift = std::bit_width(ns) - kSubBucketBits;
+  const std::uint64_t sub = ns >> shift;
+  return static_cast<std::size_t>(
+      kSubBuckets + static_cast<std::uint64_t>(shift - 1) * kSubBucketHalf +
+      (sub - kSubBucketHalf));
+}
+
+std::uint64_t HdrHistogram::bucket_upper_edge(std::size_t index) {
+  if (index < kSubBuckets) return index;  // exact single-value buckets
+  const std::uint64_t shift = (index - kSubBuckets) / kSubBucketHalf + 1;
+  const std::uint64_t sub = (index - kSubBuckets) % kSubBucketHalf +
+                            kSubBucketHalf;
+  // The last bucket's edge ((sub+1) << shift) is exactly 2^64; unsigned
+  // wraparound of the -1 yields the intended 2^64 - 1.
+  return ((sub + 1) << shift) - 1;
+}
+
+void HdrHistogram::observe_seconds(double seconds) {
+  double ns = seconds * 1e9;
+  if (!(ns > 0.0)) ns = 0.0;  // clamps NaN and negative clock misuse
+  // Saturate at 2^63 ns (~292 years) before the cast goes undefined.
+  const std::uint64_t v = ns >= 9.2e18
+                              ? std::numeric_limits<std::uint64_t>::max()
+                              : static_cast<std::uint64_t>(ns);
+  observe_ns(v);
+}
+
+void HdrHistogram::observe_ns(std::uint64_t ns) {
+  buckets_[bucket_index(ns)] += 1;
+  if (count_ == 0) {
+    min_ns_ = ns;
+    max_ns_ = ns;
+  } else {
+    if (ns < min_ns_) min_ns_ = ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+  count_ += 1;
+  sum_ns_ += ns;
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+  if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+void HdrHistogram::clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ns_ = 0;
+  max_ns_ = 0;
+}
+
+double HdrHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      const std::uint64_t edge =
+          std::clamp(bucket_upper_edge(i), min_ns_, max_ns_);
+      return static_cast<double>(edge) * 1e-9;
+    }
+  }
+  return static_cast<double>(max_ns_) * 1e-9;
+}
+
+std::string HdrHistogram::to_json_object() const {
+  std::ostringstream os;
+  os << "{\"count\": " << count_
+     << ", \"sum_s\": " << json::format_number(sum_seconds())
+     << ", \"min_s\": " << json::format_number(min_seconds())
+     << ", \"max_s\": " << json::format_number(max_seconds())
+     << ", \"p50_s\": " << json::format_number(quantile(0.50))
+     << ", \"p90_s\": " << json::format_number(quantile(0.90))
+     << ", \"p99_s\": " << json::format_number(quantile(0.99))
+     << ", \"p999_s\": " << json::format_number(quantile(0.999)) << "}";
+  return os.str();
+}
+
+}  // namespace fgp::obs

@@ -1,0 +1,89 @@
+// hdr.h — bounded-error latency quantiles for the service hot path.
+//
+// obs::Histogram's decade buckets answer "which order of magnitude" — at
+// ~27 µs per selection query, p50 and p99 land in the same bucket. This
+// recorder keeps HDR-style log-linear buckets over nanosecond integers:
+// every bucket spans at most 1/32 of its lower edge, so any quantile read
+// back is within ~3.1% of the true value, at a fixed ~15 KiB of counters.
+//
+// Concurrency model (DESIGN.md §17): an HdrHistogram is single-writer and
+// deliberately lock-free-by-ownership — the parallel evaluate phase
+// records into per-task slots or per-thread recorders nobody else
+// touches, and the batch end merges them *in index order*. Because every
+// field is an integral accumulation (counts, nanosecond sums, min/max),
+// a merge in any order yields identical bits; merging in index order
+// keeps even that choice canonical. There is no internal mutex: sharing
+// one recorder across concurrent writers is a bug (TSan-visible), not a
+// supported mode.
+//
+// Domain placement: latency is wall-clock, so every export of this type
+// is Host-domain data — never part of a byte-identity comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace fgp::obs {
+
+class HdrHistogram {
+ public:
+  /// 2^6 sub-buckets per power of two: relative bucket width <= 1/32.
+  static constexpr int kSubBucketBits = 6;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  static constexpr std::uint64_t kSubBucketHalf = kSubBuckets / 2;
+  /// Flat bucket count covering the full 64-bit nanosecond range:
+  /// kSubBuckets linear buckets for values < 64 ns, then kSubBucketHalf
+  /// log-linear buckets per doubling up to 2^64 (1920 total).
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBucketHalf;
+
+  /// Records one latency in seconds. Negative / NaN observations clamp
+  /// to 0 (they can only come from clock misuse; dropping them would
+  /// desynchronize count against the caller's bookkeeping).
+  void observe_seconds(double seconds);
+
+  /// Records one latency in integer nanoseconds (the native unit).
+  void observe_ns(std::uint64_t ns);
+
+  /// Adds `other`'s state into this recorder. Purely integral, so the
+  /// result is bit-identical regardless of merge order; callers merge in
+  /// index order anyway to keep the discipline visible.
+  void merge(const HdrHistogram& other);
+
+  void clear();
+
+  /// Quantile estimate in seconds, q in [0, 1]. Walks the cumulative
+  /// counts to the smallest bucket covering rank ceil(q * count) and
+  /// returns that bucket's upper edge, clamped into [min, max] so exact
+  /// extremes are exact. 0 when empty.
+  double quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  double sum_seconds() const { return static_cast<double>(sum_ns_) * 1e-9; }
+  double min_seconds() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(min_ns_) * 1e-9;
+  }
+  double max_seconds() const { return static_cast<double>(max_ns_) * 1e-9; }
+
+  /// Canonical JSON object fragment (no trailing newline):
+  /// {"count": ..., "sum_s": ..., "min_s": ..., "max_s": ...,
+  ///  "p50_s": ..., "p90_s": ..., "p99_s": ..., "p999_s": ...}.
+  /// Host-domain data by construction (wall-clock latencies).
+  std::string to_json_object() const;
+
+  /// The flat bucket index of a nanosecond value (pure; exposed for the
+  /// boundary tests).
+  static std::size_t bucket_index(std::uint64_t ns);
+  /// Largest nanosecond value stored in bucket `index` (inclusive).
+  static std::uint64_t bucket_upper_edge(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace fgp::obs

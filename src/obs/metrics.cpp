@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -9,8 +10,18 @@
 namespace fgp::obs {
 
 void Histogram::observe(double v) {
+  // The smallest b with v <= upper_bound(b) = 10^(b-9), located by the
+  // inverse (ceil(log10 v) + 9) instead of a 15-pow linear scan; the
+  // one-step adjustments absorb pow/log10 disagreement exactly at the
+  // decade edges (pinned by tests/test_obs.cpp). NaN and v <= 1e-9 take
+  // the first branch into bucket 0, as the scan did.
   int b = 0;
-  while (b < kBuckets - 1 && v > upper_bound(b)) ++b;
+  if (v > upper_bound(0)) {
+    b = std::clamp(static_cast<int>(std::ceil(std::log10(v))) + 9, 0,
+                   kBuckets - 1);
+    while (b > 0 && v <= upper_bound(b - 1)) --b;
+    while (b < kBuckets - 1 && v > upper_bound(b)) ++b;
+  }
   buckets[static_cast<std::size_t>(b)] += 1;
   if (count == 0) {
     min = v;
@@ -74,6 +85,17 @@ double Registry::host_value(std::string_view name) const {
   std::lock_guard lock(mu_);
   const auto it = host_.find(name);
   return it == host_.end() ? 0.0 : it->second.value;
+}
+
+std::vector<std::pair<std::string, double>> Registry::scalar_values(
+    Domain domain) const {
+  std::lock_guard lock(mu_);
+  const auto& m = domain == Domain::Deterministic ? det_ : host_;
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(m.size());
+  for (const auto& [name, metric] : m)
+    if (metric.kind != Kind::Hist) out.emplace_back(name, metric.value);
+  return out;
 }
 
 std::string Registry::to_json(bool include_host) const {

@@ -1,0 +1,82 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace fgp::obs {
+
+SlowQueryLog::SlowQueryLog(double threshold_s, std::size_t capacity)
+    : threshold_s_(threshold_s), capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void SlowQueryLog::maybe_record(SlowQueryEntry entry) {
+  if (!(entry.latency_s > threshold_s_)) return;
+  std::lock_guard lock(mu_);
+  seen_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::uint64_t SlowQueryLog::seen() const {
+  std::lock_guard lock(mu_);
+  return seen_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::entries() const {
+  std::lock_guard lock(mu_);
+  std::vector<SlowQueryEntry> out;
+  out.reserve(ring_.size());
+  // Oldest first: the slot `next_` overwrites next is the oldest entry
+  // once the ring has wrapped.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void SlowQueryLog::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  seen_ = 0;
+}
+
+std::string SlowQueryLog::to_json() const {
+  const std::vector<SlowQueryEntry> list = entries();
+  std::uint64_t seen_now = 0;
+  {
+    std::lock_guard lock(mu_);
+    seen_now = seen_;
+  }
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-slowlog-v1\",\n";
+  os << "  \"threshold_s\": " << json::format_number(threshold_s_) << ",\n";
+  os << "  \"capacity\": " << capacity_ << ",\n";
+  os << "  \"seen\": " << seen_now << ",\n";
+  os << "  \"entries\": [";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const SlowQueryEntry& e = list[i];
+    os << (i == 0 ? "\n    " : ",\n    ");
+    os << "{\"app\": \"" << json::escape(e.app) << "\", \"dataset\": \""
+       << json::escape(e.dataset)
+       << "\", \"latency_s\": " << json::format_number(e.latency_s)
+       << ", \"candidates_considered\": " << e.candidates_considered
+       << ", \"chosen\": \"" << json::escape(e.chosen) << "\", \"error\": \""
+       << json::escape(e.error)
+       << "\", \"topology_version\": " << e.topology_version << "}";
+  }
+  if (!list.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace fgp::obs

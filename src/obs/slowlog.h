@@ -1,0 +1,74 @@
+// slowlog.h — the service's structured slow-query log.
+//
+// Quantiles say *that* a tail exists; the slow-query log says *which*
+// queries are in it. SelectionService::query_batch appends one entry per
+// query whose wall-clock latency crosses the configured threshold: the
+// query identity, the latency, how many candidates were enumerated, the
+// chosen replica (or the error), and the topology version the batch
+// ranked against — enough to replay the query later against the same
+// catalog state.
+//
+// The log is a fixed-capacity ring: the newest `capacity` slow queries
+// survive, `seen()` counts every threshold crossing ever. Appends are
+// mutex-guarded but happen only at batch end for queries already over
+// the threshold — the hot path never touches the lock. Latencies are
+// wall-clock, so the exported JSON (schema "fgpred-slowlog-v1") is
+// Host-domain data (DESIGN.md §17): never part of a byte-identity
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fgp::obs {
+
+struct SlowQueryEntry {
+  std::string app;
+  std::string dataset;
+  double latency_s = 0.0;
+  std::uint64_t candidates_considered = 0;
+  /// Best candidate of a successful query ("repository/compute_site/
+  /// compute_nodes"); empty when the query failed.
+  std::string chosen;
+  /// The query's error, empty on success.
+  std::string error;
+  /// Topology version the batch's snapshots were captured at.
+  std::uint64_t topology_version = 0;
+};
+
+class SlowQueryLog {
+ public:
+  /// `threshold_s`: latencies strictly greater are logged. `capacity`
+  /// bounds the ring (>= 1; clamped).
+  explicit SlowQueryLog(double threshold_s, std::size_t capacity = 128);
+
+  double threshold_seconds() const { return threshold_s_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Appends `entry` if its latency_s exceeds the threshold (overwriting
+  /// the oldest entry when full). Thread-safe; cold path only.
+  void maybe_record(SlowQueryEntry entry);
+
+  /// Total threshold crossings ever (>= entries().size()).
+  std::uint64_t seen() const;
+
+  /// The surviving entries, oldest first.
+  std::vector<SlowQueryEntry> entries() const;
+
+  void clear();
+
+  /// Canonical JSON (schema "fgpred-slowlog-v1"), entries oldest first.
+  std::string to_json() const;
+
+ private:
+  const double threshold_s_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;
+  std::size_t next_ = 0;  ///< ring slot the next entry overwrites
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace fgp::obs

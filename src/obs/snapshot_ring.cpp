@@ -1,0 +1,97 @@
+#include "obs/snapshot_ring.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace fgp::obs {
+
+SnapshotRing::SnapshotRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void SnapshotRing::capture(const Registry& registry, double host_seconds) {
+  Snapshot snap;
+  snap.host_seconds = host_seconds;
+  snap.deterministic = registry.scalar_values(Domain::Deterministic);
+  snap.host = registry.scalar_values(Domain::Host);
+  std::lock_guard lock(mu_);
+  snap.seq = captured_;
+  captured_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(snap));
+    return;
+  }
+  ring_[next_] = std::move(snap);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::uint64_t SnapshotRing::captured() const {
+  std::lock_guard lock(mu_);
+  return captured_;
+}
+
+std::vector<SnapshotRing::Snapshot> SnapshotRing::snapshots() const {
+  std::lock_guard lock(mu_);
+  std::vector<Snapshot> out;
+  out.reserve(ring_.size());
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void SnapshotRing::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  captured_ = 0;
+}
+
+std::string SnapshotRing::to_json(bool include_host) const {
+  const std::vector<Snapshot> list = snapshots();
+  std::uint64_t captured_now = 0;
+  {
+    std::lock_guard lock(mu_);
+    captured_now = captured_;
+  }
+  const auto emit_scalars =
+      [](std::ostringstream& os,
+         const std::vector<std::pair<std::string, double>>& scalars) {
+        os << "{";
+        for (std::size_t i = 0; i < scalars.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << "\"" << json::escape(scalars[i].first)
+             << "\": " << json::format_number(scalars[i].second);
+        }
+        os << "}";
+      };
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"fgpred-snapshots-v1\",\n";
+  os << "  \"capacity\": " << capacity_ << ",\n";
+  os << "  \"captured\": " << captured_now << ",\n";
+  os << "  \"snapshots\": [";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Snapshot& s = list[i];
+    os << (i == 0 ? "\n    " : ",\n    ");
+    os << "{\"seq\": " << s.seq;
+    if (include_host)
+      os << ", \"host_seconds\": " << json::format_number(s.host_seconds);
+    os << ", \"deterministic\": ";
+    emit_scalars(os, s.deterministic);
+    if (include_host) {
+      os << ", \"host\": ";
+      emit_scalars(os, s.host);
+    }
+    os << "}";
+  }
+  if (!list.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace fgp::obs

@@ -1,0 +1,67 @@
+// snapshot_ring.h — a time series of Registry snapshots.
+//
+// A Registry answers "what are the totals now"; rate-over-time questions
+// ("did queries/sec sag mid-run?") need periodic snapshots. The
+// SnapshotRing keeps a fixed-capacity ring of them: each capture copies
+// the scalar (counter/gauge) values of both domains plus a host-clock
+// stamp, and the export (schema "fgpred-snapshots-v1") lets tooling
+// difference consecutive snapshots into rates.
+//
+// Domain split (DESIGN.md §17): the deterministic scalars and the capture
+// sequence numbers are Deterministic-domain — captures taken at
+// deterministic program points export byte-identically via
+// to_json(false); the host stamps and host scalars are Host-domain and
+// stripped in that mode.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fgp::obs {
+
+class Registry;
+
+class SnapshotRing {
+ public:
+  struct Snapshot {
+    std::uint64_t seq = 0;      ///< capture index (0-based, ever)
+    double host_seconds = 0.0;  ///< caller-supplied host-clock stamp
+    std::vector<std::pair<std::string, double>> deterministic;
+    std::vector<std::pair<std::string, double>> host;
+  };
+
+  /// `capacity` bounds the ring (>= 1; clamped).
+  explicit SnapshotRing(std::size_t capacity = 64);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Copies `registry`'s scalar values into the ring (overwriting the
+  /// oldest snapshot when full). `host_seconds` is the caller's host
+  /// clock (util::Stopwatch), stored as Host-domain data. Thread-safe.
+  void capture(const Registry& registry, double host_seconds);
+
+  /// Total captures ever (>= snapshots().size()).
+  std::uint64_t captured() const;
+
+  /// Surviving snapshots, oldest first.
+  std::vector<Snapshot> snapshots() const;
+
+  void clear();
+
+  /// Canonical JSON (schema "fgpred-snapshots-v1"), snapshots oldest
+  /// first; `include_host` = false drops the host stamps and host
+  /// scalars (byte-comparison mode).
+  std::string to_json(bool include_host = true) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Snapshot> ring_;
+  std::size_t next_ = 0;  ///< ring slot the next capture overwrites
+  std::uint64_t captured_ = 0;
+};
+
+}  // namespace fgp::obs

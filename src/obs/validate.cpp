@@ -66,6 +66,9 @@ const char* to_string(ReportKind kind) {
     case ReportKind::Trace: return "trace";
     case ReportKind::Metrics: return "metrics";
     case ReportKind::Residuals: return "residuals";
+    case ReportKind::Slowlog: return "slowlog";
+    case ReportKind::Drift: return "drift";
+    case ReportKind::Snapshots: return "snapshots";
     case ReportKind::Unknown: break;
   }
   return "unknown";
@@ -229,6 +232,166 @@ ValidationResult validate_residuals(const json::Value& doc) {
   return r;
 }
 
+ValidationResult validate_slowlog(const json::Value& doc) {
+  ValidationResult r;
+  r.kind = ReportKind::Slowlog;
+  const json::Value* threshold = doc.find("threshold_s");
+  if (!finite_number(threshold) || threshold->as_number() < 0.0)
+    err(r, "missing or negative \"threshold_s\"");
+  const json::Value* capacity = doc.find("capacity");
+  if (!finite_number(capacity) || capacity->as_number() < 1.0)
+    err(r, "missing \"capacity\" (must be >= 1)");
+  const json::Value* seen = doc.find("seen");
+  if (!finite_number(seen) || seen->as_number() < 0.0)
+    err(r, "missing or negative \"seen\"");
+  const json::Value* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    err(r, "document has no \"entries\" array");
+    return r;
+  }
+  const auto& list = entries->as_array();
+  if (finite_number(capacity) &&
+      static_cast<double>(list.size()) > capacity->as_number())
+    err(r, "more entries than \"capacity\"");
+  if (finite_number(seen) && static_cast<double>(list.size()) >
+                                 seen->as_number())
+    err(r, "more entries than \"seen\" threshold crossings");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const std::string at = "entries[" + std::to_string(i) + "]";
+    const json::Value& e = list[i];
+    if (!e.is_object()) {
+      err(r, at + ": entry is not an object");
+      continue;
+    }
+    for (const char* field : {"app", "dataset", "chosen", "error"}) {
+      const json::Value* v = e.find(field);
+      if (v == nullptr || !v->is_string())
+        err(r, at + ": missing string \"" + std::string(field) + "\"");
+    }
+    const json::Value* latency = e.find("latency_s");
+    if (!finite_number(latency) || latency->as_number() < 0.0)
+      err(r, at + ": missing or negative \"latency_s\"");
+    else if (finite_number(threshold) &&
+             latency->as_number() <= threshold->as_number())
+      err(r, at + ": \"latency_s\" does not exceed \"threshold_s\"");
+    for (const char* field : {"candidates_considered", "topology_version"}) {
+      const json::Value* v = e.find(field);
+      if (!finite_number(v) || v->as_number() < 0.0)
+        err(r, at + ": missing or negative \"" + std::string(field) + "\"");
+    }
+  }
+  return r;
+}
+
+ValidationResult validate_drift(const json::Value& doc) {
+  ValidationResult r;
+  r.kind = ReportKind::Drift;
+  const json::Value* alpha = doc.find("alpha");
+  if (!finite_number(alpha) || !(alpha->as_number() > 0.0) ||
+      alpha->as_number() > 1.0)
+    err(r, "missing \"alpha\" (must be in (0, 1])");
+  const json::Value* window = doc.find("window");
+  if (!finite_number(window) || window->as_number() < 1.0)
+    err(r, "missing \"window\" (must be >= 1)");
+  const json::Value* band = doc.find("band");
+  if (!finite_number(band) || band->as_number() < 0.0)
+    err(r, "missing or negative \"band\"");
+  const json::Value* points = doc.find("points");
+  if (!finite_number(points) || points->as_number() < 0.0)
+    err(r, "missing or negative \"points\"");
+  const json::Value* drifting = doc.find("drifting");
+  if (drifting == nullptr || !drifting->is_bool())
+    err(r, "missing boolean \"drifting\"");
+  const json::Value* components = doc.find("components");
+  if (components == nullptr || !components->is_object()) {
+    err(r, "document has no \"components\" object");
+    return r;
+  }
+  static const char* kComponents[] = {"disk", "network", "compute_local",
+                                      "ro_comm", "global_red"};
+  bool any_component_drifting = false;
+  for (const char* name : kComponents) {
+    const std::string at = "components." + std::string(name);
+    const json::Value* c = components->find(name);
+    if (c == nullptr || !c->is_object()) {
+      err(r, at + ": missing component object");
+      continue;
+    }
+    for (const char* field : {"ewma", "window_mean", "window_var"})
+      if (!finite_number(c->find(field)))
+        err(r, at + ": \"" + std::string(field) + "\" missing or not finite");
+    const json::Value* var = c->find("window_var");
+    if (finite_number(var) && var->as_number() < 0.0)
+      err(r, at + ": negative \"window_var\"");
+    const json::Value* d = c->find("drifting");
+    if (d == nullptr || !d->is_bool())
+      err(r, at + ": missing boolean \"drifting\"");
+    else if (d->as_bool())
+      any_component_drifting = true;
+  }
+  if (drifting != nullptr && drifting->is_bool() &&
+      drifting->as_bool() != any_component_drifting)
+    err(r, "top-level \"drifting\" disagrees with the component flags");
+  return r;
+}
+
+ValidationResult validate_snapshots(const json::Value& doc) {
+  ValidationResult r;
+  r.kind = ReportKind::Snapshots;
+  const json::Value* capacity = doc.find("capacity");
+  if (!finite_number(capacity) || capacity->as_number() < 1.0)
+    err(r, "missing \"capacity\" (must be >= 1)");
+  const json::Value* captured = doc.find("captured");
+  if (!finite_number(captured) || captured->as_number() < 0.0)
+    err(r, "missing or negative \"captured\"");
+  const json::Value* snapshots = doc.find("snapshots");
+  if (snapshots == nullptr || !snapshots->is_array()) {
+    err(r, "document has no \"snapshots\" array");
+    return r;
+  }
+  const auto& list = snapshots->as_array();
+  if (finite_number(capacity) &&
+      static_cast<double>(list.size()) > capacity->as_number())
+    err(r, "more snapshots than \"capacity\"");
+  const auto check_scalars = [&r](const json::Value* scalars,
+                                  const std::string& at) {
+    if (scalars == nullptr) return;
+    if (!scalars->is_object()) {
+      err(r, at + " is not an object");
+      return;
+    }
+    for (const auto& [name, v] : scalars->as_object())
+      if (!v.is_number() || !std::isfinite(v.as_number()))
+        err(r, at + "." + name + ": value is not a finite number");
+  };
+  double last_seq = -1.0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const std::string at = "snapshots[" + std::to_string(i) + "]";
+    const json::Value& s = list[i];
+    if (!s.is_object()) {
+      err(r, at + ": snapshot is not an object");
+      continue;
+    }
+    const json::Value* seq = s.find("seq");
+    if (!finite_number(seq) || seq->as_number() < 0.0) {
+      err(r, at + ": missing or negative \"seq\"");
+    } else {
+      if (seq->as_number() <= last_seq)
+        err(r, at + ": \"seq\" not strictly increasing");
+      last_seq = seq->as_number();
+    }
+    const json::Value* host_seconds = s.find("host_seconds");
+    if (host_seconds != nullptr &&  // stripped in byte-comparison mode
+        (!finite_number(host_seconds) || host_seconds->as_number() < 0.0))
+      err(r, at + ": \"host_seconds\" is not a non-negative number");
+    if (s.find("deterministic") == nullptr)
+      err(r, at + ": missing \"deterministic\" scalars");
+    check_scalars(s.find("deterministic"), at + ".deterministic");
+    check_scalars(s.find("host"), at + ".host");
+  }
+  return r;
+}
+
 ValidationResult validate_report(const json::Value& doc) {
   const json::Value* schema = doc.is_object() ? doc.find("schema") : nullptr;
   if (schema == nullptr || !schema->is_string()) {
@@ -240,6 +403,9 @@ ValidationResult validate_report(const json::Value& doc) {
   if (s == "fgpred-trace-v1") return validate_trace(doc);
   if (s == "fgpred-metrics-v1") return validate_metrics(doc);
   if (s == "fgpred-residuals-v1") return validate_residuals(doc);
+  if (s == "fgpred-slowlog-v1") return validate_slowlog(doc);
+  if (s == "fgpred-drift-v1") return validate_drift(doc);
+  if (s == "fgpred-snapshots-v1") return validate_snapshots(doc);
   ValidationResult r;
   err(r, "unknown schema '" + s + "'");
   return r;

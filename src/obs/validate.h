@@ -17,7 +17,15 @@
 
 namespace fgp::obs {
 
-enum class ReportKind { Unknown, Trace, Metrics, Residuals };
+enum class ReportKind {
+  Unknown,
+  Trace,
+  Metrics,
+  Residuals,
+  Slowlog,
+  Drift,
+  Snapshots,
+};
 
 struct ValidationResult {
   ReportKind kind = ReportKind::Unknown;
@@ -39,5 +47,8 @@ ValidationResult validate_report_text(std::string_view text);
 ValidationResult validate_trace(const json::Value& doc);
 ValidationResult validate_metrics(const json::Value& doc);
 ValidationResult validate_residuals(const json::Value& doc);
+ValidationResult validate_slowlog(const json::Value& doc);
+ValidationResult validate_drift(const json::Value& doc);
+ValidationResult validate_snapshots(const json::Value& doc);
 
 }  // namespace fgp::obs

@@ -28,6 +28,23 @@ int int_field(const obs::json::Value& v, const char* name, int fallback,
   return static_cast<int>(d);
 }
 
+/// A bounded non-negative double field: present => finite number in
+/// [0, bound].
+double double_field(const obs::json::Value& v, const char* name,
+                    double fallback, double bound) {
+  const auto* field = v.find(name);
+  if (field == nullptr) return fallback;
+  if (!field->is_number())
+    throw util::ConfigError(std::string("service config field '") + name +
+                            "' must be a number");
+  const double d = field->as_number();
+  if (!(d >= 0.0) || d > bound || !std::isfinite(d))
+    throw util::ConfigError(std::string("service config field '") + name +
+                            "' must be a finite number in [0, " +
+                            std::to_string(bound) + "]");
+  return d;
+}
+
 }  // namespace
 
 ServiceConfig parse_service_config(std::string_view json_text) {
@@ -36,13 +53,18 @@ ServiceConfig parse_service_config(std::string_view json_text) {
     throw util::ConfigError("service config must be a JSON object");
   for (const auto& member : doc.as_object()) {
     const std::string& key = member.first;
-    if (key != "shards" && key != "max_top_k" && key != "max_batch")
+    if (key != "shards" && key != "max_top_k" && key != "max_batch" &&
+        key != "slow_query_threshold_s" && key != "slowlog_capacity")
       throw util::ConfigError("unknown service config field '" + key + "'");
   }
   ServiceConfig out;
   out.shards = int_field(doc, "shards", out.shards, 4096);
   out.max_top_k = int_field(doc, "max_top_k", out.max_top_k, 1 << 20);
   out.max_batch = int_field(doc, "max_batch", out.max_batch, 1 << 24);
+  out.slow_query_threshold_s = double_field(
+      doc, "slow_query_threshold_s", out.slow_query_threshold_s, 3600.0);
+  out.slowlog_capacity =
+      int_field(doc, "slowlog_capacity", out.slowlog_capacity, 1 << 20);
   return out;
 }
 

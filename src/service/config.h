@@ -25,9 +25,17 @@ struct ServiceConfig {
   int max_top_k = 64;
   /// Upper bound on queries per submitted batch.
   int max_batch = 65536;
+  /// Slow-query log threshold in seconds: queries whose wall-clock
+  /// latency strictly exceeds this are logged (obs::SlowQueryLog). The
+  /// default flags ~40x the expected per-query cost on the reference
+  /// runner; 0 logs every query.
+  double slow_query_threshold_s = 0.001;
+  /// Slow-query log ring capacity (newest entries survive).
+  int slowlog_capacity = 128;
 };
 
-/// Parses `{"shards": N, "max_top_k": N, "max_batch": N}` (every field
+/// Parses `{"shards": N, "max_top_k": N, "max_batch": N,
+/// "slow_query_threshold_s": X, "slowlog_capacity": N}` (every field
 /// optional, defaults above; unknown fields rejected so a typo cannot
 /// silently configure nothing).
 ServiceConfig parse_service_config(std::string_view json_text);

@@ -5,7 +5,10 @@
 #include <map>
 #include <utility>
 
+#include "obs/hdr.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/wallclock.h"
 
@@ -38,6 +41,8 @@ struct PreparedQuery {
   const SelectionQuery* query = nullptr;
   std::shared_ptr<const CompiledApp> compiled;  ///< null: unknown app
   std::shared_ptr<const ReplicaShard> shard;
+  std::size_t shard_index = 0;  ///< valid when needs_shard
+  bool needs_shard = false;
   std::string error;  ///< non-empty: fail without evaluating
 };
 
@@ -134,6 +139,19 @@ void SelectionService::register_app(
 std::vector<SelectionResult> SelectionService::query_batch(
     std::span<const SelectionQuery> queries) const {
   const util::Stopwatch batch_clock;
+  // Observers are all Host-domain (wall-clock) consumers: recording for
+  // them happens into per-query indexed slots and is folded at batch end
+  // in query order, so attaching them cannot perturb rankings or
+  // deterministic counters (DESIGN.md §17).
+  const ServiceObservers o = observers_;
+  obs::TraceRecorder* trace =
+      o.trace != nullptr && o.trace->host_enabled() ? o.trace : nullptr;
+  const bool want_latency =
+      o.latency != nullptr || o.slowlog != nullptr || trace != nullptr;
+  // Maps batch-clock offsets onto the trace recorder's host epoch (both
+  // are util::Stopwatch instants, so the skew is one constant).
+  const double trace_epoch =
+      trace != nullptr ? trace->host_now() - batch_clock.seconds() : 0.0;
 
   // --- serial prepare phase (deterministic counters live here) ----------
   const auto topo = catalog_->topology();
@@ -165,11 +183,18 @@ std::vector<SelectionResult> SelectionService::query_batch(
       p.error = "no profile registered for app '" + q.app + "'";
       continue;
     }
-    const std::size_t shard_index = shard_of(q.dataset, catalog_->shard_count());
-    auto [slot, inserted] = shards_touched.try_emplace(shard_index);
-    if (inserted) slot->second = catalog_->shard(shard_index);
-    p.shard = slot->second;
+    p.shard_index = shard_of(q.dataset, catalog_->shard_count());
+    p.needs_shard = true;
+    shards_touched.try_emplace(p.shard_index);
   }
+  const double prepare_end = want_latency ? batch_clock.seconds() : 0.0;
+
+  // --- shard-load phase: one snapshot per touched shard ------------------
+  for (auto& [index, snapshot] : shards_touched)
+    snapshot = catalog_->shard(index);
+  for (PreparedQuery& p : prepared)
+    if (p.needs_shard) p.shard = shards_touched.find(p.shard_index)->second;
+  const double shard_load_end = want_latency ? batch_clock.seconds() : 0.0;
 
   if (metrics_ != nullptr) {
     metrics_->add("service.queries", static_cast<double>(queries.size()));
@@ -180,14 +205,71 @@ std::vector<SelectionResult> SelectionService::query_batch(
   }
 
   // --- parallel evaluate phase (indexed result slots) --------------------
+  // Latency capture uses the same indexed-slot discipline as the results:
+  // slot i is owned by the task evaluating query i, so the parallel phase
+  // records uncontended and the batch end folds serially in query order.
   std::vector<SelectionResult> results(queries.size());
+  std::vector<double> q_begin;
+  std::vector<double> q_end;
+  if (want_latency) {
+    q_begin.assign(queries.size(), 0.0);
+    q_end.assign(queries.size(), 0.0);
+  }
+  const double evaluate_begin = want_latency ? batch_clock.seconds() : 0.0;
+  const auto run_one = [&](std::size_t i) {
+    if (want_latency) {
+      q_begin[i] = batch_clock.seconds();
+      results[i] = evaluate(prepared[i]);
+      q_end[i] = batch_clock.seconds();
+    } else {
+      results[i] = evaluate(prepared[i]);
+    }
+  };
   if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < prepared.size(); ++i)
-      results[i] = evaluate(prepared[i]);
+    for (std::size_t i = 0; i < prepared.size(); ++i) run_one(i);
   } else {
-    pool_->parallel_for(prepared.size(), [&](std::size_t i) {
-      results[i] = evaluate(prepared[i]);
-    });
+    pool_->parallel_for(prepared.size(), run_one);
+  }
+  const double evaluate_end = want_latency ? batch_clock.seconds() : 0.0;
+
+  // --- batch-end fold (serial, query order; all Host-domain) -------------
+  if (o.latency != nullptr) {
+    obs::HdrHistogram batch_hist;
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      batch_hist.observe_seconds(q_end[i] - q_begin[i]);
+    std::lock_guard lock(latency_mu_);
+    o.latency->merge(batch_hist);
+  }
+  if (o.slowlog != nullptr) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const double latency = q_end[i] - q_begin[i];
+      if (!(latency > o.slowlog->threshold_seconds())) continue;
+      obs::SlowQueryEntry entry;
+      entry.app = queries[i].app;
+      entry.dataset = queries[i].dataset;
+      entry.latency_s = latency;
+      entry.candidates_considered = results[i].candidates_considered;
+      if (results[i].ok() && !results[i].ranked.empty()) {
+        const core::RankedCandidate& best = results[i].ranked.front();
+        entry.chosen = best.candidate.replica.repository + "/" +
+                       best.candidate.compute_site + "/" +
+                       std::to_string(best.candidate.compute_nodes);
+      }
+      entry.error = results[i].error;
+      entry.topology_version = topo->version;
+      o.slowlog->maybe_record(std::move(entry));
+    }
+  }
+  if (trace != nullptr) {
+    trace->host_span("service", "prepare", trace_epoch,
+                     trace_epoch + prepare_end);
+    trace->host_span("service", "shard-load", trace_epoch + prepare_end,
+                     trace_epoch + shard_load_end);
+    trace->host_span("service", "evaluate", trace_epoch + evaluate_begin,
+                     trace_epoch + evaluate_end);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      trace->host_span("service/query", queries[i].app + ":" + queries[i].dataset,
+                       trace_epoch + q_begin[i], trace_epoch + q_end[i]);
   }
 
   if (metrics_ != nullptr)

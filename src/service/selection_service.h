@@ -28,6 +28,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,7 +38,10 @@
 #include "util/thread_pool.h"
 
 namespace fgp::obs {
+class HdrHistogram;
 class Registry;
+class SlowQueryLog;
+class TraceRecorder;
 }  // namespace fgp::obs
 
 namespace fgp::service {
@@ -65,6 +69,25 @@ struct SelectionResult {
   const core::RankedCandidate& best() const;
 };
 
+/// Optional service-side observers, all borrowed and all
+/// null-pointer-cheap: an untraced batch pays one pointer test per
+/// observer. Everything they receive is wall-clock (Host-domain) data,
+/// recorded from per-query indexed slots during the parallel evaluate
+/// phase and folded *in query order* at batch end (DESIGN.md §17), so
+/// attaching them never perturbs rankings or deterministic metrics.
+struct ServiceObservers {
+  /// Receives batch-level prepare/shard-load/evaluate spans and one
+  /// "service/query" span per query. Spans are only recorded when the
+  /// recorder has host recording enabled.
+  obs::TraceRecorder* trace = nullptr;
+  /// Receives one entry per query over the log's latency threshold.
+  obs::SlowQueryLog* slowlog = nullptr;
+  /// Receives every query's latency. The service serializes its merges
+  /// internally; while attached, the histogram must not be written by
+  /// anyone else concurrently with query_batch.
+  obs::HdrHistogram* latency = nullptr;
+};
+
 class SelectionService {
  public:
   /// `catalog` must outlive the service. A non-null `pool` is borrowed
@@ -89,10 +112,21 @@ class SelectionService {
 
   const ShardedCatalog& catalog() const { return *catalog_; }
 
+  /// Attaches (or detaches, with default-constructed observers) the
+  /// service observers. Not synchronized with in-flight batches — wire
+  /// observers up before serving traffic.
+  void set_observers(const ServiceObservers& observers) {
+    observers_ = observers;
+  }
+
  private:
   const ShardedCatalog* catalog_;
   util::ThreadPool* pool_;
   obs::Registry* metrics_;
+  ServiceObservers observers_;
+  /// Serializes batch-end merges into observers_.latency when batches
+  /// run concurrently (cold path: once per batch).
+  mutable std::mutex latency_mu_;
   mutable ProfileCache cache_;
 };
 

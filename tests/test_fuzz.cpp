@@ -24,8 +24,10 @@
 #include "datagen/flowfield.h"
 #include "datagen/lattice.h"
 #include "datagen/transactions.h"
+#include "obs/drift.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "obs/validate.h"
 #include "repository/chunk.h"
 #include "repository/payload.h"
@@ -440,10 +442,93 @@ TEST(Fuzz, ReportValidatorRejectsWrongShapesWithErrors) {
       "{\"schema\":\"fgpred-residuals-v1\",\"points\":[{\"label\":\"1-1\","
       "\"predicted\":{},\"observed\":{},\"residual\":{},"
       "\"rel_error_total\":0}]}",
+      // PR 9 service-observability schemas.
+      "{\"schema\":\"fgpred-slowlog-v1\"}",
+      "{\"schema\":\"fgpred-slowlog-v1\",\"threshold_s\":-1,"
+      "\"capacity\":1,\"seen\":0,\"entries\":[]}",
+      // An entry despite zero threshold crossings, and an empty entry.
+      "{\"schema\":\"fgpred-slowlog-v1\",\"threshold_s\":0,"
+      "\"capacity\":4,\"seen\":0,\"entries\":[{}]}",
+      // A logged latency that does not exceed the threshold.
+      "{\"schema\":\"fgpred-slowlog-v1\",\"threshold_s\":0.5,"
+      "\"capacity\":4,\"seen\":1,\"entries\":[{\"app\":\"em\","
+      "\"dataset\":\"d\",\"latency_s\":0.1,\"candidates_considered\":1,"
+      "\"chosen\":\"\",\"error\":\"\",\"topology_version\":0}]}",
+      "{\"schema\":\"fgpred-drift-v1\"}",
+      "{\"schema\":\"fgpred-drift-v1\",\"alpha\":2,\"window\":64,"
+      "\"band\":0.1,\"points\":0,\"components\":{},\"drifting\":false}",
+      // Top-level verdict contradicting the (all-steady) components.
+      "{\"schema\":\"fgpred-drift-v1\",\"alpha\":0.2,\"window\":64,"
+      "\"band\":0.1,\"points\":5,\"components\":{"
+      "\"disk\":{\"ewma\":0,\"window_mean\":0,\"window_var\":0,"
+      "\"drifting\":false},"
+      "\"network\":{\"ewma\":0,\"window_mean\":0,\"window_var\":0,"
+      "\"drifting\":false},"
+      "\"compute_local\":{\"ewma\":0,\"window_mean\":0,\"window_var\":0,"
+      "\"drifting\":false},"
+      "\"ro_comm\":{\"ewma\":0,\"window_mean\":0,\"window_var\":0,"
+      "\"drifting\":false},"
+      "\"global_red\":{\"ewma\":0,\"window_mean\":0,\"window_var\":0,"
+      "\"drifting\":false}},\"drifting\":true}",
+      "{\"schema\":\"fgpred-snapshots-v1\"}",
+      "{\"schema\":\"fgpred-snapshots-v1\",\"capacity\":1,\"captured\":2,"
+      "\"snapshots\":[{\"seq\":0,\"deterministic\":{}},"
+      "{\"seq\":1,\"deterministic\":{}}]}",
+      // Sequence numbers must be strictly increasing.
+      "{\"schema\":\"fgpred-snapshots-v1\",\"capacity\":4,\"captured\":2,"
+      "\"snapshots\":[{\"seq\":1,\"deterministic\":{}},"
+      "{\"seq\":1,\"deterministic\":{}}]}",
   };
   for (const char* text : corpus) {
     const auto v = obs::validate_report_text(text);
     EXPECT_FALSE(v.ok()) << text;
+  }
+}
+
+TEST(Fuzz, ServiceObservabilityReportsSurviveTruncationAndCorruption) {
+  // Valid slowlog and drift documents straight from their recorders,
+  // then the same truncation / corruption discipline as the metrics
+  // report: typed error or an error list, never a crash.
+  obs::SlowQueryLog slowlog(0.001, 4);
+  obs::SlowQueryEntry entry;
+  entry.app = "em";
+  entry.dataset = "ds-\"quoted\"\n";  // hostile strings must escape cleanly
+  entry.latency_s = 0.25;
+  entry.candidates_considered = 7;
+  entry.chosen = "repo-0/hpc-1/8";
+  entry.topology_version = 3;
+  slowlog.maybe_record(entry);
+  obs::DriftMonitor drift;
+  obs::ResidualPoint pt;
+  pt.label = "p";
+  pt.predicted = {1.0, 2.0, 3.0, 0.5, 0.25};
+  pt.observed = {2.0, 2.0, 3.0, 0.5, 0.25};
+  for (int i = 0; i < 8; ++i) drift.observe(pt);
+
+  util::Rng rng(20260808);
+  for (const std::string& report : {slowlog.to_json(), drift.to_json()}) {
+    ASSERT_TRUE(obs::validate_report_text(report).ok());
+    const std::size_t meaningful = report.find_last_of('}') + 1;
+    for (std::size_t cut = 0; cut < report.size(); ++cut) {
+      try {
+        const auto v = obs::validate_report_text(report.substr(0, cut));
+        EXPECT_TRUE(!v.ok() || cut >= meaningful) << "cut=" << cut;
+      } catch (const util::SerializationError&) {
+        // unparseable prefix: typed failure is the expected outcome
+      }
+    }
+    for (int trial = 0; trial < 150; ++trial) {
+      std::string bytes = report;
+      const int flips = 1 + static_cast<int>(rng.next_below(6));
+      for (int f = 0; f < flips; ++f)
+        bytes[rng.next_below(bytes.size())] =
+            static_cast<char>(rng.next_below(256));
+      try {
+        (void)obs::validate_report_text(bytes);
+      } catch (const util::SerializationError&) {
+        // controlled outcome
+      }
+    }
   }
 }
 

@@ -8,7 +8,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
+#include <vector>
 #include <string>
 #include <utility>
 
@@ -16,16 +18,21 @@
 #include "core/profile.h"
 #include "core/residuals.h"
 #include "helpers.h"
+#include "obs/drift.h"
+#include "obs/hdr.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/pool.h"
 #include "obs/residual.h"
+#include "obs/slowlog.h"
+#include "obs/snapshot_ring.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
 #include "repository/payload.h"
 #include "repository/store.h"
 #include "repository/stream.h"
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace fgp {
@@ -462,6 +469,290 @@ TEST(Obs, PoolTracingAndHostStats) {
   EXPECT_NE(with_host.find("parallel_for"), std::string::npos);
   EXPECT_EQ(trace.to_chrome_json(false).find("parallel_for"),
             std::string::npos);
+}
+
+// --- obs::Histogram decade-edge boundary math (PR 9 satellite) -----------
+
+TEST(Obs, HistogramObserveMatchesUpperBoundAtEveryDecadeEdge) {
+  // The log10-indexed observe must agree with the documented boundary
+  // semantics — smallest b with v <= upper_bound(b) — exactly at every
+  // decade edge and one ulp past it.
+  for (int b = 0; b < obs::Histogram::kBuckets - 1; ++b) {
+    const double edge = obs::Histogram::upper_bound(b);
+    {
+      obs::Histogram h;
+      h.observe(edge);  // inclusive upper bound: lands in bucket b
+      EXPECT_EQ(h.buckets[static_cast<std::size_t>(b)], 1u)
+          << "edge of bucket " << b;
+    }
+    {
+      obs::Histogram h;
+      h.observe(std::nextafter(edge, HUGE_VAL));  // one ulp past: bucket b+1
+      EXPECT_EQ(h.buckets[static_cast<std::size_t>(b) + 1], 1u)
+          << "past the edge of bucket " << b;
+    }
+  }
+  obs::Histogram h;
+  h.observe(0.0);                 // below the first edge
+  h.observe(-1.0);                // negative clamps into bucket 0
+  h.observe(std::nan(""));        // NaN clamps into bucket 0
+  EXPECT_EQ(h.buckets[0], 3u);
+  h.observe(1e30);                // far past the last edge: overflow bucket
+  EXPECT_EQ(h.buckets[obs::Histogram::kBuckets - 1], 1u);
+}
+
+TEST(Obs, HistogramObserveMatchesLinearScanReference) {
+  // Against the retired linear scan over a log sweep three decades wider
+  // than the bucket range on each side.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double v = std::pow(10.0, rng.uniform(-12.0, 8.0));
+    int want = 0;
+    while (want < obs::Histogram::kBuckets - 1 &&
+           v > obs::Histogram::upper_bound(want))
+      ++want;
+    obs::Histogram h;
+    h.observe(v);
+    EXPECT_EQ(h.buckets[static_cast<std::size_t>(want)], 1u) << "v=" << v;
+  }
+}
+
+// --- HDR latency histograms ----------------------------------------------
+
+TEST(Obs, HdrBucketIndexRespectsBoundedRelativeError) {
+  // Every bucket's upper edge maps back into that bucket, the next
+  // nanosecond into the following one, and the bucket width never
+  // exceeds 1/32 of its lower edge (the advertised ~3.1% bound).
+  for (const std::uint64_t ns :
+       {0ull, 1ull, 63ull, 64ull, 65ull, 127ull, 128ull, 1000ull, 27000ull,
+        1000000ull, 123456789ull, 1ull << 40, (1ull << 63) + 12345ull}) {
+    const std::size_t idx = obs::HdrHistogram::bucket_index(ns);
+    ASSERT_LT(idx, obs::HdrHistogram::kBucketCount);
+    const std::uint64_t edge = obs::HdrHistogram::bucket_upper_edge(idx);
+    EXPECT_GE(edge, ns);
+    if (edge < ~0ull) {
+      EXPECT_EQ(obs::HdrHistogram::bucket_index(edge + 1), idx + 1);
+    }
+    if (ns >= obs::HdrHistogram::kSubBuckets) {
+      const std::uint64_t lower =
+          obs::HdrHistogram::bucket_upper_edge(idx - 1) + 1;
+      EXPECT_LE(edge - lower + 1, lower / 32 + 1) << "ns=" << ns;
+    }
+  }
+  // The extremes stay in range.
+  EXPECT_EQ(obs::HdrHistogram::bucket_index(~0ull),
+            obs::HdrHistogram::kBucketCount - 1);
+  EXPECT_EQ(obs::HdrHistogram::bucket_upper_edge(
+                obs::HdrHistogram::kBucketCount - 1),
+            ~0ull);
+}
+
+TEST(Obs, HdrQuantilesBoundedErrorAndExactExtremes) {
+  obs::HdrHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  // 1..1000 µs uniformly: p50 ~ 500 µs, p99 ~ 990 µs, within 3.2%.
+  for (int i = 1; i <= 1000; ++i)
+    h.observe_seconds(static_cast<double>(i) * 1e-6);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.quantile(0.50), 500e-6, 500e-6 * 0.032);
+  EXPECT_NEAR(h.quantile(0.99), 990e-6, 990e-6 * 0.032);
+  // min/max are tracked exactly and clamp the quantile read-back: the
+  // top quantile is exactly max, the bottom within one bucket of min.
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 1000e-6);
+  EXPECT_GE(h.quantile(0.0), h.min_seconds());
+  EXPECT_NEAR(h.quantile(0.0), h.min_seconds(), h.min_seconds() * 0.032);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max_seconds());
+  EXPECT_NEAR(h.sum_seconds(), 500500e-6, 1e-6);
+  // Hostile inputs clamp instead of corrupting the counts.
+  h.observe_seconds(-1.0);
+  h.observe_seconds(std::nan(""));
+  EXPECT_EQ(h.count(), 1002u);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.0);
+}
+
+/// Records kValues deterministic latencies partitioned over `recorders`
+/// per-thread recorders (parallel when a pool is given), merges them in
+/// index order and returns the canonical JSON export.
+std::string hdr_merged_json(util::ThreadPool* pool, std::size_t recorders) {
+  constexpr std::size_t kValues = 20000;
+  const auto value_ns = [](std::size_t i) {
+    // Spreads across five decades deterministically.
+    return 100 + (i * 1000003ull) % 10000000ull;
+  };
+  std::vector<obs::HdrHistogram> per_thread(recorders);
+  const auto record_slice = [&](std::size_t r) {
+    for (std::size_t i = r; i < kValues; i += recorders)
+      per_thread[r].observe_ns(value_ns(i));
+  };
+  if (pool == nullptr) {
+    for (std::size_t r = 0; r < recorders; ++r) record_slice(r);
+  } else {
+    pool->parallel_for(recorders, record_slice);
+  }
+  obs::HdrHistogram merged;
+  for (std::size_t r = 0; r < recorders; ++r) merged.merge(per_thread[r]);
+  return merged.to_json_object();
+}
+
+TEST(Obs, HdrMergeByteIdenticalAcrossPoolSizes) {
+  // The §17 contract: per-thread recorders merged in index order export
+  // byte-identically no matter how the recording work was scheduled —
+  // serial, or pools of 1/2/8 threads — and no matter how many
+  // recorders partition the stream (integral state commutes).
+  const std::string reference = hdr_merged_json(nullptr, 1);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(hdr_merged_json(&pool, threads), reference)
+        << "HDR merge diverged at pool size " << threads;
+  }
+  EXPECT_EQ(hdr_merged_json(nullptr, 7), reference);
+}
+
+// --- slow-query log -------------------------------------------------------
+
+TEST(Obs, SlowQueryLogRingKeepsNewestAndCountsSeen) {
+  obs::SlowQueryLog log(0.01, 2);
+  const auto entry = [](const char* dataset, double latency) {
+    obs::SlowQueryEntry e;
+    e.app = "em";
+    e.dataset = dataset;
+    e.latency_s = latency;
+    e.candidates_considered = 5;
+    e.chosen = "repo-1/hpc-2/4";
+    e.topology_version = 9;
+    return e;
+  };
+  log.maybe_record(entry("fast", 0.005));   // under threshold: dropped
+  log.maybe_record(entry("a", 0.02));
+  log.maybe_record(entry("b", 0.03));
+  log.maybe_record(entry("c", 0.04));       // evicts "a"
+  EXPECT_EQ(log.seen(), 3u);
+  const auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].dataset, "b");  // oldest surviving first
+  EXPECT_EQ(entries[1].dataset, "c");
+
+  const auto v = obs::validate_report_text(log.to_json());
+  EXPECT_EQ(v.kind, obs::ReportKind::Slowlog);
+  EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+  log.clear();
+  EXPECT_EQ(log.seen(), 0u);
+  EXPECT_TRUE(log.entries().empty());
+}
+
+// --- drift monitor --------------------------------------------------------
+
+obs::ResidualPoint drift_point(double predicted_disk, double observed_disk) {
+  obs::ResidualPoint pt;
+  pt.label = "p";
+  pt.predicted = {predicted_disk, 2.0, 3.0, 0.5, 0.25};
+  pt.observed = {observed_disk, 2.0, 3.0, 0.5, 0.25};
+  return pt;
+}
+
+TEST(Obs, DriftMonitorStaysSteadyOnMatchingStream) {
+  obs::DriftMonitor drift;
+  for (int i = 0; i < 200; ++i) drift.observe(drift_point(1.0, 1.0));
+  EXPECT_EQ(drift.points(), 200u);
+  for (int c = 0; c < obs::DriftMonitor::kComponents; ++c) {
+    EXPECT_DOUBLE_EQ(drift.ewma(c), 0.0);
+    EXPECT_DOUBLE_EQ(drift.window_mean(c), 0.0);
+    EXPECT_DOUBLE_EQ(drift.window_variance(c), 0.0);
+    EXPECT_FALSE(drift.drifting(c));
+  }
+  EXPECT_FALSE(drift.any_drifting());
+  const auto v = obs::validate_report_text(drift.to_json());
+  EXPECT_EQ(v.kind, obs::ReportKind::Drift);
+  EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+}
+
+TEST(Obs, DriftMonitorFlagsDriftingComponentAndRecovers) {
+  obs::DriftMonitor drift;
+  // The disk model under-predicts by half the observed total: the signed
+  // relative residual is (1 - 3) / (3 + 2 + 3 + 0.5 + 0.25) ~ -0.229,
+  // past the default 0.1 band once the EWMA converges.
+  for (int i = 0; i < 50; ++i) drift.observe(drift_point(1.0, 3.0));
+  EXPECT_TRUE(drift.drifting(0)) << "disk ewma " << drift.ewma(0);
+  EXPECT_LT(drift.ewma(0), -0.1);
+  for (int c = 1; c < obs::DriftMonitor::kComponents; ++c)
+    EXPECT_FALSE(drift.drifting(c));
+  EXPECT_TRUE(drift.any_drifting());
+  EXPECT_NE(drift.to_json().find("\"drifting\": true"), std::string::npos);
+
+  // A corrected model decays the EWMA back inside the band.
+  for (int i = 0; i < 50; ++i) drift.observe(drift_point(1.0, 1.0));
+  EXPECT_FALSE(drift.any_drifting());
+  // Monitor state is a pure function of the fed sequence: a second
+  // monitor fed the same stream exports byte-identically.
+  obs::DriftMonitor replay;
+  for (int i = 0; i < 50; ++i) replay.observe(drift_point(1.0, 3.0));
+  for (int i = 0; i < 50; ++i) replay.observe(drift_point(1.0, 1.0));
+  EXPECT_EQ(drift.to_json(), replay.to_json());
+}
+
+TEST(Obs, DriftMonitorWindowStatsAndConfigValidation) {
+  obs::DriftConfig config;
+  config.window = 4;
+  obs::DriftMonitor drift(config);
+  // Alternating over/under prediction: window mean ~0, variance > 0.
+  for (int i = 0; i < 16; ++i)
+    drift.observe(drift_point(i % 2 == 0 ? 1.2 : 0.8, 1.0));
+  EXPECT_NEAR(drift.window_mean(0), 0.0, 1e-12);
+  EXPECT_GT(drift.window_variance(0), 0.0);
+  // Points with no usable observation are counted but change nothing.
+  obs::ResidualPoint zero;
+  drift.observe(zero);
+  EXPECT_EQ(drift.points(), 17u);
+
+  EXPECT_THROW(obs::DriftMonitor(obs::DriftConfig{0.0, 64, 0.1}),
+               util::ConfigError);
+  EXPECT_THROW(obs::DriftMonitor(obs::DriftConfig{1.5, 64, 0.1}),
+               util::ConfigError);
+  EXPECT_THROW(obs::DriftMonitor(obs::DriftConfig{0.2, 0, 0.1}),
+               util::ConfigError);
+  EXPECT_THROW(obs::DriftMonitor(obs::DriftConfig{0.2, 64, -1.0}),
+               util::ConfigError);
+}
+
+// --- snapshot ring --------------------------------------------------------
+
+TEST(Obs, SnapshotRingCapturesRatesAndStripsHost) {
+  obs::Registry reg;
+  obs::SnapshotRing ring(2);
+  reg.add("service.queries", 100.0);
+  reg.add("host.io", 1.0, obs::Domain::Host);
+  ring.capture(reg, 1.0);
+  reg.add("service.queries", 150.0);
+  ring.capture(reg, 2.0);
+  reg.add("service.queries", 50.0);
+  ring.capture(reg, 3.0);  // evicts seq 0 (capacity 2)
+
+  EXPECT_EQ(ring.captured(), 3u);
+  const auto snaps = ring.snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].seq, 1u);
+  EXPECT_EQ(snaps[1].seq, 2u);
+  ASSERT_EQ(snaps[1].deterministic.size(), 1u);
+  EXPECT_EQ(snaps[1].deterministic[0].first, "service.queries");
+  EXPECT_DOUBLE_EQ(snaps[1].deterministic[0].second, 300.0);
+  ASSERT_EQ(snaps[1].host.size(), 1u);
+  EXPECT_EQ(snaps[1].host[0].first, "host.io");
+
+  const std::string with_host = ring.to_json(true);
+  const std::string without = ring.to_json(false);
+  for (const std::string& text : {with_host, without}) {
+    const auto v = obs::validate_report_text(text);
+    EXPECT_EQ(v.kind, obs::ReportKind::Snapshots);
+    EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+  }
+  EXPECT_NE(with_host.find("host_seconds"), std::string::npos);
+  EXPECT_EQ(without.find("host_seconds"), std::string::npos);
+  EXPECT_NE(with_host.find("host.io"), std::string::npos);
+  EXPECT_EQ(without.find("host.io"), std::string::npos);
+  ring.clear();
+  EXPECT_EQ(ring.captured(), 0u);
 }
 
 }  // namespace

@@ -15,7 +15,11 @@
 #include "core/ipc_probe.h"
 #include "core/selector.h"
 #include "grid/catalog.h"
+#include "obs/hdr.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
 #include "service/config.h"
 #include "service/selection_service.h"
 #include "service/sharded_catalog.h"
@@ -475,6 +479,115 @@ TEST(SelectionService, ConcurrentQueriesRaceSnapshotSwaps) {
   }
   stop.store(true);
   writer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Service observability (PR 9): attaching the full instrumentation set
+// must not perturb what the service computes.
+
+TEST(SelectionService, ObserversDoNotChangeRankingsOrDeterministicMetrics) {
+  const BigFixture fx;
+  // Uninstrumented reference.
+  obs::Registry plain_metrics;
+  SelectionService plain(&fx.catalog, nullptr, &plain_metrics);
+  fx.register_apps(plain);
+  const auto reference = plain.query_batch(fx.queries);
+  const std::string reference_metrics = plain_metrics.to_json(false);
+
+  for (const std::size_t threads : {0u, 2u, 8u}) {
+    obs::Registry metrics;
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+    SelectionService svc(&fx.catalog, pool.get(), &metrics);
+    fx.register_apps(svc);
+
+    obs::TraceRecorder trace;
+    trace.enable_host(true);
+    obs::SlowQueryLog slowlog(0.0);  // threshold 0: every query logs
+    obs::HdrHistogram latency;
+    ServiceObservers observers;
+    observers.trace = &trace;
+    observers.slowlog = &slowlog;
+    observers.latency = &latency;
+    svc.set_observers(observers);
+
+    expect_identical(svc.query_batch(fx.queries), reference);
+    EXPECT_EQ(metrics.to_json(false), reference_metrics)
+        << "instrumentation leaked into the deterministic domain";
+
+    // The instrumentation itself saw every query: one latency sample and
+    // one slow-query entry each, three phase spans plus one span per
+    // query in the trace.
+    EXPECT_EQ(latency.count(), fx.queries.size());
+    EXPECT_GT(latency.quantile(0.99), 0.0);
+    EXPECT_EQ(slowlog.seen(), fx.queries.size());
+    EXPECT_EQ(trace.event_count(), fx.queries.size() + 3);
+    const auto v = obs::validate_report_text(trace.to_chrome_json(true));
+    EXPECT_EQ(v.kind, obs::ReportKind::Trace);
+    EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors.front());
+    // Latency is wall-clock: every service span is Host-domain and gone
+    // from the byte-comparison export.
+    EXPECT_EQ(trace.to_chrome_json(false).find("service/query"),
+              std::string::npos);
+  }
+}
+
+TEST(SelectionService, SlowQueryLogRecordsFailedQueriesWithTheirError) {
+  ShardedCatalog cat(4);
+  populate(cat);
+  SelectionService svc(&cat);
+  svc.register_app(synthetic_profile("em", "pentium-myrinet"),
+                   synthetic_options(), opteron_scalers());
+  obs::SlowQueryLog slowlog(0.0);
+  ServiceObservers observers;
+  observers.slowlog = &slowlog;
+  svc.set_observers(observers);
+
+  std::vector<SelectionQuery> batch;
+  batch.push_back(em_query());
+  batch.push_back({"em", "missing", 1e6, 1});  // unknown dataset
+  svc.query_batch(batch);
+  const auto entries = slowlog.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_FALSE(entries[0].chosen.empty());
+  EXPECT_TRUE(entries[0].error.empty());
+  EXPECT_TRUE(entries[1].chosen.empty());
+  EXPECT_FALSE(entries[1].error.empty());
+}
+
+TEST(SelectionService, ConcurrentBatchesShareOneHdrRecorderAndSlowlog) {
+  // TSan stress target (CI runs *Concurrent* under --gtest_repeat): two
+  // callers drive query_batch into one shared observer set. Per-task
+  // latency slots are index-owned; the only cross-batch state is the
+  // batch-end merge under the service's latency mutex and the internally
+  // locked slowlog/trace sinks.
+  const BigFixture fx;
+  util::ThreadPool pool(4);
+  SelectionService svc(&fx.catalog, &pool);
+  fx.register_apps(svc);
+
+  obs::TraceRecorder trace;
+  trace.enable_host(true);
+  obs::SlowQueryLog slowlog(0.0, 32);
+  obs::HdrHistogram latency;
+  ServiceObservers observers;
+  observers.trace = &trace;
+  observers.slowlog = &slowlog;
+  observers.latency = &latency;
+  svc.set_observers(observers);
+
+  constexpr std::size_t kRounds = 5;
+  std::thread other([&] {
+    for (std::size_t i = 0; i < kRounds; ++i) svc.query_batch(fx.queries);
+  });
+  for (std::size_t i = 0; i < kRounds; ++i) svc.query_batch(fx.queries);
+  other.join();
+
+  const std::size_t total = 2 * kRounds * fx.queries.size();
+  EXPECT_EQ(latency.count(), total);
+  EXPECT_EQ(slowlog.seen(), total);
+  EXPECT_EQ(slowlog.entries().size(), 32u);
+  EXPECT_EQ(trace.event_count(), 2 * kRounds * (fx.queries.size() + 3));
 }
 
 TEST(ProfileCache, ConcurrentResolveRacesTopologyPublishes) {

@@ -10,7 +10,8 @@
 //                                      normalizing (exit 1 on difference)
 //
 // All three modes dispatch on the file's "schema" field
-// (fgpred-trace-v1 / fgpred-metrics-v1 / fgpred-residuals-v1).
+// (fgpred-trace-v1 / fgpred-metrics-v1 / fgpred-residuals-v1 /
+// fgpred-slowlog-v1 / fgpred-drift-v1 / fgpred-snapshots-v1).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -90,6 +91,117 @@ void summarize_trace(const json::Value& doc) {
             << " metadata)\n";
   for (const auto& [name, count] : per_process)
     std::cout << "  " << name << ": " << count << " events\n";
+
+  // Service traces: summarize the per-query spans ("service/query" X
+  // events) and check they nest inside the batch-level "service" spans.
+  std::size_t queries = 0, outside = 0;
+  double slowest_us = -1.0;
+  std::string slowest_name;
+  double batch_begin = 0.0, batch_end = 0.0;
+  bool have_batch = false;
+  for (const json::Value& ev : events) {
+    const json::Value* cat = ev.find("cat");
+    if (cat == nullptr || ev.find("ph")->as_string() != "X") continue;
+    if (cat->as_string() != "service") continue;
+    const double b = ev.find("ts")->as_number();
+    const double e = b + ev.find("dur")->as_number();
+    if (!have_batch || b < batch_begin) batch_begin = b;
+    if (!have_batch || e > batch_end) batch_end = e;
+    have_batch = true;
+  }
+  for (const json::Value& ev : events) {
+    const json::Value* cat = ev.find("cat");
+    if (cat == nullptr || cat->as_string() != "service/query") continue;
+    ++queries;
+    const double dur = ev.find("dur")->as_number();
+    if (dur > slowest_us) {
+      slowest_us = dur;
+      slowest_name = ev.find("name")->as_string();
+    }
+    // 1 µs tolerance absorbs the exporter's strict-monotonicity bumps.
+    const double b = ev.find("ts")->as_number();
+    if (have_batch && (b < batch_begin - 1.0 || b + dur > batch_end + 1.0))
+      ++outside;
+  }
+  if (queries > 0) {
+    std::printf("  service queries: %zu spans, slowest %s at %.3f us\n",
+                queries, slowest_name.c_str(), slowest_us);
+    if (outside == 0)
+      std::cout << "  service query nesting: ok (all inside batch spans)\n";
+    else
+      std::cout << "  service query nesting: " << outside
+                << " span(s) outside the batch spans\n";
+  }
+}
+
+void summarize_slowlog(const json::Value& doc) {
+  const auto& entries = doc.find("entries")->as_array();
+  std::printf("slowlog: threshold=%gs seen=%g kept=%zu (capacity %g)\n",
+              doc.find("threshold_s")->as_number(),
+              doc.find("seen")->as_number(), entries.size(),
+              doc.find("capacity")->as_number());
+  double slowest = -1.0;
+  const json::Value* slowest_entry = nullptr;
+  for (const json::Value& e : entries) {
+    const double latency = e.find("latency_s")->as_number();
+    if (latency > slowest) {
+      slowest = latency;
+      slowest_entry = &e;
+    }
+  }
+  if (slowest_entry != nullptr) {
+    const json::Value& e = *slowest_entry;
+    const std::string& error = e.find("error")->as_string();
+    const std::string outcome =
+        error.empty() ? "chose " + e.find("chosen")->as_string() : error;
+    std::printf("  slowest: %s:%s at %.6fs (%g candidates, %s)\n",
+                e.find("app")->as_string().c_str(),
+                e.find("dataset")->as_string().c_str(), slowest,
+                e.find("candidates_considered")->as_number(),
+                outcome.c_str());
+  }
+}
+
+void summarize_drift(const json::Value& doc) {
+  std::printf("drift: %g points, alpha=%g window=%g band=%g\n",
+              doc.find("points")->as_number(), doc.find("alpha")->as_number(),
+              doc.find("window")->as_number(), doc.find("band")->as_number());
+  for (const auto& [name, c] : doc.find("components")->as_object())
+    std::printf("  %-14s ewma=%+.4f mean=%+.4f var=%.6f%s\n", name.c_str(),
+                c.find("ewma")->as_number(),
+                c.find("window_mean")->as_number(),
+                c.find("window_var")->as_number(),
+                c.find("drifting")->as_bool() ? "  DRIFTING" : "");
+  std::cout << (doc.find("drifting")->as_bool()
+                    ? "  verdict: model is drifting\n"
+                    : "  verdict: steady\n");
+}
+
+void summarize_snapshots(const json::Value& doc) {
+  const auto& snapshots = doc.find("snapshots")->as_array();
+  std::printf("snapshots: %zu kept of %g captured (capacity %g)\n",
+              snapshots.size(), doc.find("captured")->as_number(),
+              doc.find("capacity")->as_number());
+  if (snapshots.size() < 2) return;
+  const json::Value& first = snapshots.front();
+  const json::Value& last = snapshots.back();
+  const json::Value* t0 = first.find("host_seconds");
+  const json::Value* t1 = last.find("host_seconds");
+  const double dt = t0 != nullptr && t1 != nullptr
+                        ? t1->as_number() - t0->as_number()
+                        : 0.0;
+  std::cout << "  deterministic deltas over the kept window"
+            << (dt > 0.0 ? " (with rates)" : "") << ":\n";
+  for (const auto& [name, v] : last.find("deterministic")->as_object()) {
+    const json::Value* before = first.find("deterministic")->find(name);
+    if (before == nullptr || !before->is_number()) continue;
+    const double delta = v.as_number() - before->as_number();
+    if (dt > 0.0)
+      std::printf("    %-24s %+g (%.1f/s)\n", name.c_str(), delta,
+                  delta / dt);
+    else
+      std::printf("    %-24s %+g\n", name.c_str(), delta);
+  }
 }
 
 void summarize_metrics(const json::Value& doc) {
@@ -157,6 +269,9 @@ int cmd_summarize(const std::string& path) {
     case ReportKind::Trace: summarize_trace(doc); break;
     case ReportKind::Metrics: summarize_metrics(doc); break;
     case ReportKind::Residuals: summarize_residuals(doc); break;
+    case ReportKind::Slowlog: summarize_slowlog(doc); break;
+    case ReportKind::Drift: summarize_drift(doc); break;
+    case ReportKind::Snapshots: summarize_snapshots(doc); break;
     case ReportKind::Unknown: return 1;
   }
   return 0;
