@@ -353,7 +353,8 @@ freeride::RunResult simulate(const BenchApp& app,
                              const sim::WanSpec& wan, NodeConfig config,
                              bool caching, util::ThreadPool* pool,
                              obs::TraceRecorder* trace,
-                             obs::Registry* metrics) {
+                             obs::Registry* metrics,
+                             freeride::EngineMode engine) {
   freeride::JobSetup setup;
   setup.dataset = app.dataset.get();
   setup.data_cluster = data_cluster;
@@ -364,6 +365,7 @@ freeride::RunResult simulate(const BenchApp& app,
   setup.config.enable_caching = caching;
   setup.trace = trace;
   setup.metrics = metrics;
+  setup.engine = engine;
   auto kernel = app.factory();
   return freeride::Runtime(pool).run(setup, *kernel);
 }
@@ -372,7 +374,7 @@ core::Profile profile_of(const BenchApp& app,
                          const sim::ClusterSpec& data_cluster,
                          const sim::ClusterSpec& compute_cluster,
                          const sim::WanSpec& wan, NodeConfig config,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool, freeride::EngineMode engine) {
   freeride::JobSetup setup;
   setup.dataset = app.dataset.get();
   setup.data_cluster = data_cluster;
@@ -380,6 +382,7 @@ core::Profile profile_of(const BenchApp& app,
   setup.wan = wan;
   setup.config.data_nodes = config.n;
   setup.config.compute_nodes = config.c;
+  setup.engine = engine;
   auto kernel = app.factory();
   return core::ProfileCollector::collect(setup, *kernel, pool);
 }
@@ -546,7 +549,7 @@ void hetero_figure(const SweepRunner& sweep, const std::string& title,
                    const std::vector<BenchApp>& representatives,
                    NodeConfig base_config, const sim::ClusterSpec& cluster_a,
                    const sim::ClusterSpec& cluster_b,
-                   const sim::WanSpec& wan) {
+                   const sim::WanSpec& wan, FigureObs fig_obs) {
   std::cout << title << "\n"
             << "  app=" << target_app.name << "  base profile "
             << base_config.n << "-" << base_config.c << " on "
@@ -602,14 +605,25 @@ void hetero_figure(const SweepRunner& sweep, const std::string& title,
     const double exact = actual.timing.total.total();
     const auto target = target_config(
         base, cfg, target_app.dataset->total_virtual_bytes(), wan.per_link_Bps);
-    const double predicted = predictor.predict(target).total();
+    const core::PredictedTime predicted_time = predictor.predict(target);
+    const double predicted = predicted_time.total();
     const double err = util::relative_error(exact, predicted);
     worst.add(err);
+    if (fig_obs.residuals != nullptr)
+      fig_obs.residuals->add(core::make_residual_point(
+          config_label(cfg), predicted_time, actual.timing.total));
     table.add_row({config_label(cfg), util::Table::pct(err),
                    util::Table::fmt(exact, 2), util::Table::fmt(predicted, 2)});
   }
   table.print(std::cout);
   std::cout << "\n  max error: " << util::Table::pct(worst.max()) << "\n\n";
+
+  if (fig_obs.residuals != nullptr) {
+    fig_obs.residuals->set_sweep(target_app.name);
+    fig_obs.residuals->set_model("hetero-global-reduction");
+  }
+  traced_largest_run(fig_obs, target_app, cluster_b, wan, grid.back(),
+                     sweep.pool());
 }
 
 }  // namespace fgp::bench

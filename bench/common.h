@@ -101,7 +101,9 @@ struct FigureObs {
 /// process-wide shared pool (hardware concurrency) for its two-level
 /// reduction; pass nullptr for a fully serial reference run — the result is
 /// bit-identical either way (DESIGN.md §11). `trace`/`metrics` (optional)
-/// are handed to the runtime as its observability sinks.
+/// are handed to the runtime as its observability sinks. `engine` selects
+/// the simulation core; Event and PhaseLoop are byte-identical by contract
+/// (tests/test_engine_swap.cpp).
 freeride::RunResult simulate(const BenchApp& app,
                              const sim::ClusterSpec& data_cluster,
                              const sim::ClusterSpec& compute_cluster,
@@ -109,15 +111,19 @@ freeride::RunResult simulate(const BenchApp& app,
                              bool caching = false,
                              util::ThreadPool* pool = &shared_pool(),
                              obs::TraceRecorder* trace = nullptr,
-                             obs::Registry* metrics = nullptr);
+                             obs::Registry* metrics = nullptr,
+                             freeride::EngineMode engine =
+                                 freeride::EngineMode::Event);
 
 /// Collects the prediction-model profile for one configuration (same pool
-/// semantics as simulate()).
+/// and engine semantics as simulate()).
 core::Profile profile_of(const BenchApp& app,
                          const sim::ClusterSpec& data_cluster,
                          const sim::ClusterSpec& compute_cluster,
                          const sim::WanSpec& wan, NodeConfig config,
-                         util::ThreadPool* pool = &shared_pool());
+                         util::ThreadPool* pool = &shared_pool(),
+                         freeride::EngineMode engine =
+                             freeride::EngineMode::Event);
 
 /// Figures 2–6: base profile at 1-1, all three prediction models across
 /// the grid, one table. The grid's exact runs execute concurrently on
@@ -139,11 +145,14 @@ void global_model_figure(const SweepRunner& sweep, const std::string& title,
 
 /// Figures 11–13: base profile on cluster A; component scaling factors
 /// from representative apps run on identical configurations on A and B;
-/// predictions and exact runs on cluster B.
+/// predictions and exact runs on cluster B. When `fig_obs` has sinks,
+/// residuals cover every grid point and one extra traced run records the
+/// largest configuration on cluster B.
 void hetero_figure(const SweepRunner& sweep, const std::string& title,
                    const BenchApp& profile_app, const BenchApp& target_app,
                    const std::vector<BenchApp>& representatives,
                    NodeConfig base_config, const sim::ClusterSpec& cluster_a,
-                   const sim::ClusterSpec& cluster_b, const sim::WanSpec& wan);
+                   const sim::ClusterSpec& cluster_b, const sim::WanSpec& wan,
+                   FigureObs fig_obs = {});
 
 }  // namespace fgp::bench

@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/event_engine.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -71,6 +72,68 @@ struct PrefetchDrain {
   ~PrefetchDrain() { drain(); }
 };
 
+/// Sequences one pass's per-node phase completions through either
+/// simulation core (EngineMode). complete() records a `dur`-second
+/// completion for `node` whose phase accumulator is *acc:
+///
+///   PhaseLoop  folds max(*acc, dur) inline, in call order — the
+///              pre-engine reference behaviour, byte for byte.
+///   Event      schedules the completion on the event engine at
+///              now() + dur and defers the fold to drain(), which
+///              dispatches the queue in the canonical total order
+///              (time, seq, node, kind).
+///
+/// Both modes fold max over the same duration set, and max over doubles
+/// is order-insensitive, so the two cores agree bit-for-bit on every
+/// accumulator — the engine-swap contract (DESIGN.md §18).
+class PhaseDriver {
+ public:
+  explicit PhaseDriver(sim::EventEngine* engine) : engine_(engine) {}
+
+  void complete(int node, sim::EventKind kind, double dur, double* acc) {
+    if (engine_ == nullptr) {
+      *acc = std::max(*acc, dur);
+      return;
+    }
+    engine_->schedule_after(dur, node, kind, pending_.size());
+    pending_.push_back({dur, acc});
+  }
+
+  /// Dispatches every pending completion (canonical order) and applies
+  /// its fold. The virtual clock ends at the phase's finish time.
+  void drain() {
+    if (engine_ == nullptr) return;
+    while (!engine_->empty()) {
+      const sim::Event ev = engine_->pop();
+      const Pending& p = pending_[static_cast<std::size_t>(ev.payload)];
+      *p.acc = std::max(*p.acc, p.dur);
+    }
+    pending_.clear();
+  }
+
+  /// Pass boundary: dispatches a Barrier and realigns the virtual clock
+  /// to `time`, the accounting chain's pass cursor (vclock). The chained
+  /// per-phase sums the clock accumulated and the additive
+  /// TimingBreakdown::total() may disagree in the final ulp (FP
+  /// association), so the accounting chain owns the canonical value and
+  /// the engine adopts it here — §18's virtual-clock ownership rule.
+  void barrier(double time) {
+    if (engine_ == nullptr) return;
+    engine_->schedule(std::max(time, engine_->now()), obs::kJobNode,
+                      sim::EventKind::Barrier);
+    (void)engine_->pop();
+    engine_->reset(time);
+  }
+
+ private:
+  struct Pending {
+    double dur;
+    double* acc;
+  };
+  sim::EventEngine* engine_;
+  std::vector<Pending> pending_;
+};
+
 std::vector<NodeVolume> volumes(const repository::ChunkedDataset& ds,
                                 const PartitionMap& pm) {
   std::vector<NodeVolume> v(static_cast<std::size_t>(pm.parts()));
@@ -126,6 +189,18 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
   obs::TraceRecorder* const trace = setup.trace;
   obs::Registry* const metrics = setup.metrics;
   const obs::HostSpan run_span(trace, "runtime", "run");
+
+  // Simulation core (EngineMode): the discrete-event engine sequences the
+  // pass loop by default; PhaseLoop keeps the pre-engine reference fold.
+  std::optional<sim::EventEngine> engine;
+  if (setup.engine == EngineMode::Event) engine.emplace();
+  PhaseDriver phases(engine ? &*engine : nullptr);
+
+  // WAN counter handles, resolved on first use (one map walk per pipe per
+  // run instead of three per node per phase).
+  const sim::WanMeter repo_pipe(metrics, "repo-compute");
+  const sim::WanMeter cache_pipe(metrics, "cache-compute");
+  const sim::WanMeter forward_pipe(metrics, "compute-cache");
   // Virtual-time cursor for the trace: passes (and phases within a pass)
   // are laid out additively, matching TimingBreakdown::total(). With
   // overlap_phases the *elapsed* accounting shrinks but the decomposition
@@ -206,45 +281,46 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
     rec.from_cache = cached_pass;
 
     // --- Phase 1: data retrieval -------------------------------------
+    // Every branch records one DiskSegmentDone completion per node with
+    // chunks to read; the slowest completion is the phase time.
     if (cached_pass && cache_mode == CacheMode::LocalDisk) {
       // Each compute node reads its chunks back from local disk.
-      double t = 0.0;
       for (int j = 0; j < c; ++j) {
         const auto& cache = caches.node(j);
         if (cache.chunk_count() == 0) continue;
-        t = std::max(t, compute_machine.disk.access_time(
-                            cache.virtual_bytes(), cache.chunk_count()));
+        phases.complete(j, sim::EventKind::DiskSegmentDone,
+                        compute_machine.disk.access_time(
+                            cache.virtual_bytes(), cache.chunk_count()),
+                        &rec.timing.disk);
       }
-      rec.timing.disk = t;
     } else if (cached_pass) {
       // The non-local cache site's nodes read their partitions.
       const auto& site = *setup.cache_site;
       const double bw = site.cluster.per_node_retrieval_Bps(cache_nodes);
-      double t = 0.0;
       for (int d = 0; d < cache_nodes; ++d) {
         const auto& v = cache_vol[static_cast<std::size_t>(d)];
         if (v.chunks == 0) continue;
-        t = std::max(t, site.cluster.machine.disk.startup_s +
+        phases.complete(d, sim::EventKind::DiskSegmentDone,
+                        site.cluster.machine.disk.startup_s +
                             static_cast<double>(v.chunks) *
                                 site.cluster.machine.disk.seek_s +
-                            v.virtual_bytes / bw);
+                            v.virtual_bytes / bw,
+                        &rec.timing.disk);
       }
-      rec.timing.disk = t;
     } else {
       // Each data-server node reads its partition; the shared storage
       // backplane caps aggregate throughput.
       const double bw = setup.data_cluster.per_node_retrieval_Bps(n);
-      double t = 0.0;
       for (int d = 0; d < n; ++d) {
         const auto& v = data_vol[static_cast<std::size_t>(d)];
         if (v.chunks == 0) continue;
-        const double td = data_machine.disk.startup_s +
-                          static_cast<double>(v.chunks) *
-                              data_machine.disk.seek_s +
-                          v.virtual_bytes / bw;
-        t = std::max(t, td);
+        phases.complete(d, sim::EventKind::DiskSegmentDone,
+                        data_machine.disk.startup_s +
+                            static_cast<double>(v.chunks) *
+                                data_machine.disk.seek_s +
+                            v.virtual_bytes / bw,
+                        &rec.timing.disk);
       }
-      rec.timing.disk = t;
 
       if (cfg.verify_chunks && result.passes == 0) {
         // Checksums are independent per chunk, so the sweep fans out over
@@ -265,36 +341,41 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
         }
       }
     }
+    phases.drain();
 
     // --- Phase 2: data communication ---------------------------------
+    // Per-node transfer segments (NicSegmentDone). Cache population rides
+    // along on the first pass: its forward transfers and cache writes fold
+    // into cache_tx / cache_tw and are added onto the phase totals once
+    // the phase's event set has drained — the same values, in the same
+    // order, as the reference fold.
+    double cache_tx = 0.0, cache_tw = 0.0;
     if (cached_pass && cache_mode == CacheMode::NonLocalSite) {
       // Cache site -> compute nodes over the cache pipe.
       const auto& site = *setup.cache_site;
-      double t = 0.0;
       for (int d = 0; d < cache_nodes; ++d) {
         const auto& v = cache_vol[static_cast<std::size_t>(d)];
         if (v.chunks == 0) continue;
-        t = std::max(t, sim::metered_transfer_time(
-                            site.wan_to_compute, metrics, "cache-compute",
-                            v.virtual_bytes, v.chunks, cache_nodes,
-                            site.cluster.machine.nic.bandwidth_Bps));
+        phases.complete(d, sim::EventKind::NicSegmentDone,
+                        cache_pipe.transfer(
+                            site.wan_to_compute, v.virtual_bytes, v.chunks,
+                            cache_nodes,
+                            site.cluster.machine.nic.bandwidth_Bps),
+                        &rec.timing.network);
       }
-      rec.timing.network = t;
     } else if (!cached_pass) {
-      double t = 0.0;
       for (int d = 0; d < n; ++d) {
         const auto& v = data_vol[static_cast<std::size_t>(d)];
         if (v.chunks == 0) continue;
-        t = std::max(t, sim::metered_transfer_time(
-                            setup.wan, metrics, "repo-compute",
-                            v.virtual_bytes, v.chunks, n,
-                            data_machine.nic.bandwidth_Bps));
+        phases.complete(d, sim::EventKind::NicSegmentDone,
+                        repo_pipe.transfer(setup.wan, v.virtual_bytes,
+                                           v.chunks, n,
+                                           data_machine.nic.bandwidth_Bps),
+                        &rec.timing.network);
       }
-      rec.timing.network = t;
 
       // Populate the cache during the first pass.
       if (cache_mode == CacheMode::LocalDisk && !caches.warm()) {
-        double tw = 0.0;
         for (int j = 0; j < c; ++j) {
           // Chunk views are by-value handles onto the shared payload slabs:
           // the cache ends up holding the actual data without copying it.
@@ -302,35 +383,40 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
             caches.insert(j, ds.chunk(ci));
           const auto& v = dest_vol[static_cast<std::size_t>(j)];
           if (cfg.charge_cache_write && v.chunks > 0)
-            tw = std::max(tw, compute_machine.disk.access_time(v.virtual_bytes,
-                                                               v.chunks));
+            phases.complete(j, sim::EventKind::DiskSegmentDone,
+                            compute_machine.disk.access_time(v.virtual_bytes,
+                                                             v.chunks),
+                            &cache_tw);
         }
-        rec.timing.disk += tw;
         caches.mark_warm();
       } else if (cache_mode == CacheMode::NonLocalSite && !caches.warm()) {
         // Forward the stream to the cache site and write it there.
         const auto& site = *setup.cache_site;
-        double tx = 0.0, tw = 0.0;
         const double write_bw =
             site.cluster.per_node_retrieval_Bps(cache_nodes);
         for (int d = 0; d < cache_nodes; ++d) {
           const auto& v = cache_vol[static_cast<std::size_t>(d)];
           if (v.chunks == 0) continue;
-          tx = std::max(tx, sim::metered_transfer_time(
-                                site.wan_to_compute, metrics, "compute-cache",
-                                v.virtual_bytes, v.chunks, cache_nodes,
-                                compute_machine.nic.bandwidth_Bps));
+          phases.complete(d, sim::EventKind::NicSegmentDone,
+                          forward_pipe.transfer(
+                              site.wan_to_compute, v.virtual_bytes, v.chunks,
+                              cache_nodes,
+                              compute_machine.nic.bandwidth_Bps),
+                          &cache_tx);
           if (cfg.charge_cache_write)
-            tw = std::max(tw, site.cluster.machine.disk.startup_s +
-                                  static_cast<double>(v.chunks) *
-                                      site.cluster.machine.disk.seek_s +
-                                  v.virtual_bytes / write_bw);
+            phases.complete(d, sim::EventKind::DiskSegmentDone,
+                            site.cluster.machine.disk.startup_s +
+                                static_cast<double>(v.chunks) *
+                                    site.cluster.machine.disk.seek_s +
+                                v.virtual_bytes / write_bw,
+                            &cache_tw);
         }
-        rec.timing.network += tx;
-        rec.timing.disk += tw;
         caches.mark_warm();
       }
     }
+    phases.drain();
+    rec.timing.network += cache_tx;
+    rec.timing.disk += cache_tw;
 
     // --- Phase 3a: parallel local reduction --------------------------
     // Each compute node runs `threads` workers (cluster-of-SMPs support).
@@ -488,13 +574,15 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
     // caller regains control — see PrefetchDrain.
     prefetch_drain.drain();
 
-    double t_local = 0.0;
+    // Work partials fold in node order (FP-ordered); the phase time is the
+    // slowest node's ComputeBlockDone completion.
     for (int j = 0; j < c; ++j) {
       const auto uj = static_cast<std::size_t>(j);
       result.total_work += node_work[uj];
-      t_local = std::max(t_local, node_time[uj]);
+      phases.complete(j, sim::EventKind::ComputeBlockDone, node_time[uj],
+                      &rec.timing.compute_local);
     }
-    rec.timing.compute_local = t_local;
+    phases.drain();
     rec.node_compute.assign(node_time.begin(), node_time.end());
 
     // --- Phase 3b: reduction-object gather + merge (serialized) ------
@@ -592,6 +680,7 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
       metrics->set_max("runtime.max_object_bytes", rec.max_object_bytes);
     }
     vclock += rec.timing.total();
+    phases.barrier(vclock);
 
     result.timing.elapsed += rec.elapsed;
     result.timing.total += rec.timing;
@@ -602,6 +691,7 @@ RunResult Runtime::run(const JobSetup& setup, ReductionKernel& kernel) const {
     result.result = std::move(objects[0]);
   }
 
+  if (engine) engine->flush_counters(metrics);
   return result;
 }
 

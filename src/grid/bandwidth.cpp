@@ -37,25 +37,52 @@ double BandwidthEstimator::mean_Bps() const {
   return sum_ / static_cast<double>(count_);
 }
 
+LinkId LinkMonitor::link(const std::string& repository,
+                         const std::string& compute) {
+  const auto [it, inserted] =
+      slots_.try_emplace(key(repository, compute), estimators_.size());
+  if (inserted) estimators_.emplace_back(alpha_);
+  return LinkId{it->second};
+}
+
+const BandwidthEstimator& LinkMonitor::at(LinkId id) const {
+  FGP_CHECK_MSG(id.index < estimators_.size(),
+                "LinkId " << id.index << " out of range ("
+                          << estimators_.size() << " links)");
+  return estimators_[id.index];
+}
+
 void LinkMonitor::observe(const std::string& repository,
                           const std::string& compute,
                           const TransferObservation& obs) {
-  auto [it, inserted] =
-      links_.try_emplace(key(repository, compute), alpha_);
-  it->second.observe(obs);
+  observe(link(repository, compute), obs);
+}
+
+void LinkMonitor::observe(LinkId id, const TransferObservation& obs) {
+  FGP_CHECK_MSG(id.index < estimators_.size(),
+                "LinkId " << id.index << " out of range ("
+                          << estimators_.size() << " links)");
+  estimators_[id.index].observe(obs);
 }
 
 bool LinkMonitor::knows(const std::string& repository,
                         const std::string& compute) const {
-  return links_.count(key(repository, compute)) > 0;
+  const auto it = slots_.find(key(repository, compute));
+  return it != slots_.end() && knows(LinkId{it->second});
 }
+
+bool LinkMonitor::knows(LinkId id) const { return at(id).has_estimate(); }
 
 double LinkMonitor::estimate_Bps(const std::string& repository,
                                  const std::string& compute) const {
-  const auto it = links_.find(key(repository, compute));
-  FGP_CHECK_MSG(it != links_.end(),
+  const auto it = slots_.find(key(repository, compute));
+  FGP_CHECK_MSG(it != slots_.end(),
                 "no observations for link " << repository << "->" << compute);
-  return it->second.estimate_Bps();
+  return estimate_Bps(LinkId{it->second});
+}
+
+double LinkMonitor::estimate_Bps(LinkId id) const {
+  return at(id).estimate_Bps();
 }
 
 }  // namespace fgp::grid

@@ -50,26 +50,50 @@ class BandwidthEstimator {
   std::size_t count_ = 0;
 };
 
+/// Dense handle for one repository->compute link inside a LinkMonitor.
+/// Resolve once with LinkMonitor::link(), then observe/read in O(1) —
+/// the hot-path alternative to the string-keyed API, whose per-call key
+/// materialization plus map walk is measurable when a scheduler probes
+/// every link of a 1,000-node grid each tick.
+struct LinkId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  bool valid() const { return index != static_cast<std::size_t>(-1); }
+};
+
 /// Per-link estimator registry for a grid: keyed by "repo->compute".
+/// Estimators live in a dense vector; the name map only resolves keys to
+/// slots, so LinkId accessors never touch a string.
 class LinkMonitor {
  public:
   explicit LinkMonitor(double alpha = 0.3) : alpha_(alpha) {}
 
+  /// Resolves (creating if absent) the dense id of a link. Ids are stable
+  /// for the monitor's lifetime and count up from zero in resolution
+  /// order.
+  LinkId link(const std::string& repository, const std::string& compute);
+
   void observe(const std::string& repository, const std::string& compute,
                const TransferObservation& obs);
+  void observe(LinkId id, const TransferObservation& obs);
   /// True when the link has at least one observation.
   bool knows(const std::string& repository, const std::string& compute) const;
+  bool knows(LinkId id) const;
   /// b̂ for the link; throws when unknown.
   double estimate_Bps(const std::string& repository,
                       const std::string& compute) const;
+  double estimate_Bps(LinkId id) const;
+
+  std::size_t link_count() const { return estimators_.size(); }
 
  private:
   static std::string key(const std::string& repository,
                          const std::string& compute) {
     return repository + "->" + compute;
   }
+  const BandwidthEstimator& at(LinkId id) const;
   double alpha_;
-  std::map<std::string, BandwidthEstimator> links_;
+  std::map<std::string, std::size_t> slots_;
+  std::vector<BandwidthEstimator> estimators_;
 };
 
 }  // namespace fgp::grid

@@ -33,7 +33,8 @@ void check_trace_event(ValidationResult& r, const json::Value& ev,
     return;
   }
   const char kind = ph->as_string()[0];
-  if (kind != 'M' && kind != 'B' && kind != 'E' && kind != 'X') {
+  if (kind != 'M' && kind != 'B' && kind != 'E' && kind != 'X' &&
+      kind != 'C') {
     err(r, at + ": unsupported phase '" + ph->as_string() + "'");
     return;
   }
@@ -52,10 +53,23 @@ void check_trace_event(ValidationResult& r, const json::Value& ev,
     if (!finite_number(dur) || dur->as_number() < 0.0)
       err(r, at + ": X event without non-negative \"dur\"");
   }
-  if (kind == 'B' || kind == 'X') {
+  if (kind == 'B' || kind == 'X' || kind == 'C') {
     const json::Value* name = ev.find("name");
     if (name == nullptr || !name->is_string())
       err(r, at + ": " + kind + std::string(" event without a name"));
+  }
+  if (kind == 'C') {
+    // Counter samples carry their series values in args; every value must
+    // be a finite number or the viewer's running series breaks.
+    const json::Value* args = ev.find("args");
+    if (args == nullptr || !args->is_object() || args->as_object().empty()) {
+      err(r, at + ": C event without a non-empty \"args\" object");
+    } else {
+      for (const auto& [key, value] : args->as_object()) {
+        if (!value.is_number() || !std::isfinite(value.as_number()))
+          err(r, at + ": C event series \"" + key + "\" is not finite");
+      }
+    }
   }
 }
 

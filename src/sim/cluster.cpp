@@ -14,6 +14,19 @@ double ClusterSpec::per_node_retrieval_Bps(int active_nodes) const {
   return std::min(own, share);
 }
 
+void InterconnectSpec::validate() const {
+  detail::require_rate(bandwidth_Bps, "InterconnectSpec.bandwidth_Bps");
+  detail::require_nonneg(latency_s, "InterconnectSpec.latency_s");
+}
+
+void ClusterSpec::validate() const {
+  machine.validate();
+  interconnect.validate();
+  detail::require_rate(storage_backplane_Bps,
+                       "ClusterSpec.storage_backplane_Bps");
+  detail::require_count(max_nodes, "ClusterSpec.max_nodes");
+}
+
 bool ClusterSpec::is_ideal() const {
   return machine.disk.seek_s == 0.0 && machine.disk.startup_s == 0.0 &&
          machine.nic.latency_s == 0.0 && interconnect.latency_s == 0.0 &&

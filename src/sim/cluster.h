@@ -20,6 +20,10 @@ struct InterconnectSpec {
   double message_time(double bytes) const {
     return latency_s + bytes / bandwidth_Bps;
   }
+
+  /// Throws util::ConfigError on a non-finite/negative/zero bandwidth or
+  /// non-finite/negative latency.
+  void validate() const;
 };
 
 /// A cluster: N identical machines, an interconnect, and an aggregate
@@ -42,6 +46,10 @@ struct ClusterSpec {
 
   /// True when every non-ideality is zeroed (used by model-exactness tests).
   bool is_ideal() const;
+
+  /// Throws util::ConfigError when the machine, interconnect, backplane
+  /// rate or node count is invalid (see MachineSpec::validate).
+  void validate() const;
 };
 
 /// The paper's base cluster: 700 MHz Pentium machines on Myrinet.

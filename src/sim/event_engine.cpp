@@ -1,0 +1,225 @@
+#include "sim/event_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace fgp::sim {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::ComputeBlockDone: return "compute-block-done";
+    case EventKind::DiskSegmentDone: return "disk-segment-done";
+    case EventKind::NicSegmentDone: return "nic-segment-done";
+    case EventKind::WanAcquire: return "wan-acquire";
+    case EventKind::WanSegmentDone: return "wan-segment-done";
+    case EventKind::WanRelease: return "wan-release";
+    case EventKind::Barrier: return "barrier";
+  }
+  return "unknown";
+}
+
+bool event_order_less(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  if (a.node != b.node) return a.node < b.node;
+  return static_cast<std::uint8_t>(a.kind) < static_cast<std::uint8_t>(b.kind);
+}
+
+std::uint64_t EventEngine::schedule(double time, int node, EventKind kind,
+                                    std::uint64_t payload) {
+  FGP_CHECK_MSG(std::isfinite(time),
+                "event time must be finite, got " << time);
+  FGP_CHECK_MSG(time >= now_, "virtual time runs forward: event at "
+                                  << time << " but clock is at " << now_);
+  Event e;
+  e.time = time;
+  e.seq = next_seq_++;
+  e.node = node;
+  e.kind = kind;
+  e.payload = payload;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  ++scheduled_;
+  heap_peak_ = std::max(heap_peak_, heap_.size());
+  return e.seq;
+}
+
+std::uint64_t EventEngine::schedule_after(double delay, int node,
+                                          EventKind kind,
+                                          std::uint64_t payload) {
+  FGP_CHECK_MSG(std::isfinite(delay) && delay >= 0.0,
+                "event delay must be finite and non-negative, got " << delay);
+  return schedule(now_ + delay, node, kind, payload);
+}
+
+const Event& EventEngine::peek() const {
+  FGP_CHECK_MSG(!heap_.empty(), "peek() on an empty event engine");
+  return heap_.front();
+}
+
+Event EventEngine::pop() {
+  FGP_CHECK_MSG(!heap_.empty(), "pop() on an empty event engine");
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  const Event e = heap_.back();
+  heap_.pop_back();
+  now_ = e.time;
+  ++dispatched_;
+  return e;
+}
+
+void EventEngine::reset(double time) {
+  FGP_CHECK_MSG(heap_.empty(), "reset() with " << heap_.size()
+                                               << " events still pending");
+  FGP_CHECK_MSG(std::isfinite(time), "reset time must be finite");
+  now_ = time;
+}
+
+void EventEngine::flush_counters(obs::Registry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->add("engine.events_scheduled", static_cast<double>(scheduled_),
+               obs::Domain::Host);
+  metrics->add("engine.events_dispatched", static_cast<double>(dispatched_),
+               obs::Domain::Host);
+  metrics->set_max("engine.heap_peak", static_cast<double>(heap_peak_),
+                   obs::Domain::Host);
+}
+
+// --- SharedPipe ----------------------------------------------------------
+
+namespace {
+
+// Per-pipe payload tag so several pipes can share one engine without
+// claiming each other's events. Tags never influence event *order* (the
+// canonical key ignores payloads), so the process-wide counter cannot
+// perturb determinism.
+std::uint64_t next_pipe_tag() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed) & 0xFFFF;
+}
+
+constexpr std::uint32_t kEpochBits = 16;
+constexpr std::uint32_t kEpochMax = (1u << kEpochBits) - 1;
+
+}  // namespace
+
+SharedPipe::SharedPipe(const WanSpec& spec, std::string name)
+    : spec_(spec), name_(std::move(name)), tag_(next_pipe_tag()) {
+  spec_.validate();
+}
+
+std::uint64_t SharedPipe::pack(std::uint64_t id, std::uint32_t epoch) {
+  return (id & 0xFFFFFFFFull) | (static_cast<std::uint64_t>(epoch) << 32);
+}
+
+bool SharedPipe::owns(std::uint64_t payload, std::uint64_t* id,
+                      std::uint32_t* epoch) const {
+  if ((payload >> 48) != tag_) return false;
+  *id = payload & 0xFFFFFFFFull;
+  *epoch = static_cast<std::uint32_t>((payload >> 32) & kEpochMax);
+  return *id < flows_.size();
+}
+
+std::uint64_t SharedPipe::begin_transfer(EventEngine& engine, double start,
+                                         int node, double bytes,
+                                         std::uint64_t messages,
+                                         double nic_Bps) {
+  FGP_CHECK_MSG(std::isfinite(bytes) && bytes >= 0.0,
+                "transfer bytes must be finite and non-negative");
+  FGP_CHECK_MSG(std::isfinite(nic_Bps) && nic_Bps > 0.0,
+                "sender NIC rate must be finite and positive");
+  const std::uint64_t id = flows_.size();
+  FGP_CHECK_MSG(id < 0xFFFFFFFFull, "transfer id space exhausted");
+  Flow f;
+  f.node = node;
+  f.nic_Bps = nic_Bps;
+  f.bytes_total = bytes;
+  f.remaining_bytes = bytes;
+  f.latency_left_s = static_cast<double>(messages) * spec_.latency_s;
+  f.start_time = start;
+  flows_.push_back(f);
+  engine.schedule(start, node, EventKind::WanAcquire,
+                  (tag_ << 48) | pack(id, 0));
+  return id;
+}
+
+void SharedPipe::recompute_shares(EventEngine& engine) {
+  // Fair-share recomputation at an event boundary: advance every active
+  // flow to now at its old rate, then install the new rate and reschedule
+  // its completion. Flows are visited in ascending id order, so the FP
+  // accumulation order is pinned regardless of which event triggered the
+  // recompute.
+  const double now = engine.now();
+  const int senders = static_cast<int>(active_.size());
+  ++recomputes_;
+  for (const std::uint64_t id : active_) {
+    Flow& f = flows_[static_cast<std::size_t>(id)];
+    double dt = now - f.last_update;
+    if (dt > 0.0) {
+      const double lat = std::min(dt, f.latency_left_s);
+      f.latency_left_s -= lat;
+      dt -= lat;
+      if (dt > 0.0 && f.rate_Bps > 0.0)
+        f.remaining_bytes =
+            std::max(0.0, f.remaining_bytes - f.rate_Bps * dt);
+    }
+    f.last_update = now;
+    f.rate_Bps = spec_.per_sender_bandwidth(senders, f.nic_Bps);
+    FGP_CHECK_MSG(f.epoch < kEpochMax,
+                  "transfer rescheduled too many times (epoch overflow)");
+    ++f.epoch;
+    const double done_in = f.latency_left_s + f.remaining_bytes / f.rate_Bps;
+    engine.schedule(now + done_in, f.node, EventKind::WanSegmentDone,
+                    (tag_ << 48) | pack(id, f.epoch));
+  }
+}
+
+std::optional<SharedPipe::Completion> SharedPipe::on_event(
+    EventEngine& engine, const Event& ev) {
+  std::uint64_t id = 0;
+  std::uint32_t epoch = 0;
+  if (!owns(ev.payload, &id, &epoch)) return std::nullopt;
+  Flow& f = flows_[static_cast<std::size_t>(id)];
+
+  switch (ev.kind) {
+    case EventKind::WanAcquire: {
+      FGP_CHECK_MSG(!f.active && !f.done, "double acquire on one transfer");
+      f.active = true;
+      f.last_update = engine.now();
+      active_.insert(
+          std::upper_bound(active_.begin(), active_.end(), id), id);
+      recompute_shares(engine);
+      return std::nullopt;
+    }
+    case EventKind::WanSegmentDone: {
+      // Stale reschedule (an earlier epoch) or an already-finished flow:
+      // lazy invalidation drops it here.
+      if (!f.active || f.done || epoch != f.epoch) return std::nullopt;
+      engine.schedule(engine.now(), f.node, EventKind::WanRelease,
+                      (tag_ << 48) | pack(id, f.epoch));
+      return std::nullopt;
+    }
+    case EventKind::WanRelease: {
+      if (f.done || epoch != f.epoch) return std::nullopt;
+      f.done = true;
+      f.active = false;
+      active_.erase(
+          std::lower_bound(active_.begin(), active_.end(), id));
+      if (!active_.empty()) recompute_shares(engine);
+      Completion c;
+      c.transfer = id;
+      c.node = f.node;
+      c.start_time = f.start_time;
+      c.end_time = engine.now();
+      c.bytes = f.bytes_total;
+      return c;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace fgp::sim

@@ -1,8 +1,54 @@
 #include "sim/machine.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace fgp::sim {
+
+namespace detail {
+
+void require_rate(double v, const char* what) {
+  if (!std::isfinite(v) || v <= 0.0)
+    throw util::ConfigError(std::string(what) +
+                            " must be a finite positive rate, got " +
+                            std::to_string(v));
+}
+
+void require_nonneg(double v, const char* what) {
+  if (!std::isfinite(v) || v < 0.0)
+    throw util::ConfigError(std::string(what) +
+                            " must be finite and non-negative, got " +
+                            std::to_string(v));
+}
+
+void require_count(int v, const char* what) {
+  if (v < 1)
+    throw util::ConfigError(std::string(what) + " must be >= 1, got " +
+                            std::to_string(v));
+}
+
+}  // namespace detail
+
+void DiskSpec::validate() const {
+  detail::require_rate(bandwidth_Bps, "DiskSpec.bandwidth_Bps");
+  detail::require_count(disks, "DiskSpec.disks");
+  detail::require_nonneg(seek_s, "DiskSpec.seek_s");
+  detail::require_nonneg(startup_s, "DiskSpec.startup_s");
+}
+
+void NicSpec::validate() const {
+  detail::require_rate(bandwidth_Bps, "NicSpec.bandwidth_Bps");
+  detail::require_nonneg(latency_s, "NicSpec.latency_s");
+}
+
+void MachineSpec::validate() const {
+  detail::require_rate(cpu_flops, "MachineSpec.cpu_flops");
+  detail::require_rate(mem_Bps, "MachineSpec.mem_Bps");
+  detail::require_count(cores, "MachineSpec.cores");
+  disk.validate();
+  nic.validate();
+}
 
 double DiskSpec::access_time(double bytes, std::uint64_t chunks) const {
   FGP_CHECK(bytes >= 0.0);

@@ -46,12 +46,21 @@ struct DiskSpec {
   double effective_bandwidth() const { return bandwidth_Bps * disks; }
   /// Time to read (or write) `chunks` chunks totalling `bytes` bytes.
   double access_time(double bytes, std::uint64_t chunks) const;
+
+  /// Throws util::ConfigError on non-finite, negative or zero rates (and
+  /// non-finite/negative fixed costs): a NaN bandwidth poisons every
+  /// virtual-time charge downstream, so specs are rejected at the door.
+  void validate() const;
 };
 
 /// Network interface of one node.
 struct NicSpec {
   double bandwidth_Bps = 100e6;  ///< link bandwidth, bytes/s
   double latency_s = 50e-6;      ///< per-message latency
+
+  /// Throws util::ConfigError on non-finite/negative/zero bandwidth or a
+  /// non-finite/negative latency.
+  void validate() const;
 };
 
 /// A machine type. All nodes of a cluster share one spec (homogeneous
@@ -67,7 +76,20 @@ struct MachineSpec {
   /// Virtual seconds to execute `w` on one node (roofline-style additive
   /// model: compute time plus memory time).
   double compute_time(const Work& w) const;
+
+  /// Throws util::ConfigError unless every rate is finite and positive,
+  /// every fixed cost finite and non-negative, and every count >= 1.
+  /// Validates the nested disk and nic specs too.
+  void validate() const;
 };
+
+namespace detail {
+/// Shared numeric-field guards for the spec validators. `what` names the
+/// field in the ConfigError message (e.g. "MachineSpec.cpu_flops").
+void require_rate(double v, const char* what);     ///< finite and > 0
+void require_nonneg(double v, const char* what);   ///< finite and >= 0
+void require_count(int v, const char* what);       ///< >= 1
+}  // namespace detail
 
 /// Reference machine of the paper's base cluster: 700 MHz Pentium III,
 /// Myrinet LANai 7.0.

@@ -1,12 +1,25 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "obs/metrics.h"
+#include "sim/machine.h"
 #include "util/check.h"
 
 namespace fgp::sim {
+
+void WanSpec::validate() const {
+  detail::require_rate(per_link_Bps, "WanSpec.per_link_Bps");
+  detail::require_rate(aggregate_cap_Bps, "WanSpec.aggregate_cap_Bps");
+  detail::require_nonneg(latency_s, "WanSpec.latency_s");
+  if (!std::isfinite(protocol_overhead) || protocol_overhead < 0.0 ||
+      protocol_overhead >= 1.0)
+    throw util::ConfigError(
+        "WanSpec.protocol_overhead must be in [0, 1), got " +
+        std::to_string(protocol_overhead));
+}
 
 double WanSpec::per_sender_bandwidth(int senders, double sender_nic_Bps) const {
   FGP_CHECK_MSG(senders > 0, "need at least one sender");
@@ -33,6 +46,27 @@ double metered_transfer_time(const WanSpec& wan, obs::Registry* metrics,
     metrics->add(base + ".bytes", bytes);
     metrics->add(base + ".messages", static_cast<double>(messages));
     metrics->add(base + ".transfers", 1.0);
+  }
+  return t;
+}
+
+WanMeter::WanMeter(obs::Registry* metrics, std::string_view pipe)
+    : registry_(metrics), base_("wan." + std::string(pipe)) {}
+
+double WanMeter::transfer(const WanSpec& wan, double bytes,
+                          std::uint64_t messages, int senders,
+                          double sender_nic_Bps) const {
+  const double t = wan.transfer_time(bytes, messages, senders, sender_nic_Bps);
+  if (registry_ != nullptr) {
+    if (!resolved_) {
+      bytes_ = obs::Registry::counter(registry_, base_ + ".bytes");
+      messages_ = obs::Registry::counter(registry_, base_ + ".messages");
+      transfers_ = obs::Registry::counter(registry_, base_ + ".transfers");
+      resolved_ = true;
+    }
+    bytes_.add(bytes);
+    messages_.add(static_cast<double>(messages));
+    transfers_.add(1.0);
   }
   return t;
 }

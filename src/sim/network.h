@@ -11,11 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
-namespace fgp::obs {
-class Registry;
-}
+#include "obs/metrics.h"
 
 namespace fgp::sim {
 
@@ -38,6 +37,12 @@ struct WanSpec {
   /// `bytes` bytes split over `messages` messages.
   double transfer_time(double bytes, std::uint64_t messages, int senders,
                        double sender_nic_Bps) const;
+
+  /// Throws util::ConfigError on non-finite, negative or zero rates
+  /// (per_link_Bps, aggregate_cap_Bps), a non-finite/negative latency, or
+  /// a protocol_overhead outside [0, 1) — an overhead of 1 zeroes the
+  /// effective bandwidth and every transfer takes forever.
+  void validate() const;
 };
 
 /// transfer_time plus metric accounting. When `metrics` is non-null, bumps
@@ -46,10 +51,46 @@ struct WanSpec {
 /// (`pipe` names the logical link, e.g. "repo-compute" or "cache-compute").
 /// Byte/message counts are integral, so concurrent recording stays exact;
 /// with a null registry this is exactly WanSpec::transfer_time.
+///
+/// Each call materializes three metric names and walks the registry map
+/// three times. Fine for a one-off; inside a per-node phase loop use a
+/// WanMeter, which resolves the handles once.
 double metered_transfer_time(const WanSpec& wan, obs::Registry* metrics,
                              std::string_view pipe, double bytes,
                              std::uint64_t messages, int senders,
                              double sender_nic_Bps);
+
+/// Cached counter handles for one logical WAN pipe — the flat replacement
+/// for metered_transfer_time's per-call string building and associative
+/// lookups (three concats + three O(log n) map walks per node per phase,
+/// which dominates the accounting cost at 1,000+ nodes). Handles resolve
+/// on the first transfer(), so a pipe that never moves a byte never
+/// creates its metrics, and afterwards every call is a lock plus one
+/// accumulation per counter. Records the same counters in the same order
+/// with the same values as metered_transfer_time, so metric exports are
+/// byte-identical. Not safe to share one meter across threads (the
+/// runtime meters from its master thread only).
+class WanMeter {
+ public:
+  /// A disconnected meter: transfer() is exactly WanSpec::transfer_time.
+  WanMeter() = default;
+
+  /// Meters wan.<pipe>.{bytes,messages,transfers} on `metrics`.
+  /// Null-registry safe (yields a disconnected meter).
+  WanMeter(obs::Registry* metrics, std::string_view pipe);
+
+  /// WanSpec::transfer_time plus the three counter bumps.
+  double transfer(const WanSpec& wan, double bytes, std::uint64_t messages,
+                  int senders, double sender_nic_Bps) const;
+
+ private:
+  obs::Registry* registry_ = nullptr;
+  std::string base_;
+  mutable obs::Registry::Counter bytes_;
+  mutable obs::Registry::Counter messages_;
+  mutable obs::Registry::Counter transfers_;
+  mutable bool resolved_ = false;
+};
 
 /// Convenience constructors matching the paper's setups.
 WanSpec wan_kbps(double kbps);   ///< e.g. wan_kbps(500), wan_kbps(250)

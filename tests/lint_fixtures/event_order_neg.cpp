@@ -1,0 +1,52 @@
+// event-order negative fixture: every heap/sort over sim::Event values
+// names a canonical comparator, and ordering of non-event data needs no
+// comparator at all. Analyzed under the virtual path src/sim/fixture.cpp;
+// tests/test_fgpcheck.cpp asserts zero findings.
+#include <algorithm>
+#include <vector>
+
+namespace fgp::sim {
+
+struct Event {
+  double time = 0.0;
+  unsigned long long seq = 0;
+  int node = -1;
+  int kind = 0;
+};
+
+inline bool event_order_less(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    return event_order_less(b, a);
+  }
+};
+
+struct EventBefore {
+  bool operator()(const Event& a, const Event& b) const {
+    return event_order_less(a, b);
+  }
+};
+
+inline void canonical_heap() {
+  std::vector<Event> heap;
+  heap.push_back({});
+  std::push_heap(heap.begin(), heap.end(), EventAfter{});
+  std::pop_heap(heap.begin(), heap.end(), EventAfter{});
+}
+
+inline void canonical_sort() {
+  std::vector<Event> pending;
+  std::sort(pending.begin(), pending.end(), EventBefore{});
+  std::stable_sort(pending.begin(), pending.end(), event_order_less);
+}
+
+inline void non_event_sort() {
+  std::vector<int> xs = {3, 1, 2};
+  std::sort(xs.begin(), xs.end());  // not an event container: fine
+}
+
+}  // namespace fgp::sim

@@ -1,0 +1,37 @@
+// event-order positive fixture: heaps and sorts over sim::Event values
+// that never name a canonical tie-break comparator. Analyzed under the
+// virtual path src/sim/fixture.cpp (the rule is scoped to src/sim);
+// expected findings are pinned in tests/test_fgpcheck.cpp.
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace fgp::sim {
+
+struct Event {
+  double time = 0.0;
+  unsigned long long seq = 0;
+  int node = -1;
+  int kind = 0;
+};
+
+inline void default_heap_order() {
+  std::vector<Event> heap;
+  heap.push_back({});
+  std::push_heap(heap.begin(), heap.end());  // flagged: std::less on Event
+}
+
+inline void time_only_sort() {
+  std::vector<Event> pending;
+  std::sort(pending.begin(), pending.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+inline void default_priority_queue() {
+  std::priority_queue<Event, std::vector<Event>,
+                      bool (*)(const Event&, const Event&)>
+      q{nullptr};
+  (void)q;
+}
+
+}  // namespace fgp::sim

@@ -72,5 +72,35 @@ TEST(LinkMonitorTest, UnknownLinkThrows) {
   EXPECT_THROW(monitor.estimate_Bps("a", "b"), util::Error);
 }
 
+TEST(LinkMonitorTest, DenseIdMatchesStringPath) {
+  LinkMonitor monitor;
+  const LinkId ab = monitor.link("repo-a", "hpc");
+  const LinkId ba = monitor.link("repo-b", "hpc");
+  ASSERT_TRUE(ab.valid());
+  ASSERT_TRUE(ba.valid());
+  EXPECT_NE(ab.index, ba.index);
+  // Resolving again returns the same slot.
+  EXPECT_EQ(monitor.link("repo-a", "hpc").index, ab.index);
+  EXPECT_EQ(monitor.link_count(), 2u);
+
+  // A resolved-but-silent link is not "known" yet.
+  EXPECT_FALSE(monitor.knows(ab));
+  EXPECT_FALSE(monitor.knows("repo-a", "hpc"));
+
+  monitor.observe(ab, {0.0, 100e6, 10.0});
+  monitor.observe("repo-a", "hpc", {1.0, 100e6, 10.0});
+  EXPECT_TRUE(monitor.knows(ab));
+  // Both surfaces read the same estimator.
+  EXPECT_DOUBLE_EQ(monitor.estimate_Bps(ab),
+                   monitor.estimate_Bps("repo-a", "hpc"));
+  EXPECT_DOUBLE_EQ(monitor.estimate_Bps(ab), 10e6);
+}
+
+TEST(LinkMonitorTest, InvalidDenseIdThrows) {
+  LinkMonitor monitor;
+  EXPECT_THROW(monitor.estimate_Bps(LinkId{}), util::Error);
+  EXPECT_THROW(monitor.observe(LinkId{7}, {0.0, 1.0, 1.0}), util::Error);
+}
+
 }  // namespace
 }  // namespace fgp::grid

@@ -1,0 +1,371 @@
+// Engine-swap bit-identity: the discrete-event core (EngineMode::Event)
+// and the reference phase loop (EngineMode::PhaseLoop) must be
+// indistinguishable byte-for-byte — same reduction-object bits, same
+// virtual-time components, same deterministic trace/metrics exports, and
+// same residual reports — across every figure-style workload shape and at
+// host pools 0 (serial), 2 and 8 (DESIGN.md §18). Any divergence means
+// the event queue's dispatch order leaked into an accounting fold.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "apps/vortex.h"
+#include "core/ipc_probe.h"
+#include "core/predictor.h"
+#include "core/profile.h"
+#include "core/residuals.h"
+#include "datagen/flowfield.h"
+#include "datagen/points.h"
+#include "freeride/runtime.h"
+#include "helpers.h"
+#include "obs/metrics.h"
+#include "obs/residual.h"
+#include "obs/trace.h"
+#include "sim/cluster.h"
+#include "sim/network.h"
+#include "util/serial.h"
+
+namespace fgp {
+namespace {
+
+// Pool sizes the swap must hold under: 0 = the serial Runtime(), then an
+// owned pool of 2 and of 8 host threads.
+constexpr std::size_t kPools[] = {0, 2, 8};
+
+struct Scenario {
+  std::string name;
+  std::function<std::unique_ptr<freeride::ReductionKernel>()> kernel;
+  std::function<freeride::JobSetup()> setup;  ///< engine/sinks left unset
+};
+
+/// Everything one run exports, reduced to bytes so equality is
+/// bit-identity: the serialized reduction object, every timing double
+/// (memcmp'd, so NaN or signed-zero drift is caught), and the
+/// deterministic trace/metrics JSON.
+struct SwapArtifacts {
+  std::vector<std::uint8_t> object_bytes;
+  std::vector<double> doubles;
+  int passes = 0;
+  freeride::CacheMode cache_mode = freeride::CacheMode::None;
+  std::string trace_json;
+  std::string metrics_json;
+
+  void add(double v) { doubles.push_back(v); }
+};
+
+void expect_identical(const SwapArtifacts& a, const SwapArtifacts& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.passes, b.passes) << label;
+  EXPECT_EQ(a.cache_mode, b.cache_mode) << label;
+  EXPECT_EQ(a.object_bytes, b.object_bytes) << label << ": object bytes";
+  ASSERT_EQ(a.doubles.size(), b.doubles.size()) << label;
+  for (std::size_t i = 0; i < a.doubles.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a.doubles[i], &b.doubles[i], sizeof(double)), 0)
+        << label << ": timing double #" << i << " (" << a.doubles[i]
+        << " vs " << b.doubles[i] << ")";
+  }
+  EXPECT_EQ(a.trace_json, b.trace_json) << label << ": trace export";
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << label << ": metrics export";
+}
+
+SwapArtifacts run_once(const Scenario& s, freeride::EngineMode mode,
+                       std::size_t pool) {
+  obs::TraceRecorder trace;
+  obs::Registry metrics;
+  freeride::JobSetup setup = s.setup();
+  setup.engine = mode;
+  setup.trace = &trace;
+  setup.metrics = &metrics;
+  auto kernel = s.kernel();
+  const freeride::RunResult result =
+      pool == 0 ? freeride::Runtime().run(setup, *kernel)
+                : freeride::Runtime(pool).run(setup, *kernel);
+
+  SwapArtifacts art;
+  util::ByteWriter w;
+  result.result->serialize(w);
+  art.object_bytes = w.take();
+  art.passes = result.passes;
+  art.cache_mode = result.cache_mode;
+
+  art.add(result.timing.elapsed);
+  art.add(result.timing.max_object_bytes);
+  art.add(result.timing.total.disk);
+  art.add(result.timing.total.network);
+  art.add(result.timing.total.compute_local);
+  art.add(result.timing.total.ro_comm);
+  art.add(result.timing.total.global_red);
+  art.add(result.total_work.flops);
+  art.add(result.total_work.bytes);
+  for (const auto& pass : result.timing.passes) {
+    art.add(pass.elapsed);
+    art.add(pass.max_object_bytes);
+    art.add(pass.timing.disk);
+    art.add(pass.timing.network);
+    art.add(pass.timing.compute_local);
+    art.add(pass.timing.ro_comm);
+    art.add(pass.timing.global_red);
+    for (const double nc : pass.node_compute) art.add(nc);
+  }
+
+  // Deterministic-domain exports only: the event engine's own counters
+  // live in the host domain precisely so the swap stays byte-clean here.
+  art.trace_json = trace.to_chrome_json(false);
+  art.metrics_json = metrics.to_json(false);
+  return art;
+}
+
+/// The swap contract for one scenario: at every pool size, Event and
+/// PhaseLoop agree byte-for-byte; and (cheap extra) Event stays
+/// bit-identical across pool sizes, so the engine did not break the
+/// existing host-parallelism determinism contract.
+void check_swap(const Scenario& s) {
+  std::vector<SwapArtifacts> event_runs;
+  for (const std::size_t pool : kPools) {
+    SwapArtifacts ev = run_once(s, freeride::EngineMode::Event, pool);
+    SwapArtifacts ph = run_once(s, freeride::EngineMode::PhaseLoop, pool);
+    expect_identical(ev, ph,
+                     s.name + " event-vs-phaseloop @pool=" +
+                         std::to_string(pool));
+    event_runs.push_back(std::move(ev));
+  }
+  for (std::size_t i = 1; i < event_runs.size(); ++i) {
+    expect_identical(event_runs[0], event_runs[i],
+                     s.name + " event pool=0 vs pool=" +
+                         std::to_string(kPools[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload builders (reduced-scale versions of the figure workloads).
+
+datagen::PointsDataset kmeans_points(std::uint64_t seed) {
+  datagen::PointsSpec spec;
+  spec.num_points = 2000;
+  spec.dim = 4;
+  spec.num_components = 3;
+  spec.points_per_chunk = 100;
+  spec.seed = seed;
+  return datagen::generate_points(spec);
+}
+
+Scenario kmeans_scenario(std::string name,
+                         const datagen::PointsDataset* data,
+                         std::function<freeride::JobSetup()> setup,
+                         int fixed_passes = 0) {
+  Scenario s;
+  s.name = std::move(name);
+  s.kernel = [data, fixed_passes] {
+    apps::KMeansParams params;
+    params.k = 3;
+    params.dim = 4;
+    params.initial_centers =
+        apps::initial_centers_from_dataset(data->dataset, 3, 4);
+    if (fixed_passes > 0) params.fixed_passes = fixed_passes;
+    return std::make_unique<apps::KMeansKernel>(params);
+  };
+  s.setup = std::move(setup);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(EngineSwap, KMeansPentiumGrid) {
+  // fig02-style: iterative k-means on the Pentium/Myrinet cluster across
+  // grid corners 1-1, 2-4 and 4-8.
+  const auto data = kmeans_points(42);
+  for (const auto& [n, c] : {std::pair{1, 1}, {2, 4}, {4, 8}}) {
+    check_swap(kmeans_scenario(
+        "kmeans-pentium-" + std::to_string(n) + "-" + std::to_string(c),
+        &data, [&data, n = n, c = c] {
+          return testing::pentium_setup(&data.dataset, n, c);
+        }));
+  }
+}
+
+TEST(EngineSwap, KMeansOpteronCluster) {
+  // fig11-style heterogeneous target: same workload on the
+  // Opteron/Infiniband cluster.
+  const auto data = kmeans_points(7);
+  check_swap(kmeans_scenario("kmeans-opteron-4-8", &data, [&data] {
+    auto setup = testing::pentium_setup(&data.dataset, 4, 8);
+    setup.data_cluster = sim::cluster_opteron_infiniband();
+    setup.compute_cluster = sim::cluster_opteron_infiniband();
+    return setup;
+  }));
+}
+
+TEST(EngineSwap, KMeansSlowWan) {
+  // fig08-style bandwidth change: a 500 Kbps shared pipe makes network
+  // time dominant, so WAN accounting order differences would show here.
+  const auto data = kmeans_points(9);
+  check_swap(kmeans_scenario("kmeans-wan500k-2-4", &data, [&data] {
+    auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+    setup.wan = sim::wan_kbps(500);
+    return setup;
+  }, /*fixed_passes=*/3));
+}
+
+TEST(EngineSwap, VortexDetection) {
+  // fig05-style single-pass mining on a flow field.
+  datagen::FlowSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  spec.num_vortices = 3;
+  spec.rows_per_chunk = 8;
+  spec.seed = 11;
+  const auto flow = datagen::generate_flowfield(spec);
+  Scenario s;
+  s.name = "vortex-pentium-3-6";
+  s.kernel = [] {
+    return std::make_unique<apps::VortexKernel>(apps::VortexParams{});
+  };
+  s.setup = [&flow] { return testing::pentium_setup(&flow.dataset, 3, 6); };
+  check_swap(s);
+}
+
+TEST(EngineSwap, LocalDiskCaching) {
+  // abl01-style: multi-pass job with compute-side caching; later passes
+  // are served from local disk, exercising the cache populate/read paths.
+  const auto data = kmeans_points(13);
+  check_swap(kmeans_scenario("kmeans-cache-local-2-4", &data, [&data] {
+    auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+    setup.config.enable_caching = true;
+    return setup;
+  }, /*fixed_passes=*/4));
+}
+
+TEST(EngineSwap, NonLocalSiteCaching) {
+  // ext02-style: local capacity too small, so the runtime forwards chunks
+  // to a non-local cache site over its own pipe (the forward/cache-read
+  // transfers ride distinct SharedPipes in Event mode).
+  const auto data = kmeans_points(17);
+  check_swap(kmeans_scenario("kmeans-cache-site-2-4", &data, [&data] {
+    auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+    setup.config.enable_caching = true;
+    setup.config.local_cache_capacity_bytes = 1.0;  // force the site
+    freeride::CacheSiteSetup site;
+    site.cluster = sim::cluster_pentium_myrinet();
+    site.nodes = 2;
+    site.wan_to_compute = sim::wan_mbps(200.0);
+    setup.cache_site = site;
+    return setup;
+  }, /*fixed_passes=*/4));
+}
+
+TEST(EngineSwap, OverlappedPhases) {
+  // ext03-style: pipelined retrieval/movement/reduction. Elapsed time is
+  // a max-composition instead of a sum — exactly where an event-ordering
+  // bug would change bits.
+  const auto data = kmeans_points(19);
+  check_swap(kmeans_scenario("kmeans-overlap-2-4", &data, [&data] {
+    auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+    setup.config.overlap_phases = true;
+    return setup;
+  }, /*fixed_passes=*/3));
+}
+
+TEST(EngineSwap, StragglerInjection) {
+  // abl05-style: two nodes run 3x slower, so per-node compute times are
+  // heterogeneous and the phase barrier is decided by the slow tail.
+  const auto data = kmeans_points(23);
+  check_swap(kmeans_scenario("kmeans-stragglers-2-4", &data, [&data] {
+    auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+    setup.config.straggler_count = 2;
+    setup.config.straggler_slowdown = 3.0;
+    return setup;
+  }, /*fixed_passes=*/3));
+}
+
+TEST(EngineSwap, SmpStrategies) {
+  // ext01-style cluster-of-SMPs: 4 threads per node under each strategy.
+  const auto data = kmeans_points(29);
+  for (const auto strategy :
+       {freeride::SmpStrategy::FullReplication,
+        freeride::SmpStrategy::FullLocking,
+        freeride::SmpStrategy::CacheSensitiveLocking}) {
+    check_swap(kmeans_scenario(
+        "kmeans-smp-" + std::to_string(static_cast<int>(strategy)), &data,
+        [&data, strategy] {
+          auto setup = testing::pentium_setup(&data.dataset, 2, 4);
+          setup.compute_cluster.machine.cores = 4;
+          setup.config.threads_per_node = 4;
+          setup.config.smp_strategy = strategy;
+          return setup;
+        },
+        /*fixed_passes=*/3));
+  }
+}
+
+TEST(EngineSwap, SumKernelIdealCluster) {
+  // Frictionless baseline: on the ideal cluster most component times are
+  // zero, so the swap also holds at the degenerate corner (zero-duration
+  // events, signed-zero accumulation).
+  const auto ds = testing::make_sum_dataset(24, 50);
+  Scenario s;
+  s.name = "sum-ideal-2-4";
+  s.kernel = [] {
+    testing::SumKernelParams p;
+    p.passes = 3;
+    return std::make_unique<testing::SumKernel>(p);
+  };
+  s.setup = [&ds] { return testing::ideal_setup(&ds, 2, 4); };
+  check_swap(s);
+}
+
+TEST(EngineSwap, ResidualReportsMatch) {
+  // The residual export (prediction-vs-exact decomposition) is the last
+  // deterministic artifact a figure emits; pin it across the swap too.
+  const auto data = kmeans_points(31);
+  const auto report_for = [&](freeride::EngineMode mode) {
+    auto make_setup = [&data](int n, int c) {
+      auto setup = testing::pentium_setup(&data.dataset, n, c);
+      return setup;
+    };
+    // Base profile at 1-1 under the mode being tested.
+    auto base_setup = make_setup(1, 1);
+    base_setup.engine = mode;
+    apps::KMeansParams params;
+    params.k = 3;
+    params.dim = 4;
+    params.initial_centers =
+        apps::initial_centers_from_dataset(data.dataset, 3, 4);
+    params.fixed_passes = 3;
+    apps::KMeansKernel profile_kernel(params);
+    const core::Profile base =
+        core::ProfileCollector::collect(base_setup, profile_kernel, nullptr);
+
+    core::PredictorOptions opts;
+    opts.ipc = core::measure_ipc(base_setup.compute_cluster);
+    const core::Predictor predictor(base, opts);
+
+    obs::ResidualReport report;
+    report.set_sweep("engine-swap");
+    report.set_model("global-reduction");
+    for (const auto& [n, c] : {std::pair{1, 2}, {2, 4}, {4, 8}}) {
+      auto setup = make_setup(n, c);
+      setup.engine = mode;
+      apps::KMeansKernel kernel(params);
+      const auto actual = freeride::Runtime().run(setup, kernel);
+      core::ProfileConfig target = base.config;
+      target.data_nodes = n;
+      target.compute_nodes = c;
+      const core::PredictedTime predicted = predictor.predict(target);
+      report.add(core::make_residual_point(
+          std::to_string(n) + "-" + std::to_string(c), predicted,
+          actual.timing.total));
+    }
+    return report.to_json();
+  };
+
+  EXPECT_EQ(report_for(freeride::EngineMode::Event),
+            report_for(freeride::EngineMode::PhaseLoop));
+}
+
+}  // namespace
+}  // namespace fgp

@@ -34,6 +34,9 @@
 #include "repository/store.h"
 #include "repository/stream.h"
 #include "service/config.h"
+#include "sim/cluster.h"
+#include "sim/machine.h"
+#include "sim/network.h"
 #include "util/rng.h"
 #include "util/serial.h"
 
@@ -832,6 +835,148 @@ TEST(Fuzz, ChunkParsersRejectRandomBytes) {
         util::Error)
         << "trial " << trial;
   }
+}
+
+// --- hostile simulation specs -------------------------------------------
+//
+// Scenario specs (machines, clusters, WAN pipes) arrive from config files
+// and sweep generators; a NaN bandwidth or negative latency poisons every
+// virtual-time charge downstream. validate() must either accept a spec or
+// throw typed ConfigError — never crash, and never let a non-finite,
+// negative or zero rate through.
+
+namespace {
+
+/// Values every numeric spec field is battered with. The first group must
+/// be rejected wherever a positive rate is required; the second group is
+/// legal there and must never throw.
+const double kHostileRates[] = {
+    0.0,
+    -0.0,
+    -1.0,
+    -1e308,
+    std::numeric_limits<double>::quiet_NaN(),
+    std::numeric_limits<double>::signaling_NaN(),
+    std::numeric_limits<double>::infinity(),
+    -std::numeric_limits<double>::infinity(),
+};
+const double kLegalRates[] = {
+    std::numeric_limits<double>::denorm_min(),
+    std::numeric_limits<double>::min(),
+    1e-300,
+    1.0,
+    1.7e308,
+};
+
+}  // namespace
+
+TEST(Fuzz, MachineSpecRejectsHostileRatesTyped) {
+  // Every positive-rate field of the machine model, one mutation at a time.
+  const auto mutate = std::vector<std::function<void(sim::MachineSpec&,
+                                                     double)>>{
+      [](sim::MachineSpec& m, double v) { m.cpu_flops = v; },
+      [](sim::MachineSpec& m, double v) { m.mem_Bps = v; },
+      [](sim::MachineSpec& m, double v) { m.disk.bandwidth_Bps = v; },
+      [](sim::MachineSpec& m, double v) { m.nic.bandwidth_Bps = v; },
+  };
+  for (std::size_t f = 0; f < mutate.size(); ++f) {
+    for (const double v : kHostileRates) {
+      sim::MachineSpec m = sim::opteron250();
+      mutate[f](m, v);
+      EXPECT_THROW(m.validate(), util::ConfigError)
+          << "field " << f << " value " << v;
+    }
+    for (const double v : kLegalRates) {
+      sim::MachineSpec m = sim::opteron250();
+      mutate[f](m, v);
+      EXPECT_NO_THROW(m.validate()) << "field " << f << " value " << v;
+    }
+  }
+}
+
+TEST(Fuzz, MachineSpecRejectsHostileCostsAndCounts) {
+  // Non-negative costs: negative and non-finite rejected, zero accepted.
+  const auto costs = std::vector<std::function<void(sim::MachineSpec&,
+                                                    double)>>{
+      [](sim::MachineSpec& m, double v) { m.disk.seek_s = v; },
+      [](sim::MachineSpec& m, double v) { m.disk.startup_s = v; },
+      [](sim::MachineSpec& m, double v) { m.nic.latency_s = v; },
+  };
+  for (std::size_t f = 0; f < costs.size(); ++f) {
+    for (const double v : kHostileRates) {
+      if (v == 0.0) continue;  // zero cost is legal
+      sim::MachineSpec m = sim::opteron250();
+      costs[f](m, v);
+      EXPECT_THROW(m.validate(), util::ConfigError)
+          << "cost field " << f << " value " << v;
+    }
+    sim::MachineSpec zero = sim::opteron250();
+    costs[f](zero, 0.0);
+    EXPECT_NO_THROW(zero.validate());
+  }
+  for (const int v : {0, -1, std::numeric_limits<int>::min()}) {
+    sim::MachineSpec m = sim::opteron250();
+    m.cores = v;
+    EXPECT_THROW(m.validate(), util::ConfigError) << "cores " << v;
+    m = sim::opteron250();
+    m.disk.disks = v;
+    EXPECT_THROW(m.validate(), util::ConfigError) << "disks " << v;
+  }
+}
+
+TEST(Fuzz, WanSpecRejectsHostileFieldsTyped) {
+  for (const double v : kHostileRates) {
+    sim::WanSpec w = sim::wan_mbps(10);
+    w.per_link_Bps = v;
+    EXPECT_THROW(w.validate(), util::ConfigError) << "per_link " << v;
+    w = sim::wan_mbps(10);
+    w.aggregate_cap_Bps = v;
+    EXPECT_THROW(w.validate(), util::ConfigError) << "aggregate_cap " << v;
+    if (v != 0.0) {
+      w = sim::wan_mbps(10);
+      w.latency_s = v;
+      EXPECT_THROW(w.validate(), util::ConfigError) << "latency " << v;
+    }
+  }
+  // protocol_overhead lives in [0, 1): both ends battered.
+  for (const double v : {-1e-9, -1.0, 1.0, 1.5,
+                         std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity()}) {
+    sim::WanSpec w = sim::wan_mbps(10);
+    w.protocol_overhead = v;
+    EXPECT_THROW(w.validate(), util::ConfigError) << "overhead " << v;
+  }
+  sim::WanSpec edge = sim::wan_mbps(10);
+  edge.protocol_overhead = 0.0;
+  EXPECT_NO_THROW(edge.validate());
+  edge.protocol_overhead = 0.999999;
+  EXPECT_NO_THROW(edge.validate());
+}
+
+TEST(Fuzz, ClusterSpecRejectsHostileFieldsTyped) {
+  for (const double v : kHostileRates) {
+    sim::ClusterSpec c = sim::cluster_pentium_myrinet();
+    c.storage_backplane_Bps = v;
+    EXPECT_THROW(c.validate(), util::ConfigError) << "backplane " << v;
+    c = sim::cluster_pentium_myrinet();
+    c.interconnect.bandwidth_Bps = v;
+    EXPECT_THROW(c.validate(), util::ConfigError) << "interconnect bw " << v;
+    if (v != 0.0) {
+      c = sim::cluster_pentium_myrinet();
+      c.interconnect.latency_s = v;
+      EXPECT_THROW(c.validate(), util::ConfigError)
+          << "interconnect latency " << v;
+    }
+  }
+  for (const int v : {0, -7}) {
+    sim::ClusterSpec c = sim::cluster_pentium_myrinet();
+    c.max_nodes = v;
+    EXPECT_THROW(c.validate(), util::ConfigError) << "max_nodes " << v;
+  }
+  // A hostile machine nested inside an otherwise-sane cluster still trips.
+  sim::ClusterSpec nested = sim::cluster_opteron_infiniband();
+  nested.machine.cpu_flops = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(nested.validate(), util::ConfigError);
 }
 
 }  // namespace

@@ -215,5 +215,79 @@ TEST_P(DiskChunksTest, TimeMonotoneInChunkCount) {
 INSTANTIATE_TEST_SUITE_P(ChunkCounts, DiskChunksTest,
                          ::testing::Values(0u, 1u, 10u, 1000u));
 
+// --------------------------------------------------------- spec validation
+
+TEST(SpecValidation, ReferenceSpecsAreValid) {
+  EXPECT_NO_THROW(pentium700().validate());
+  EXPECT_NO_THROW(opteron250().validate());
+  EXPECT_NO_THROW(cluster_pentium_myrinet().validate());
+  EXPECT_NO_THROW(cluster_opteron_infiniband().validate());
+  EXPECT_NO_THROW(cluster_ideal().validate());
+  EXPECT_NO_THROW(wan_kbps(500).validate());
+  EXPECT_NO_THROW(wan_mbps(10).validate());
+  EXPECT_NO_THROW(wan_ideal(100).validate());
+}
+
+TEST(SpecValidation, MachineRejectsBadRates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {0.0, -1.0, nan, inf, -inf}) {
+    MachineSpec m = pentium700();
+    m.cpu_flops = bad;
+    EXPECT_THROW(m.validate(), util::ConfigError) << "cpu_flops=" << bad;
+    m = pentium700();
+    m.mem_Bps = bad;
+    EXPECT_THROW(m.validate(), util::ConfigError) << "mem_Bps=" << bad;
+    m = pentium700();
+    m.disk.bandwidth_Bps = bad;
+    EXPECT_THROW(m.validate(), util::ConfigError) << "disk bw=" << bad;
+    m = pentium700();
+    m.nic.bandwidth_Bps = bad;
+    EXPECT_THROW(m.validate(), util::ConfigError) << "nic bw=" << bad;
+  }
+}
+
+TEST(SpecValidation, MachineRejectsNegativeLatencies) {
+  MachineSpec m = pentium700();
+  m.disk.seek_s = -1e-3;
+  EXPECT_THROW(m.validate(), util::ConfigError);
+  m = pentium700();
+  m.nic.latency_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(m.validate(), util::ConfigError);
+}
+
+TEST(SpecValidation, MachineRejectsBadCounts) {
+  MachineSpec m = pentium700();
+  m.cores = 0;
+  EXPECT_THROW(m.validate(), util::ConfigError);
+  m = pentium700();
+  m.disk.disks = -1;
+  EXPECT_THROW(m.validate(), util::ConfigError);
+}
+
+TEST(SpecValidation, WanRejectsOverheadOutsideUnitInterval) {
+  WanSpec w = wan_mbps(10);
+  w.protocol_overhead = 1.0;
+  EXPECT_THROW(w.validate(), util::ConfigError);
+  w = wan_mbps(10);
+  w.protocol_overhead = -0.1;
+  EXPECT_THROW(w.validate(), util::ConfigError);
+  w = wan_mbps(10);
+  w.protocol_overhead = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(w.validate(), util::ConfigError);
+}
+
+TEST(SpecValidation, ClusterRejectsBadBackplaneAndNodeCount) {
+  ClusterSpec c = cluster_pentium_myrinet();
+  c.storage_backplane_Bps = 0.0;
+  EXPECT_THROW(c.validate(), util::ConfigError);
+  c = cluster_pentium_myrinet();
+  c.max_nodes = 0;
+  EXPECT_THROW(c.validate(), util::ConfigError);
+  c = cluster_pentium_myrinet();
+  c.interconnect.bandwidth_Bps = -5.0;
+  EXPECT_THROW(c.validate(), util::ConfigError);
+}
+
 }  // namespace
 }  // namespace fgp::sim
